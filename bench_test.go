@@ -1,0 +1,176 @@
+package mtask
+
+// Benchmark entry points: one testing.B benchmark per table/figure of the
+// paper's evaluation, running the corresponding experiment at a reduced
+// scale per iteration (the full paper-scale runs are produced by
+// cmd/mtaskbench). The reported ns/op is the wall time of regenerating the
+// artifact, and each benchmark asserts the paper's headline shape so a
+// regression in the model surfaces here.
+
+import (
+	"testing"
+
+	"mtask/internal/bench"
+)
+
+func runTables(b *testing.B, f func() ([]*bench.Table, error)) []*bench.Table {
+	b.Helper()
+	var tables []*bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = f()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// BenchmarkTable1 regenerates Table 1: collective operation counts per
+// solver time step, measured with the instrumented runtime.
+func BenchmarkTable1(b *testing.B) {
+	tables := runTables(b, func() ([]*bench.Table, error) {
+		t, err := bench.Table1()
+		return []*bench.Table{t}, err
+	})
+	if len(tables[0].Rows) < 10 {
+		b.Fatal("table1 incomplete")
+	}
+}
+
+// BenchmarkFig13 regenerates the scheduler comparison (PABM and EPOL vs
+// CPA/CPR on CHiC).
+func BenchmarkFig13(b *testing.B) {
+	params := bench.Fig13Params{Cores: []int{32, 64}, N: 40000, Steps: 2, Eval: 600}
+	tables := runTables(b, func() ([]*bench.Table, error) {
+		l, err := bench.Fig13Left(params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bench.Fig13Right(params)
+		return []*bench.Table{l, r}, err
+	})
+	dp, _ := tables[0].Get("data-parallel", 64)
+	tp, _ := tables[0].Get("task-parallel", 64)
+	if !(tp > dp) {
+		b.Fatalf("shape: PABM tp %g not above dp %g", tp, dp)
+	}
+}
+
+// BenchmarkFig14 regenerates the collective micro-benchmarks (allgather
+// mapping comparison).
+func BenchmarkFig14(b *testing.B) {
+	params := bench.DefaultFig14()
+	tables := runTables(b, func() ([]*bench.Table, error) {
+		l, err := bench.Fig14Left(params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bench.Fig14Right(params)
+		return []*bench.Table{l, r}, err
+	})
+	c, _ := tables[0].Get("consecutive", 1<<20)
+	s, _ := tables[0].Get("scattered", 1<<20)
+	if !(c < s) {
+		b.Fatalf("shape: consecutive %g not below scattered %g", c, s)
+	}
+}
+
+// BenchmarkFig15 regenerates the IRK/DIIRK/EPOL mapping-strategy panels.
+func BenchmarkFig15(b *testing.B) {
+	params := bench.Fig15Params{
+		Cores: []int{64, 128}, N: 250000,
+		DenseN: 512, DIIRKCores: 128, EPOLCores: 128,
+		SizeSweep: []int{125000, 250000},
+	}
+	tables := runTables(b, func() ([]*bench.Table, error) { return bench.Fig15(params) })
+	c, _ := tables[0].Get("consecutive", 128)
+	s, _ := tables[0].Get("scattered", 128)
+	if !(c < s) {
+		b.Fatalf("shape: IRK consecutive %g not below scattered %g", c, s)
+	}
+}
+
+// BenchmarkFig16 regenerates the PAB/PABM mapping panels.
+func BenchmarkFig16(b *testing.B) {
+	params := bench.Fig16Params{Cores: []int{64, 128, 256}, N: 250000, DenseN: 8000}
+	tables := runTables(b, func() ([]*bench.Table, error) { return bench.Fig16(params) })
+	var pabm *bench.Table
+	for _, t := range tables {
+		if t.ID == "fig16-pabm-chic" {
+			pabm = t
+		}
+	}
+	dp, _ := pabm.Get("data-parallel", 256)
+	tp, _ := pabm.Get("consecutive", 256)
+	if !(tp > dp) {
+		b.Fatalf("shape: PABM tp speedup %g not above dp %g", tp, dp)
+	}
+}
+
+// BenchmarkFig17 regenerates the NAS multi-zone group-count sweeps.
+func BenchmarkFig17(b *testing.B) {
+	params := bench.Fig17Params{Groups: []int{4, 16, 64, 256}, CoresCHiC: 256, CoresAltix: 128, Steps: 2}
+	tables := runTables(b, func() ([]*bench.Table, error) { return bench.Fig17(params) })
+	for _, t := range tables {
+		if len(t.Series) == 0 {
+			b.Fatalf("%s empty", t.ID)
+		}
+	}
+}
+
+// BenchmarkFig18 regenerates the hybrid MPI+OpenMP comparison.
+func BenchmarkFig18(b *testing.B) {
+	params := bench.Fig18Params{Cores: []int{64, 128}, N: 100000, Eval: 600}
+	tables := runTables(b, func() ([]*bench.Table, error) { return bench.Fig18(params) })
+	mpi, _ := tables[0].Get("dp-MPI", 128)
+	hyb, _ := tables[0].Get("dp-hybrid", 128)
+	if !(hyb > mpi) {
+		b.Fatalf("shape: IRK dp hybrid %g not above MPI %g", hyb, mpi)
+	}
+}
+
+// BenchmarkFig19 regenerates the process/thread combination sweep.
+func BenchmarkFig19(b *testing.B) {
+	params := bench.Fig19Params{Cores: 64, Threads: []int{1, 2, 4, 8}, N: 4000}
+	tables := runTables(b, func() ([]*bench.Table, error) {
+		t, err := bench.Fig19(params)
+		return []*bench.Table{t}, err
+	})
+	one, _ := tables[0].Get("data-parallel", 1)
+	full, _ := tables[0].Get("data-parallel", 64)
+	if !(full < one) {
+		b.Fatalf("shape: dp 1x%d %g not below %dx1 %g", 64, full, 64, one)
+	}
+}
+
+// BenchmarkAblationChains measures the linear-chain contraction ablation.
+func BenchmarkAblationChains(b *testing.B) { benchAblation(b, "ablation-chains") }
+
+// BenchmarkAblationAdjust measures the group-size adjustment ablation.
+func BenchmarkAblationAdjust(b *testing.B) { benchAblation(b, "ablation-adjust") }
+
+// BenchmarkAblationLPT measures the LPT-vs-round-robin ablation.
+func BenchmarkAblationLPT(b *testing.B) { benchAblation(b, "ablation-lpt") }
+
+// BenchmarkAblationMixedD measures the mixed-mapping d sweep.
+func BenchmarkAblationMixedD(b *testing.B) { benchAblation(b, "ablation-mixed-d") }
+
+func benchAblation(b *testing.B, id string) {
+	b.Helper()
+	params := bench.AblationParams{Cores: 64, N: 100000}
+	var tables []*bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = bench.Ablations(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, t := range tables {
+		if t.ID == id {
+			return
+		}
+	}
+	b.Fatalf("ablation %s missing", id)
+}

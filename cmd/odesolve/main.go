@@ -1,0 +1,134 @@
+// Command odesolve integrates an ODE system with one of the paper's
+// parallel solvers on the goroutine runtime, comparing the data-parallel
+// and task-parallel program versions and reporting the collective
+// operation counts (Table 1) and the accuracy against the sequential
+// reference.
+//
+// Usage:
+//
+//	odesolve -method pabm -system bruss2d -size 8 -cores 8 -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtask/internal/ode"
+	"mtask/internal/runtime"
+)
+
+func main() {
+	method := flag.String("method", "epol", "solver: epol, irk, diirk, pab, pabm")
+	system := flag.String("system", "bruss2d", "system: bruss2d, schroed, linear")
+	size := flag.Int("size", 8, "system size (grid edge for bruss2d, dimension otherwise)")
+	cores := flag.Int("cores", 8, "goroutine cores")
+	steps := flag.Int("steps", 10, "time steps")
+	h := flag.Float64("h", 0.01, "step size")
+	stages := flag.Int("k", 4, "stages / approximations (K or R)")
+	iters := flag.Int("m", 2, "fixed-point / corrector iterations")
+	flag.Parse()
+
+	var sys ode.System
+	switch *system {
+	case "bruss2d":
+		sys = ode.NewBruss2D(*size)
+	case "schroed":
+		sys = ode.NewSchroed(*size)
+	case "linear":
+		sys = ode.NewLinearDecay(*size)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+	fmt.Printf("system %s (n=%d), method %s, %d cores, %d steps of h=%g\n",
+		sys.Name(), sys.Dim(), *method, *cores, *steps, *h)
+
+	reference := sequential(*method, sys, *stages, *iters, *h, *steps)
+
+	for _, version := range []struct {
+		name   string
+		groups int
+	}{
+		{"data-parallel", 1},
+		{"task-parallel", tpGroups(*method, *stages, *cores)},
+	} {
+		w, err := runtime.NewWorld(*cores)
+		if err != nil {
+			fatal(err)
+		}
+		opts := ode.RunOpts{Groups: version.groups, Steps: *steps, H: *h}
+		start := time.Now()
+		var y []float64
+		switch *method {
+		case "epol":
+			y, err = ode.ParallelEPOL(w, sys, *stages, opts)
+		case "irk":
+			y, err = ode.ParallelIRK(w, sys, *stages, *iters, opts)
+		case "diirk":
+			y, err = ode.ParallelDIIRK(w, sys, *stages, opts)
+		case "pab":
+			y, err = ode.ParallelPAB(w, sys, *stages, 0, opts)
+		case "pabm":
+			y, err = ode.ParallelPAB(w, sys, *stages, *iters, opts)
+		default:
+			fatal(fmt.Errorf("unknown method %q", *method))
+		}
+		if err != nil {
+			fmt.Printf("\n%s (%d groups): skipped: %v\n", version.name, version.groups, err)
+			continue
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("\n%s (%d groups): %v\n", version.name, version.groups, elapsed.Round(time.Microsecond))
+		fmt.Printf("  max deviation from sequential reference: %.3g\n", ode.MaxAbsDiff(y, reference))
+		for _, kind := range []runtime.CommKind{runtime.Global, runtime.Group, runtime.Orthogonal} {
+			for _, op := range []runtime.Op{runtime.OpAllgather, runtime.OpBcast, runtime.OpRedist} {
+				if c := w.Stats.Count(kind, op); c > 0 {
+					fmt.Printf("  %-12s %-14s %d\n", kind, op, c)
+				}
+			}
+		}
+	}
+}
+
+// tpGroups returns the group count of the task-parallel version: one
+// group per stage, or R/2 chain-pairing groups for the extrapolation
+// method.
+func tpGroups(method string, stages, cores int) int {
+	if method == "epol" {
+		g := stages / 2
+		if g < 2 {
+			g = 2
+		}
+		return g
+	}
+	return stages
+}
+
+// sequential integrates with the sequential reference implementation.
+func sequential(method string, sys ode.System, stages, iters int, h float64, steps int) []float64 {
+	t0, y0 := sys.Initial()
+	switch method {
+	case "epol":
+		return ode.IntegrateFixed(ode.NewEPOL(stages), sys, t0, y0, h, steps)
+	case "irk":
+		return ode.IntegrateFixed(ode.NewIRK(stages, iters), sys, t0, y0, h, steps)
+	case "diirk":
+		return ode.IntegrateFixed(ode.NewDIIRK(stages), sys, t0, y0, h, steps)
+	case "pab", "pabm":
+		m := 0
+		if method == "pabm" {
+			m = iters
+		}
+		p := ode.NewPABIntegrator(stages, m, sys, t0, y0, h)
+		p.Integrate(steps)
+		return p.Y()
+	}
+	fatal(fmt.Errorf("unknown method %q", method))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "odesolve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command specc compiles a CM-task specification program (Section 2.2 of
+// the paper) into its hierarchical M-task graph, optionally schedules it
+// with the layer-based algorithm, and prints the result.
+//
+// Usage:
+//
+//	specc program.cm
+//	specc -cores 64 -machine chic -mapping consecutive program.cm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+	"mtask/internal/spec"
+)
+
+func main() {
+	cores := flag.Int("cores", 0, "schedule on this many cores (0 = graph only)")
+	dot := flag.Bool("dot", false, "emit the hierarchical graph in Graphviz DOT format and exit")
+	machine := flag.String("machine", "chic", "machine preset: chic, altix, juropa")
+	mapping := flag.String("mapping", "consecutive", "mapping strategy: consecutive, scattered, mixed:<d>")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: specc [flags] program.cm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	unit, err := spec.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := unit.Graph.WriteDOT(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("compiled %q: upper-level graph with %d nodes\n", unit.Program.Main.Name, unit.Graph.Len())
+	printGraph(unit.Graph, "  ")
+	for _, t := range unit.Graph.Tasks() {
+		if t.Kind == graph.KindComposed && t.Sub != nil {
+			fmt.Printf("\ncomposed node %q: lower-level graph with %d nodes\n", t.Name, t.Sub.Len())
+			printGraph(t.Sub, "  ")
+			if *cores > 0 {
+				scheduleGraph(t.Sub, *cores, *machine, *mapping)
+			}
+		}
+	}
+	if *cores > 0 {
+		fmt.Println()
+		scheduleGraph(unit.Graph, *cores, *machine, *mapping)
+	}
+}
+
+func printGraph(g *graph.Graph, indent string) {
+	for _, t := range g.Tasks() {
+		fmt.Printf("%s[%d] %-40s kind=%-8s work=%-10.4g", indent, t.ID, t.Name, t.Kind, t.Work)
+		if succ := g.Succ(t.ID); len(succ) > 0 {
+			fmt.Printf(" -> %v", succ)
+		}
+		fmt.Println()
+	}
+}
+
+func scheduleGraph(g *graph.Graph, cores int, machine, mapping string) {
+	presets := arch.Presets()
+	mach, ok := presets[machine]
+	if !ok {
+		fatal(fmt.Errorf("unknown machine %q", machine))
+	}
+	mach = mach.SubsetCores(cores)
+	strat, err := core.StrategyByName(mapping)
+	if err != nil {
+		fatal(err)
+	}
+	model := &cost.Model{Machine: mach}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, cores)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(sched.String())
+	mp, err := core.Map(sched, mach, strat)
+	if err != nil {
+		fatal(err)
+	}
+	for li := range sched.Layers {
+		for gi := range sched.Layers[li].Groups {
+			coresOf := mp.GroupCores(li, core.GroupID(gi))
+			fmt.Printf("  layer %d group %d -> %v", li, gi, coresOf[0])
+			if len(coresOf) > 1 {
+				fmt.Printf(" .. %v (%d cores)", coresOf[len(coresOf)-1], len(coresOf))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "specc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Dynamictasks: the dynamic counterpart of the static layer-based
+// scheduler (paper Section 2.2.2, as supported by the authors' Tlib
+// library): M-tasks created recursively at runtime split their core group
+// (divide-and-conquer), and a dynamic pool assigns cores to a stream of
+// M-tasks as they become free.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"mtask/internal/dynsched"
+	"mtask/internal/runtime"
+)
+
+func main() {
+	// --- recursive M-task creation: parallel mergesort ---
+	const n = 1 << 16
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64((i*2654435761 + 12345) % 100003)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, data)
+
+	var sortTask func(lo, hi int) dynsched.Task
+	sortTask = func(lo, hi int) dynsched.Task {
+		return func(ctx *dynsched.Ctx) error {
+			if ctx.Comm.Size() == 1 || hi-lo < 1024 {
+				if ctx.Comm.Rank() == 0 {
+					insertionSort(sorted[lo:hi])
+				}
+				ctx.Comm.Barrier()
+				return nil
+			}
+			mid := (lo + hi) / 2
+			// Split the group proportionally to the halves and sort
+			// them as concurrent child M-tasks.
+			if err := ctx.SplitRun(
+				[]float64{float64(mid - lo), float64(hi - mid)},
+				[]dynsched.Task{sortTask(lo, mid), sortTask(mid, hi)},
+			); err != nil {
+				return err
+			}
+			if ctx.Comm.Rank() == 0 {
+				merge(sorted[lo:hi], mid-lo)
+			}
+			ctx.Comm.Barrier()
+			return nil
+		}
+	}
+
+	w, err := runtime.NewWorld(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dynsched.Run(w, sortTask(0, n)); err != nil {
+		log.Fatal(err)
+	}
+	ok := true
+	for i := 1; i < n; i++ {
+		if sorted[i-1] > sorted[i] {
+			ok = false
+			break
+		}
+	}
+	fmt.Printf("recursive divide-and-conquer sort of %d elements on 8 cores: sorted=%v\n", n, ok)
+
+	// --- dynamic pool: M-tasks with mixed core requirements ---
+	pool, err := dynsched.NewPool(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var done atomic.Int64
+	tasks := make([]dynsched.PoolTask, 10)
+	for i := range tasks {
+		need := 1 + i%4
+		tasks[i] = dynsched.PoolTask{
+			Name:  fmt.Sprintf("job%d", i),
+			Cores: need,
+			Body: func(c *runtime.Comm) error {
+				// A tiny SPMD computation per task.
+				sum := c.AllreduceSum(float64(c.Rank() + 1))
+				_ = sum
+				if c.Rank() == 0 {
+					done.Add(1)
+				}
+				return nil
+			},
+		}
+	}
+	if err := pool.RunAll(tasks); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic pool executed %d M-tasks (1-4 cores each) on 8 cores\n", done.Load())
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// merge merges the two sorted halves a[:mid] and a[mid:] in place.
+func merge(a []float64, mid int) {
+	out := make([]float64, len(a))
+	i, j := 0, mid
+	for k := range out {
+		switch {
+		case i >= mid:
+			out[k] = a[j]
+			j++
+		case j >= len(a):
+			out[k] = a[i]
+			i++
+		case a[i] <= a[j]:
+			out[k] = a[i]
+			i++
+		default:
+			out[k] = a[j]
+			j++
+		}
+	}
+	copy(a, out)
+}

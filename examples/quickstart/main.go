@@ -1,0 +1,75 @@
+// Quickstart: define an M-task graph, let the combined scheduling and
+// mapping algorithm place it on a cluster, predict its execution time with
+// the simulator, and then actually execute it with goroutines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtask"
+)
+
+func main() {
+	// An M-task program: a splitter feeding four communication-heavy
+	// parallel workers, joined at the end. Work is in floating-point
+	// operations, communication payloads in bytes.
+	g := mtask.NewGraph("quickstart")
+	split := g.AddTask(&mtask.Task{Name: "split", Work: 1e9, OutBytes: 1 << 20})
+	var workers []mtask.TaskID
+	for i := 0; i < 4; i++ {
+		id := g.AddTask(&mtask.Task{
+			Name: fmt.Sprintf("worker%d", i),
+			Work: 8e9, CommBytes: 4 << 20, CommCount: 16,
+			OutBytes: 1 << 20,
+		})
+		g.MustEdge(split, id, 1<<20)
+		workers = append(workers, id)
+	}
+	join := g.AddTask(&mtask.Task{Name: "join", Work: 1e9})
+	for _, id := range workers {
+		g.MustEdge(id, join, 1<<20)
+	}
+
+	// Combined scheduling and mapping on 16 nodes (64 cores) of the
+	// CHiC cluster with a consecutive mapping.
+	machine := mtask.CHiC().Subset(16)
+	for _, strat := range []mtask.Strategy{mtask.Consecutive{}, mtask.Scattered{}} {
+		mp, err := mtask.ScheduleAndMap(g, machine, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mtask.Simulate(mp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  predicted makespan %.4g s (comp %.4g s, comm %.4g s)\n",
+			mtask.Describe(mp), res.Makespan, res.CompTime, res.CommTime)
+	}
+
+	// Execute the schedule for real with goroutines: the scheduler's
+	// groups become goroutine teams with collective communication.
+	mp, err := mtask.ScheduleAndMap(g, machine, mtask.Consecutive{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := mtask.NewWorld(mp.Schedule.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = mtask.Execute(w, mp.Schedule, func(t *mtask.Task) mtask.TaskFunc {
+		return func(ctx *mtask.TaskCtx) error {
+			// Every core contributes a partial value; the group
+			// reduces it collectively.
+			sum := ctx.Group.AllreduceSum(float64(ctx.Group.Rank() + 1))
+			if ctx.Group.Rank() == 0 {
+				fmt.Printf("  executed %-10s on %2d cores (group sum %g)\n",
+					t.Name, ctx.Group.Size(), sum)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

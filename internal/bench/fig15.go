@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+)
+
+// mappingsFor returns the mapping strategies evaluated on a machine: all
+// machines get consecutive, mixed(2) and scattered; machines with eight
+// cores per node (JuRoPA) additionally get mixed(4), as in the paper.
+func mappingsFor(mach *arch.Machine) []core.Strategy {
+	strats := []core.Strategy{core.Consecutive{}, core.Mixed{D: 2}, core.Scattered{}}
+	if mach.CoresPerNode() >= 8 {
+		strats = []core.Strategy{core.Consecutive{}, core.Mixed{D: 4}, core.Mixed{D: 2}, core.Scattered{}}
+	}
+	return strats
+}
+
+// mappingSweep runs a tp step spec under every mapping strategy (plus the
+// dp version under consecutive mapping, the paper's best dp placement)
+// over a range of core counts.
+func mappingSweep(id, title string, mach *arch.Machine, cores []int,
+	tp func(p int) stepSpec, dp func(p int) stepSpec) (*Table, error) {
+
+	t := &Table{ID: id, Title: title, XLabel: "cores", YLabel: "time per step [s]"}
+	const steps = 2
+	for _, p := range cores {
+		sub := mach.SubsetCores(p)
+		model := &cost.Model{Machine: sub}
+		if dp != nil {
+			y, err := runStep(model, sub, p, core.Consecutive{}, dp(p), steps)
+			if err != nil {
+				return nil, fmt.Errorf("%s dp @%d: %w", id, p, err)
+			}
+			t.AddPoint("data-parallel", float64(p), y)
+		}
+		for _, strat := range mappingsFor(sub) {
+			y, err := runStep(model, sub, p, strat, tp(p), steps)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s @%d: %w", id, strat.Name(), p, err)
+			}
+			t.AddPoint(strat.Name(), float64(p), y)
+		}
+	}
+	return t, nil
+}
+
+// Fig15Params scales the mapping-strategy experiments for the IRK, DIIRK
+// and EPOL solvers.
+type Fig15Params struct {
+	Cores      []int
+	N          int // sparse system size (BRUSS2D)
+	DenseN     int // dense system size for DIIRK
+	DIIRKCores int
+	EPOLCores  int
+	SizeSweep  []int // system sizes for the fixed-core panels
+}
+
+// DefaultFig15 follows the paper: IRK with K = 4 stages on the Brusselator
+// system on CHiC and JuRoPA; DIIRK on 512 CHiC cores; EPOL with R = 8 on
+// 512 JuRoPA cores.
+func DefaultFig15() Fig15Params {
+	return Fig15Params{
+		Cores:      []int{64, 128, 256, 512},
+		N:          500000,
+		DenseN:     1536,
+		DIIRKCores: 512,
+		EPOLCores:  512,
+		SizeSweep:  []int{125000, 250000, 500000, 1000000},
+	}
+}
+
+// Fig15 reproduces the four panels of Fig. 15. Expected shapes: the
+// lowest times come from mapping as many cores of a group as possible
+// onto the same node (consecutive; mixed(4) close on JuRoPA); scattered
+// is clearly outperformed; DIIRK's task-parallel version beats dp by far
+// (its M-task-internal communication is confined to groups).
+func Fig15(params Fig15Params) ([]*Table, error) {
+	const k, m = 4, 3
+	const evalSparse = 14.0
+	var out []*Table
+
+	irkTP := func(p int) stepSpec { return irkSpec(params.N, k, m, evalSparse, false, p) }
+	irkDP := func(p int) stepSpec { return irkSpec(params.N, k, m, evalSparse, true, p) }
+	t, err := mappingSweep("fig15-irk-chic", "IRK K=4 (BRUSS2D) on CHiC: mapping strategies",
+		arch.CHiC(), params.Cores, irkTP, irkDP)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t)
+	t, err = mappingSweep("fig15-irk-juropa", "IRK K=4 (BRUSS2D) on JuRoPA: mapping strategies",
+		arch.JuRoPA(), params.Cores, irkTP, irkDP)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t)
+
+	// DIIRK on a fixed CHiC partition, sweeping the (dense) system size.
+	diirk := &Table{ID: "fig15-diirk-chic",
+		Title:  fmt.Sprintf("DIIRK K=4 (dense) on %d CHiC cores: mapping strategies", params.DIIRKCores),
+		XLabel: "system size n", YLabel: "time per step [s]"}
+	mach := arch.CHiC().SubsetCores(params.DIIRKCores)
+	model := &cost.Model{Machine: mach}
+	evalDense := func(n int) float64 { return 4 * float64(n) }
+	for _, frac := range []int{4, 2, 1} {
+		n := params.DenseN / frac
+		y, err := runStep(model, mach, params.DIIRKCores, core.Consecutive{}, diirkSpec(n, k, 2, evalDense(n), true, params.DIIRKCores), 2)
+		if err != nil {
+			return nil, err
+		}
+		diirk.AddPoint("data-parallel", float64(n), y)
+		for _, strat := range mappingsFor(mach) {
+			y, err := runStep(model, mach, params.DIIRKCores, strat, diirkSpec(n, k, 2, evalDense(n), false, params.DIIRKCores), 2)
+			if err != nil {
+				return nil, err
+			}
+			diirk.AddPoint(strat.Name(), float64(n), y)
+		}
+	}
+	out = append(out, diirk)
+
+	// EPOL R=8 on a fixed JuRoPA partition, sweeping the system size.
+	epol := &Table{ID: "fig15-epol-juropa",
+		Title:  fmt.Sprintf("EPOL R=8 (BRUSS2D) on %d JuRoPA cores: mapping strategies", params.EPOLCores),
+		XLabel: "system size n", YLabel: "time per step [s]"}
+	jur := arch.JuRoPA().SubsetCores(params.EPOLCores)
+	jmodel := &cost.Model{Machine: jur}
+	for _, n := range params.SizeSweep {
+		y, err := runStep(jmodel, jur, params.EPOLCores, core.Consecutive{}, epolSpec(n, 8, evalSparse, true, params.EPOLCores), 2)
+		if err != nil {
+			return nil, err
+		}
+		epol.AddPoint("data-parallel", float64(n), y)
+		for _, strat := range mappingsFor(jur) {
+			y, err := runStep(jmodel, jur, params.EPOLCores, strat, epolSpec(n, 8, evalSparse, false, params.EPOLCores), 2)
+			if err != nil {
+				return nil, err
+			}
+			epol.AddPoint(strat.Name(), float64(n), y)
+		}
+	}
+	out = append(out, epol)
+	return out, nil
+}
+
+// Fig16Params scales the PAB/PABM mapping experiments.
+type Fig16Params struct {
+	Cores  []int
+	N      int // sparse system (JuRoPA panels)
+	DenseN int // dense system (CHiC PABM speedups)
+}
+
+// DefaultFig16 follows the paper: PAB and PABM with K = 8 stage vectors.
+func DefaultFig16() Fig16Params {
+	return Fig16Params{Cores: []int{64, 128, 256, 512, 1024}, N: 500000, DenseN: 20000}
+}
+
+// Fig16 reproduces Fig. 16: PAB (equal amounts of group-based and
+// orthogonal communication — a mixed mapping wins) and PABM (more
+// computation and communication within the M-tasks — consecutive wins and
+// the dp version stops scaling).
+func Fig16(params Fig16Params) ([]*Table, error) {
+	const k, m = 8, 2
+	const evalSparse = 14.0
+	var out []*Table
+
+	pabTP := func(p int) stepSpec { return pabSpec(params.N, k, 0, evalSparse, false, p) }
+	pabDP := func(p int) stepSpec { return pabSpec(params.N, k, 0, evalSparse, true, p) }
+	t, err := mappingSweep("fig16-pab-chic", "PAB K=8 (BRUSS2D) on CHiC: mapping strategies",
+		arch.CHiC(), params.Cores, pabTP, pabDP)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t)
+	t, err = mappingSweep("fig16-pab-juropa", "PAB K=8 (BRUSS2D) on JuRoPA: mapping strategies",
+		arch.JuRoPA(), params.Cores, pabTP, pabDP)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t)
+
+	// PABM on CHiC with the dense system, reported as speedups.
+	evalDense := 4 * float64(params.DenseN)
+	pabm := &Table{ID: "fig16-pabm-chic",
+		Title:  "PABM K=8 (dense SCHROED) on CHiC: speedups",
+		XLabel: "cores", YLabel: "speedup over sequential"}
+	for _, p := range params.Cores {
+		mach := arch.CHiC().SubsetCores(p)
+		model := &cost.Model{Machine: mach}
+		dpSpec := pabSpec(params.DenseN, k, m, evalDense, true, p)
+		seq := model.CompTime(dpSpec.groupWork[0], 1)
+		y, err := runStep(model, mach, p, core.Consecutive{}, dpSpec, 2)
+		if err != nil {
+			return nil, err
+		}
+		pabm.AddPoint("data-parallel", float64(p), seq/y)
+		for _, strat := range mappingsFor(mach) {
+			y, err := runStep(model, mach, p, strat, pabSpec(params.DenseN, k, m, evalDense, false, p), 2)
+			if err != nil {
+				return nil, err
+			}
+			pabm.AddPoint(strat.Name(), float64(p), seq/y)
+		}
+	}
+	out = append(out, pabm)
+
+	// PABM on JuRoPA with the sparse system, reported as runtimes.
+	t, err = mappingSweep("fig16-pabm-juropa", "PABM K=8 (BRUSS2D) on JuRoPA: mapping strategies",
+		arch.JuRoPA(), params.Cores,
+		func(p int) stepSpec { return pabSpec(params.N, k, m, evalSparse, false, p) },
+		func(p int) stepSpec { return pabSpec(params.N, k, m, evalSparse, true, p) })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t)
+	return out, nil
+}

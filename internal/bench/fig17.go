@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"mtask/internal/arch"
+	"mtask/internal/cluster"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/nas"
+)
+
+// Fig17Params scales the multi-zone experiments.
+type Fig17Params struct {
+	// Groups is the sweep over the number of disjoint core subsets.
+	Groups []int
+	// CoresCHiC / CoresAltix are the partition sizes.
+	CoresCHiC, CoresAltix int
+	// Steps simulated per configuration.
+	Steps int
+}
+
+// DefaultFig17 follows the paper's panels: class C (256 zones) and class D
+// (1024 zones) on CHiC and the SGI Altix, sweeping the number of groups.
+func DefaultFig17() Fig17Params {
+	return Fig17Params{
+		Groups:     []int{4, 16, 32, 64, 128, 256, 512, 1024},
+		CoresCHiC:  1024,
+		CoresAltix: 512,
+		Steps:      3,
+	}
+}
+
+// fig17Panel runs one benchmark/class/machine panel: performance (steps
+// per second, higher is better) against the number of groups for the
+// consecutive and scattered mappings.
+func fig17Panel(id string, b nas.Benchmark, class nas.Class, mach *arch.Machine, p int, params Fig17Params) (*Table, error) {
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("%s class %s (%d zones) on %s, %d cores",
+			b, class.Name, class.Zones(), mach.Name, p),
+		XLabel: "number of groups",
+		YLabel: "performance [steps/s]",
+	}
+	sub := mach.SubsetCores(p)
+	model := &cost.Model{Machine: sub}
+	zones := nas.MakeZones(b, class)
+	for _, g := range params.Groups {
+		if g > p || g > len(zones) {
+			continue
+		}
+		groups, err := nas.AssignContiguous(zones, g)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range []core.Strategy{core.Consecutive{}, core.Scattered{}} {
+			prog, err := nas.BuildProgram(sub, b, zones, groups, strat, p, params.Steps)
+			if err != nil {
+				return nil, err
+			}
+			res, err := cluster.Simulate(model, prog)
+			if err != nil {
+				return nil, err
+			}
+			perf := float64(params.Steps) / res.Makespan
+			t.AddPoint(strat.Name(), float64(g), perf)
+		}
+	}
+	return t, nil
+}
+
+// Fig17 reproduces the four panels of Fig. 17: the NAS multi-zone
+// benchmarks SP-MZ and BT-MZ under varying numbers of core groups.
+// Expected shapes: a medium number of groups wins (low counts suffer from
+// communication within large groups, the maximum count from cross-group
+// border exchange and, for BT-MZ, load imbalance); the scattered mapping
+// outperforms consecutive.
+func Fig17(params Fig17Params) ([]*Table, error) {
+	var out []*Table
+	panels := []struct {
+		id    string
+		b     nas.Benchmark
+		class nas.Class
+		mach  *arch.Machine
+		p     int
+	}{
+		{"fig17-spmz-chic", nas.SPMZ, nas.ClassD(), arch.CHiC(), params.CoresCHiC},
+		{"fig17-spmz-altix", nas.SPMZ, nas.ClassC(), arch.SGIAltix(), params.CoresAltix},
+		{"fig17-btmz-chic", nas.BTMZ, nas.ClassC(), arch.CHiC(), params.CoresCHiC},
+		{"fig17-btmz-altix", nas.BTMZ, nas.ClassD(), arch.SGIAltix(), params.CoresAltix},
+	}
+	for _, pn := range panels {
+		t, err := fig17Panel(pn.id, pn.b, pn.class, pn.mach, pn.p, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

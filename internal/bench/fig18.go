@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+)
+
+// Fig18Params scales the hybrid MPI+OpenMP experiments.
+type Fig18Params struct {
+	Cores []int
+	N     int
+	Eval  float64 // flops per right-hand-side component (IRK workload)
+}
+
+// DefaultFig18 follows the paper: IRK and DIIRK with K = 4 stages on the
+// CHiC cluster, four OpenMP threads per node in the hybrid scheme.
+func DefaultFig18() Fig18Params {
+	return Fig18Params{Cores: []int{64, 128, 256, 512}, N: 500000, Eval: 600}
+}
+
+// Fig18 reproduces Fig. 18: pure MPI vs hybrid MPI+OpenMP execution of the
+// data-parallel and task-parallel IRK (left, speedups) and DIIRK (right,
+// times) versions on CHiC. Expected shapes: the hybrid scheme helps the
+// dp IRK version considerably (fewer ranks in global collectives) and the
+// tp DIIRK version; consecutive mapping throughout.
+func Fig18(params Fig18Params) ([]*Table, error) {
+	const k, m = 4, 3
+	evalSparse := params.Eval
+
+	irk := &Table{ID: "fig18-irk", Title: "IRK K=4 on CHiC: pure MPI vs hybrid (speedups)",
+		XLabel: "cores", YLabel: "speedup over sequential"}
+	diirkN := 512
+	evalDense := 4 * float64(diirkN)
+	diirk := &Table{ID: "fig18-diirk", Title: "DIIRK K=4 on CHiC: pure MPI vs hybrid (time per step)",
+		XLabel: "cores", YLabel: "time per step [s]"}
+
+	for _, p := range params.Cores {
+		mach := arch.CHiC().SubsetCores(p)
+		pure := &cost.Model{Machine: mach}
+		hybrid := &cost.Model{Machine: mach, Hybrid: true}
+
+		seqIRK := pure.CompTime(irkSpec(params.N, k, m, evalSparse, true, p).groupWork[0], 1)
+		for _, cfg := range []struct {
+			label string
+			model *cost.Model
+			dp    bool
+		}{
+			{"dp-MPI", pure, true},
+			{"dp-hybrid", hybrid, true},
+			{"tp-MPI", pure, false},
+			{"tp-hybrid", hybrid, false},
+		} {
+			y, err := runStep(cfg.model, mach, p, core.Consecutive{}, irkSpec(params.N, k, m, evalSparse, cfg.dp, p), 2)
+			if err != nil {
+				return nil, fmt.Errorf("fig18 irk %s @%d: %w", cfg.label, p, err)
+			}
+			irk.AddPoint(cfg.label, float64(p), seqIRK/y)
+
+			yd, err := runStep(cfg.model, mach, p, core.Consecutive{}, diirkSpec(diirkN, k, 2, evalDense, cfg.dp, p), 2)
+			if err != nil {
+				return nil, fmt.Errorf("fig18 diirk %s @%d: %w", cfg.label, p, err)
+			}
+			diirk.AddPoint(cfg.label, float64(p), yd)
+		}
+	}
+	return []*Table{irk, diirk}, nil
+}
+
+// Fig19Params scales the process/thread combination experiment.
+type Fig19Params struct {
+	Cores   int
+	Threads []int // threads per MPI rank
+	N       int
+}
+
+// DefaultFig19 follows the paper: PABM with K = 8 stages on 256 cores of
+// the SGI Altix, whose distributed shared memory allows OpenMP threads to
+// span nodes, so all combinations from 256 ranks x 1 thread to 1 rank x
+// 256 threads are possible (the tp version needs at least K = 8 ranks).
+func DefaultFig19() Fig19Params {
+	return Fig19Params{Cores: 256, Threads: []int{1, 2, 4, 8, 16, 32}, N: 20000}
+}
+
+// Fig19 reproduces Fig. 19: runtimes of the PABM method for different
+// combinations of MPI processes and OpenMP threads on the SGI Altix.
+// Expected shapes: the dp version improves monotonically towards few
+// ranks with many threads; the tp version is best overall with one rank
+// per node (64 x 4 on the Altix) and degrades when ranks span nodes.
+func Fig19(params Fig19Params) (*Table, error) {
+	const k, m = 8, 2
+	evalDense := 4 * float64(params.N)
+	mach := arch.SGIAltix().SubsetCores(params.Cores)
+	t := &Table{ID: "fig19", Title: "PABM K=8 on 256 SGI Altix cores: MPI processes x OpenMP threads",
+		XLabel: "threads per rank", YLabel: "time per step [s]"}
+	for _, threads := range params.Threads {
+		var model *cost.Model
+		if threads == 1 {
+			model = &cost.Model{Machine: mach}
+		} else {
+			model = &cost.Model{Machine: mach, Hybrid: true, ThreadsPerRank: threads}
+		}
+		y, err := runStep(model, mach, params.Cores, core.Consecutive{}, pabSpec(params.N, k, m, evalDense, true, params.Cores), 2)
+		if err != nil {
+			return nil, err
+		}
+		t.AddPoint("data-parallel", float64(threads), y)
+		if params.Cores/threads >= k {
+			y, err = runStep(model, mach, params.Cores, core.Consecutive{}, pabSpec(params.N, k, m, evalDense, false, params.Cores), 2)
+			if err != nil {
+				return nil, err
+			}
+			t.AddPoint("task-parallel", float64(threads), y)
+		}
+	}
+	// The dp panel of the paper extends to a single rank with 256
+	// threads; sample that extreme too.
+	full := &cost.Model{Machine: mach, Hybrid: true, ThreadsPerRank: params.Cores}
+	y, err := runStep(full, mach, params.Cores, core.Consecutive{}, pabSpec(params.N, k, m, evalDense, true, params.Cores), 2)
+	if err != nil {
+		return nil, err
+	}
+	t.AddPoint("data-parallel", float64(params.Cores), y)
+	return t, nil
+}

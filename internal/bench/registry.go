@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact (possibly several panels).
+type Runner func() ([]*Table, error)
+
+// one wraps a single-table experiment.
+func one(f func() (*Table, error)) Runner {
+	return func() ([]*Table, error) {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Experiments returns the registry of all experiment runners at paper
+// scale, keyed by artifact id.
+func Experiments() map[string]Runner {
+	return map[string]Runner{
+		"table1": one(Table1),
+		"fig13": func() ([]*Table, error) {
+			l, err := Fig13Left(DefaultFig13())
+			if err != nil {
+				return nil, err
+			}
+			r, err := Fig13Right(DefaultFig13())
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{l, r}, nil
+		},
+		"fig14": func() ([]*Table, error) {
+			l, err := Fig14Left(DefaultFig14())
+			if err != nil {
+				return nil, err
+			}
+			r, err := Fig14Right(DefaultFig14())
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{l, r}, nil
+		},
+		"fig15": func() ([]*Table, error) { return Fig15(DefaultFig15()) },
+		"fig16": func() ([]*Table, error) { return Fig16(DefaultFig16()) },
+		"fig17": func() ([]*Table, error) { return Fig17(DefaultFig17()) },
+		"fig18": func() ([]*Table, error) { return Fig18(DefaultFig18()) },
+		"fig19": one(func() (*Table, error) { return Fig19(DefaultFig19()) }),
+		"ablation": func() ([]*Table, error) {
+			return Ablations(DefaultAblationParams())
+		},
+	}
+}
+
+// ExperimentIDs returns the registry keys in order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0)
+	for id := range Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string) ([]*Table, error) {
+	r, ok := Experiments()[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return r()
+}

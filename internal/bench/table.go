@@ -1,0 +1,168 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 4): Table 1 (collective operation counts) and
+// Figures 13-19. Each experiment returns a Table that prints the same
+// rows/series the paper reports; the absolute numbers come from the
+// deterministic cluster simulator, so the comparison with the paper is
+// about shape (who wins, by roughly what factor, where crossovers fall),
+// which EXPERIMENTS.md records.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is the result of one experiment: either a set of series (figures)
+// or plain rows (Table 1).
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	Header []string
+	Rows   [][]string
+
+	Notes []string
+}
+
+// AddPoint appends a point to the named series, creating it if needed.
+func (t *Table) AddPoint(label string, x, y float64) {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			t.Series[i].X = append(t.Series[i].X, x)
+			t.Series[i].Y = append(t.Series[i].Y, y)
+			return
+		}
+	}
+	t.Series = append(t.Series, Series{Label: label, X: []float64{x}, Y: []float64{y}})
+}
+
+// Get returns the y value of the series at x, or NaN.
+func (t *Table) Get(label string, x float64) (float64, bool) {
+	for _, s := range t.Series {
+		if s.Label != label {
+			continue
+		}
+		for i, xv := range s.X {
+			if xv == x {
+				return s.Y[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if len(t.Rows) > 0 {
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, c := range cells {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+			fmt.Fprintln(&b)
+		}
+		writeRow(t.Header)
+		for _, row := range t.Rows {
+			writeRow(row)
+		}
+	}
+	if len(t.Series) > 0 {
+		// Collect the union of x values.
+		xset := map[float64]bool{}
+		for _, s := range t.Series {
+			for _, x := range s.X {
+				xset[x] = true
+			}
+		}
+		xs := make([]float64, 0, len(xset))
+		for x := range xset {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		fmt.Fprintf(&b, "%-14s", t.XLabel)
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, "  %-16s", s.Label)
+		}
+		fmt.Fprintln(&b)
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%-14g", x)
+			for _, s := range t.Series {
+				if y, ok := t.Get(s.Label, x); ok {
+					fmt.Fprintf(&b, "  %-16.6g", y)
+				} else {
+					fmt.Fprintf(&b, "  %-16s", "-")
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+		if t.YLabel != "" {
+			fmt.Fprintf(&b, "(y: %s)\n", t.YLabel)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// JSON renders the table as a JSON object for downstream plotting tools.
+func (t *Table) JSON() ([]byte, error) {
+	type jsonSeries struct {
+		Label string    `json:"label"`
+		X     []float64 `json:"x"`
+		Y     []float64 `json:"y"`
+	}
+	out := struct {
+		ID     string       `json:"id"`
+		Title  string       `json:"title"`
+		XLabel string       `json:"xlabel,omitempty"`
+		YLabel string       `json:"ylabel,omitempty"`
+		Series []jsonSeries `json:"series,omitempty"`
+		Header []string     `json:"header,omitempty"`
+		Rows   [][]string   `json:"rows,omitempty"`
+		Notes  []string     `json:"notes,omitempty"`
+	}{ID: t.ID, Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel,
+		Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	for _, s := range t.Series {
+		out.Series = append(out.Series, jsonSeries(s))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Best returns the series label with the lowest y value at x.
+func (t *Table) Best(x float64) string {
+	best := ""
+	bestY := 0.0
+	for _, s := range t.Series {
+		if y, ok := t.Get(s.Label, x); ok {
+			if best == "" || y < bestY {
+				best, bestY = s.Label, y
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"mtask/internal/ode"
+	"mtask/internal/runtime"
+)
+
+// Table1 measures the collective-operation counts of one time step of
+// every ODE solver program version with the instrumented goroutine runtime
+// and reports them next to the paper's Table 1 formulas. The measurement
+// runs s1 and s2 = 2*s1 steps and differences the counters, so one-off
+// bootstrap and final-assembly operations cancel out.
+func Table1() (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Collective communication operations per ODE solver time step",
+		Header: []string{"benchmark", "kind", "op", "measured/step", "paper formula", "ours"},
+	}
+	const p = 8
+	sys := ode.NewLinearDecay(16)
+	const steps1, steps2 = 2, 4
+
+	type variant struct {
+		name   string
+		groups int
+		run    func(w *runtime.World, groups, steps int) error
+		perG   int // group count for per-group normalisation (0: report totals)
+		perO   int // orthogonal set count
+	}
+	const r, k, m = 4, 4, 3
+	kd := 2 // DIIRK stages (kept small: dense solves)
+	runEPOL := func(w *runtime.World, groups, steps int) error {
+		_, err := ode.ParallelEPOL(w, sys, r, ode.RunOpts{Groups: groups, Steps: steps, H: 0.01, Control: true})
+		return err
+	}
+	runIRK := func(w *runtime.World, groups, steps int) error {
+		_, err := ode.ParallelIRK(w, sys, k, m, ode.RunOpts{Groups: groups, Steps: steps, H: 0.01})
+		return err
+	}
+	runDIIRK := func(w *runtime.World, groups, steps int) error {
+		_, err := ode.ParallelDIIRK(w, sys, kd, ode.RunOpts{Groups: groups, Steps: steps, H: 0.01})
+		return err
+	}
+	runPAB := func(w *runtime.World, groups, steps int) error {
+		_, err := ode.ParallelPAB(w, sys, k, 0, ode.RunOpts{Groups: groups, Steps: steps, H: 0.01})
+		return err
+	}
+	runPABM := func(w *runtime.World, groups, steps int) error {
+		_, err := ode.ParallelPAB(w, sys, k, m, ode.RunOpts{Groups: groups, Steps: steps, H: 0.01})
+		return err
+	}
+
+	variants := []variant{
+		{"EPOL(dp)", 1, runEPOL, 0, 0},
+		{"EPOL(tp)", r / 2, runEPOL, r / 2, p / (r / 2)},
+		{"IRK(dp)", 1, runIRK, 0, 0},
+		{"IRK(tp)", k, runIRK, k, p / k},
+		{"DIIRK(dp)", 1, runDIIRK, 0, 0},
+		{"DIIRK(tp)", kd, runDIIRK, kd, p / kd},
+		{"PAB(dp)", 1, runPAB, 0, 0},
+		{"PAB(tp)", k, runPAB, k, p / k},
+		{"PABM(dp)", 1, runPABM, 0, 0},
+		{"PABM(tp)", k, runPABM, k, p / k},
+	}
+	paperRows := ode.Table1()
+
+	for vi, v := range variants {
+		counts := func(steps int) map[string]int {
+			w, err := runtime.NewWorld(p)
+			if err != nil {
+				return nil
+			}
+			if err := v.run(w, v.groups, steps); err != nil {
+				return nil
+			}
+			out := map[string]int{}
+			for _, kind := range []runtime.CommKind{runtime.Global, runtime.Group, runtime.Orthogonal} {
+				for _, op := range []runtime.Op{runtime.OpAllgather, runtime.OpBcast, runtime.OpRedist} {
+					if c := w.Stats.Count(kind, op); c > 0 {
+						out[fmt.Sprintf("%s/%s", kind, op)] = c
+					}
+				}
+			}
+			return out
+		}
+		c1 := counts(steps1)
+		c2 := counts(steps2)
+		if c1 == nil || c2 == nil {
+			return nil, fmt.Errorf("bench: table1 run failed for %s", v.name)
+		}
+		keys := map[string]bool{}
+		for k := range c1 {
+			keys[k] = true
+		}
+		for k := range c2 {
+			keys[k] = true
+		}
+		first := true
+		for _, key := range sortedStrings(keys) {
+			perStep := float64(c2[key]-c1[key]) / float64(steps2-steps1)
+			// Normalise group/ortho totals to per-group/per-set, as
+			// Table 1 reports them.
+			norm := perStep
+			label := key
+			if v.perG > 0 {
+				switch {
+				case hasPrefix(key, "group/"):
+					norm = perStep / float64(v.perG)
+					label += " (per group)"
+				case hasPrefix(key, "orthogonal/"):
+					norm = perStep / float64(v.perO)
+					label += " (per set)"
+				}
+			}
+			paper, ours := "", ""
+			if first {
+				paper = paperRows[vi].Paper
+				ours = paperRows[vi].Ours
+			}
+			t.Rows = append(t.Rows, []string{v.name, label, "", fmt.Sprintf("%.2f", norm), paper, ours})
+			first = false
+		}
+	}
+	t.Notes = append(t.Notes,
+		"measured with the instrumented goroutine runtime on 8 cores, n=16, R=4, K=4, m=3 (DIIRK: K=2, dynamic I)",
+		"re-distributions (OpRedist) are the compiler-inserted exchanges the paper accounts separately from Table 1",
+	)
+	return t, nil
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func sortedStrings(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

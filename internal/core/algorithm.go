@@ -1,0 +1,308 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+)
+
+// Scheduler runs the layer-based scheduling algorithm (Algorithm 1). The
+// zero value with a Model is a ready-to-use scheduler with the paper's
+// behaviour; the Disable*/RoundRobin switches exist for the ablation
+// studies called out in DESIGN.md.
+type Scheduler struct {
+	// Model supplies the symbolic cost functions Tsymb.
+	Model *cost.Model
+
+	// ForceGroups forces the group count of every layer (clamped to the
+	// layer width and core count): 1 yields the data-parallel schedule,
+	// a large value the maximally task-parallel schedule. 0 searches
+	// all group counts as in Algorithm 1.
+	ForceGroups int
+
+	// DisableChainContraction skips scheduling step 1.
+	DisableChainContraction bool
+
+	// DisableAdjustment skips the group size adjustment step.
+	DisableAdjustment bool
+
+	// RoundRobin replaces the LPT task-to-group assignment by a naive
+	// round-robin assignment.
+	RoundRobin bool
+}
+
+// Schedule computes a layered schedule of g on P symbolic cores.
+func (s *Scheduler) Schedule(g *graph.Graph, P int) (*Schedule, error) {
+	if P < 1 {
+		return nil, fmt.Errorf("core: cannot schedule on %d cores", P)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	sched := &Schedule{Source: g, P: P}
+	if s.DisableChainContraction {
+		sched.Graph = g
+		sched.NodeOf = make([]graph.TaskID, g.Len())
+		for i := range sched.NodeOf {
+			sched.NodeOf[i] = graph.TaskID(i)
+		}
+	} else {
+		res := graph.ContractChains(g)
+		sched.Graph = res.Graph
+		sched.NodeOf = res.NodeOf
+	}
+
+	layers := graph.Layers(sched.Graph)
+	for _, layer := range layers {
+		ls := s.scheduleLayer(sched.Graph, layer, P)
+		sched.Layers = append(sched.Layers, ls)
+		sched.Time += ls.Time
+	}
+	return sched, nil
+}
+
+// groupHeap orders group indices by accumulated execution time (then by
+// index for determinism), implementing the "assign to the subset with the
+// smallest accumulated execution time" rule of the modified greedy
+// scheduling algorithm for independent tasks.
+type groupHeap struct {
+	load []float64
+	idx  []int
+}
+
+func (h *groupHeap) Len() int { return len(h.idx) }
+func (h *groupHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	if h.load[a] != h.load[b] {
+		return h.load[a] < h.load[b]
+	}
+	return a < b
+}
+func (h *groupHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *groupHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *groupHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// scheduleLayer implements Algorithm 1 for a single layer.
+func (s *Scheduler) scheduleLayer(g *graph.Graph, layer graph.Layer, P int) *LayerSchedule {
+	// Candidate group counts: all g in 1..P (a group count above the
+	// layer width leaves groups idle and can never win, so the search
+	// is clamped, which is equivalent to the paper's 1..P loop).
+	maxG := P
+	if len(layer) < maxG {
+		maxG = len(layer)
+	}
+	lo, hi := 1, maxG
+	if s.ForceGroups > 0 {
+		fg := s.ForceGroups
+		if fg > maxG {
+			fg = maxG
+		}
+		lo, hi = fg, fg
+	}
+
+	best := math.Inf(1)
+	var bestLS *LayerSchedule
+	for gCount := lo; gCount <= hi; gCount++ {
+		ls := s.assign(g, layer, P, gCount)
+		if ls.Time < best {
+			best = ls.Time
+			bestLS = ls
+		}
+	}
+
+	if !s.DisableAdjustment && bestLS.NumGroups() > 1 {
+		adj := s.adjust(g, bestLS, P)
+		if adj.Time <= bestLS.Time {
+			bestLS = adj
+		}
+	}
+	return bestLS
+}
+
+// assign partitions the P symbolic cores into gCount equal subsets and
+// assigns the layer's tasks to subsets greedily in decreasing order of
+// execution time (LPT), or round-robin if the ablation switch is set.
+func (s *Scheduler) assign(g *graph.Graph, layer graph.Layer, P, gCount int) *LayerSchedule {
+	sizes := equalSizes(P, gCount)
+	ls := &LayerSchedule{
+		Layer:  layer,
+		Groups: make([][]graph.TaskID, gCount),
+		Sizes:  sizes,
+	}
+	// Task execution times on their prospective group sizes. Groups
+	// are equal-sized up to rounding; use each group's actual size when
+	// accumulating.
+	type taskTime struct {
+		id graph.TaskID
+		t  float64 // on the smallest group size, for ordering
+	}
+	tts := make([]taskTime, len(layer))
+	minSize := sizes[gCount-1]
+	for i, id := range layer {
+		tts[i] = taskTime{id: id, t: s.Model.SymbolicTaskTime(g.Task(id), minSize)}
+	}
+	sort.SliceStable(tts, func(i, j int) bool {
+		if tts[i].t != tts[j].t {
+			return tts[i].t > tts[j].t // decreasing execution time
+		}
+		return tts[i].id < tts[j].id
+	})
+
+	load := make([]float64, gCount)
+	if s.RoundRobin {
+		for i, tt := range tts {
+			gi := i % gCount
+			ls.Groups[gi] = append(ls.Groups[gi], tt.id)
+			load[gi] += s.Model.SymbolicTaskTime(g.Task(tt.id), sizes[gi])
+		}
+	} else {
+		h := &groupHeap{load: load, idx: make([]int, gCount)}
+		for i := range h.idx {
+			h.idx[i] = i
+		}
+		heap.Init(h)
+		for _, tt := range tts {
+			gi := heap.Pop(h).(int)
+			ls.Groups[gi] = append(ls.Groups[gi], tt.id)
+			load[gi] += s.Model.SymbolicTaskTime(g.Task(tt.id), sizes[gi])
+			heap.Push(h, gi)
+		}
+	}
+	for _, l := range load {
+		if l > ls.Time {
+			ls.Time = l
+		}
+	}
+	return ls
+}
+
+// adjust implements the group adjustment step: group sizes are recomputed
+// proportionally to the sequential computational work Tseq(Gl) assigned to
+// each group, rounded such that the total number of symbolic cores stays P
+// and every non-empty group keeps at least one core.
+func (s *Scheduler) adjust(g *graph.Graph, ls *LayerSchedule, P int) *LayerSchedule {
+	gCount := ls.NumGroups()
+	seq := make([]float64, gCount)
+	var total float64
+	for gi, tasks := range ls.Groups {
+		for _, id := range tasks {
+			seq[gi] += g.Task(id).Work
+		}
+		total += seq[gi]
+	}
+	if total <= 0 {
+		return ls
+	}
+	sizes := proportionalSizes(seq, total, P)
+
+	adj := &LayerSchedule{Layer: ls.Layer, Groups: ls.Groups, Sizes: sizes}
+	load := make([]float64, gCount)
+	for gi, tasks := range ls.Groups {
+		for _, id := range tasks {
+			load[gi] += s.Model.SymbolicTaskTime(g.Task(id), sizes[gi])
+		}
+		if load[gi] > adj.Time {
+			adj.Time = load[gi]
+		}
+	}
+	return adj
+}
+
+// equalSizes splits P cores into g groups of (almost) equal size; the first
+// P%g groups receive one extra core.
+func equalSizes(P, g int) []int {
+	sizes := make([]int, g)
+	base, rem := P/g, P%g
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// ProportionalGroupSizes computes group sizes proportional to the given
+// work shares (the group adjustment rule of Algorithm 1): round(P * w_l /
+// total) with a largest-remainder correction so the sizes sum to P and a
+// floor of one core per group. It is exported for workload builders that
+// partition cores outside the layer scheduler (e.g. the multi-zone
+// benchmark).
+func ProportionalGroupSizes(work []float64, P int) []int {
+	var total float64
+	for _, w := range work {
+		total += w
+	}
+	if total <= 0 {
+		return equalSizes(P, len(work))
+	}
+	return proportionalSizes(work, total, P)
+}
+
+// proportionalSizes computes round(g_l = P * seq_l/total) with a largest-
+// remainder correction so the sizes sum to P, and a floor of one core per
+// group.
+func proportionalSizes(seq []float64, total float64, P int) []int {
+	g := len(seq)
+	sizes := make([]int, g)
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, g)
+	sum := 0
+	for i, w := range seq {
+		exact := float64(P) * w / total
+		sizes[i] = int(exact)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		fracs[i] = frac{i: i, f: exact - math.Floor(exact)}
+		sum += sizes[i]
+	}
+	// Distribute the remainder to the groups with the largest
+	// fractional parts (or take cores back from the smallest parts).
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].i < fracs[b].i
+	})
+	for k := 0; sum < P; k = (k + 1) % g {
+		sizes[fracs[k].i]++
+		sum++
+	}
+	for k := g - 1; sum > P; k = (k - 1 + g) % g {
+		if sizes[fracs[k].i] > 1 {
+			sizes[fracs[k].i]--
+			sum--
+		}
+	}
+	return sizes
+}
+
+// DataParallel returns the pure data-parallel schedule (one group per
+// layer: all tasks execute one after another on all P cores). It is the
+// baseline "dp" program version of the evaluation.
+func DataParallel(model *cost.Model, g *graph.Graph, P int) (*Schedule, error) {
+	s := &Scheduler{Model: model, ForceGroups: 1}
+	return s.Schedule(g, P)
+}
+
+// MaxTaskParallel returns the schedule exploiting the maximum degree of
+// task parallelism: every layer uses as many groups as it has tasks.
+func MaxTaskParallel(model *cost.Model, g *graph.Graph, P int) (*Schedule, error) {
+	s := &Scheduler{Model: model, ForceGroups: P}
+	return s.Schedule(g, P)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"mtask/internal/graph"
+)
+
+// HierarchicalSchedule is a schedule of a hierarchical M-task graph
+// (Section 2.2.3): the upper-level graph is scheduled as usual, and every
+// composed node (e.g. a while loop whose body is a lower-level M-task
+// graph) carries a recursively computed schedule of its body on the cores
+// the upper level assigned to it. The advantage of this approach — as the
+// paper notes — is that every scheduled graph is acyclic: the repetition
+// of a loop body is encoded in the composed node.
+type HierarchicalSchedule struct {
+	// Top is the schedule of this level's graph.
+	Top *Schedule
+
+	// Sub maps the id of a composed task (in Top.Graph) to the
+	// hierarchical schedule of its body on the task's core count.
+	Sub map[graph.TaskID]*HierarchicalSchedule
+}
+
+// ScheduleHierarchical schedules a hierarchical M-task graph on P symbolic
+// cores: the given graph is scheduled with the layer-based algorithm, and
+// the body of every composed node is scheduled recursively on the number
+// of cores its group received.
+func (s *Scheduler) ScheduleHierarchical(g *graph.Graph, P int) (*HierarchicalSchedule, error) {
+	top, err := s.Schedule(g, P)
+	if err != nil {
+		return nil, err
+	}
+	hs := &HierarchicalSchedule{Top: top, Sub: make(map[graph.TaskID]*HierarchicalSchedule)}
+	// Composed nodes survive contraction unmerged (ContractChains only
+	// merges basic tasks), so they appear as singleton nodes of the
+	// scheduled graph.
+	for _, t := range top.Graph.Tasks() {
+		if t.Kind != graph.KindComposed {
+			continue
+		}
+		src := t
+		if len(t.Members) == 1 {
+			src = top.Source.Task(t.Members[0])
+		}
+		if src.Sub == nil {
+			return nil, fmt.Errorf("core: composed task %q has no body graph", t.Name)
+		}
+		li := top.LayerOf(t.ID)
+		if li < 0 {
+			return nil, fmt.Errorf("core: composed task %q not in any layer", t.Name)
+		}
+		gi := top.Layers[li].GroupOf(t.ID)
+		cores := top.Layers[li].Sizes[gi]
+		sub, err := s.ScheduleHierarchical(src.Sub, cores)
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling body of %q: %w", t.Name, err)
+		}
+		hs.Sub[t.ID] = sub
+	}
+	return hs, nil
+}
+
+// Depth returns the nesting depth of the hierarchical schedule (1 for a
+// flat schedule).
+func (hs *HierarchicalSchedule) Depth() int {
+	max := 0
+	for _, sub := range hs.Sub {
+		if d := sub.Depth(); d > max {
+			max = d
+		}
+	}
+	return 1 + max
+}
+
+// TotalTime returns the predicted symbolic time of the hierarchical
+// schedule assuming every composed node's body executes `iterations(id)`
+// times (e.g. the trip count of a while loop, unknown statically; pass a
+// constant function for an estimate). The composed node's own Work-based
+// time in the top schedule is replaced by the recursive estimate.
+func (hs *HierarchicalSchedule) TotalTime(iterations func(id graph.TaskID) int) float64 {
+	t := hs.Top.Time
+	for id, sub := range hs.Sub {
+		iters := 1
+		if iterations != nil {
+			iters = iterations(id)
+		}
+		t += float64(iters-1) * sub.TotalTime(iterations)
+	}
+	return t
+}

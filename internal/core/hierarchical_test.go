@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"mtask/internal/graph"
+)
+
+// buildHierarchical builds an upper-level graph: init -> while(body) where
+// the body is an EPOL-like step with R chains.
+func buildHierarchical(r int) *graph.Graph {
+	body := graph.New("body")
+	combine := body.AddTask(&graph.Task{Name: "combine", Kind: graph.KindBasic, Work: 1e8, CommBytes: 1 << 18, CommCount: 1})
+	for i := 1; i <= r; i++ {
+		prev := graph.None
+		for j := 1; j <= i; j++ {
+			s := body.AddTask(&graph.Task{Name: "step", Kind: graph.KindBasic,
+				Work: 1e8, CommBytes: 1 << 18, CommCount: 1})
+			if prev != graph.None {
+				body.MustEdge(prev, s, 1<<18)
+			}
+			prev = s
+		}
+		body.MustEdge(prev, combine, 1<<18)
+	}
+	body.AddStartStop()
+
+	top := graph.New("top")
+	init := top.AddTask(&graph.Task{Name: "init", Kind: graph.KindBasic, Work: 1e7})
+	while := top.AddTask(&graph.Task{Name: "while", Kind: graph.KindComposed,
+		Work: body.TotalWork(), Sub: body})
+	top.MustEdge(init, while, 8)
+	top.AddStartStop()
+	return top
+}
+
+func TestScheduleHierarchical(t *testing.T) {
+	g := buildHierarchical(4)
+	s := &Scheduler{Model: model(8)}
+	hs, err := s.ScheduleHierarchical(g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", hs.Depth())
+	}
+	if err := hs.Top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hs.Sub) != 1 {
+		t.Fatalf("expected one composed body, got %d", len(hs.Sub))
+	}
+	for id, sub := range hs.Sub {
+		// The while node is alone in its layer and gets all cores.
+		li := hs.Top.LayerOf(id)
+		gi := hs.Top.Layers[li].GroupOf(id)
+		if got := hs.Top.Layers[li].Sizes[gi]; got != 32 {
+			t.Fatalf("while node got %d cores, want 32", got)
+		}
+		if sub.Top.P != 32 {
+			t.Fatalf("body scheduled on %d cores", sub.Top.P)
+		}
+		if err := sub.Top.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The body's first layer exploits the chain task parallelism.
+		if sub.Top.Layers[0].NumGroups() < 2 {
+			t.Fatalf("body layer not task parallel: %d groups", sub.Top.Layers[0].NumGroups())
+		}
+	}
+	// Time with 10 loop iterations exceeds time with 1.
+	t1 := hs.TotalTime(func(graph.TaskID) int { return 1 })
+	t10 := hs.TotalTime(func(graph.TaskID) int { return 10 })
+	if !(t10 > t1) {
+		t.Fatalf("iteration scaling broken: %g vs %g", t1, t10)
+	}
+}
+
+func TestScheduleHierarchicalNested(t *testing.T) {
+	// A composed node whose body contains another composed node.
+	inner := graph.New("inner")
+	inner.AddTask(&graph.Task{Name: "leaf", Kind: graph.KindBasic, Work: 1e7})
+	inner.AddStartStop()
+
+	mid := graph.New("mid")
+	mid.AddTask(&graph.Task{Name: "pre", Kind: graph.KindBasic, Work: 1e7})
+	mid.AddTask(&graph.Task{Name: "loop", Kind: graph.KindComposed, Work: 1e7, Sub: inner})
+	mid.AddStartStop()
+
+	top := graph.New("top")
+	top.AddTask(&graph.Task{Name: "outer", Kind: graph.KindComposed, Work: 2e7, Sub: mid})
+	top.AddStartStop()
+
+	s := &Scheduler{Model: model(2)}
+	hs, err := s.ScheduleHierarchical(top, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", hs.Depth())
+	}
+}
+
+func TestScheduleHierarchicalMissingBody(t *testing.T) {
+	g := graph.New("bad")
+	g.AddTask(&graph.Task{Name: "loop", Kind: graph.KindComposed, Work: 1})
+	s := &Scheduler{Model: model(1)}
+	if _, err := s.ScheduleHierarchical(g, 4); err == nil {
+		t.Fatal("composed node without body accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+)
+
+// randomDAG builds a random M-task DAG with the given seed.
+func randomDAG(rng *rand.Rand) *graph.Graph {
+	g := graph.New("random")
+	n := 3 + rng.Intn(24)
+	for i := 0; i < n; i++ {
+		t := &graph.Task{
+			Name: "t",
+			Kind: graph.KindBasic,
+			Work: float64(1+rng.Intn(100)) * 1e7,
+		}
+		if rng.Float64() < 0.5 {
+			t.CommBytes = 1 << (10 + rng.Intn(10))
+			t.CommCount = 1 + rng.Intn(4)
+		}
+		if rng.Float64() < 0.1 {
+			t.MaxWidth = 1 + rng.Intn(8)
+		}
+		g.AddTask(t)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.15 {
+				g.MustEdge(graph.TaskID(i), graph.TaskID(j), 1<<(8+rng.Intn(8)))
+			}
+		}
+	}
+	if rng.Float64() < 0.5 {
+		g.AddStartStop()
+	}
+	return g
+}
+
+// TestSchedulerInvariantsRandomDAGs checks the structural invariants of
+// the full pipeline (schedule -> validate -> map -> validate) on random
+// DAGs, machines and mapping strategies.
+func TestSchedulerInvariantsRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	machines := []*arch.Machine{
+		arch.CHiC().Subset(2), arch.CHiC().Subset(7),
+		arch.JuRoPA().Subset(3), arch.SGIAltix().Subset(5),
+	}
+	strats := []Strategy{Consecutive{}, Scattered{}, Mixed{D: 2}, Mixed{D: 3}}
+	for trial := 0; trial < 60; trial++ {
+		g := randomDAG(rng)
+		mach := machines[rng.Intn(len(machines))]
+		p := mach.TotalCores()
+		s := &Scheduler{
+			Model:                   model(2),
+			DisableChainContraction: rng.Float64() < 0.3,
+			DisableAdjustment:       rng.Float64() < 0.3,
+			RoundRobin:              rng.Float64() < 0.2,
+		}
+		s.Model.Machine = mach
+		sched, err := s.Schedule(g, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every basic task of the source graph appears in exactly one
+		// scheduled node's expansion.
+		seen := make(map[graph.TaskID]int)
+		for _, ls := range sched.Layers {
+			for _, grp := range ls.Groups {
+				for _, id := range grp {
+					for _, src := range sched.SourceTasks(id) {
+						seen[src]++
+					}
+				}
+			}
+		}
+		for _, task := range g.Tasks() {
+			if task.Kind != graph.KindBasic {
+				continue
+			}
+			if seen[task.ID] != 1 {
+				t.Fatalf("trial %d: source task %d scheduled %d times", trial, task.ID, seen[task.ID])
+			}
+		}
+		// Layer order respects every source edge.
+		layerOfSrc := make(map[graph.TaskID]int)
+		for li, ls := range sched.Layers {
+			for _, grp := range ls.Groups {
+				for _, id := range grp {
+					for _, src := range sched.SourceTasks(id) {
+						layerOfSrc[src] = li
+					}
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			lf, okF := layerOfSrc[e.From]
+			lt, okT := layerOfSrc[e.To]
+			if !okF || !okT {
+				continue // markers
+			}
+			if lf > lt {
+				t.Fatalf("trial %d: edge %d->%d spans layers %d -> %d", trial, e.From, e.To, lf, lt)
+			}
+		}
+		// Mapping invariants for a random strategy.
+		mp, err := Map(sched, mach, strats[rng.Intn(len(strats))])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := mp.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestScheduleTimeLowerBounds checks that the predicted schedule time is
+// never below the two trivial lower bounds: total work / P and the
+// critical-path work, both converted by the machine's core rate.
+func TestScheduleTimeLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := model(4)
+	p := m.Machine.TotalCores()
+	rate := m.Machine.CoreGFlops * 1e9
+	for trial := 0; trial < 40; trial++ {
+		g := randomDAG(rng)
+		sched, err := (&Scheduler{Model: m}).Schedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		areaBound := g.TotalWork() / (float64(p) * rate)
+		cpBound := g.CriticalPathWork() / rate * 0 // critical path may use all P cores per task
+		_ = cpBound
+		// The critical path executed with full parallelism per task:
+		cpAtP := g.CriticalPathWork() / (float64(p) * rate)
+		if sched.Time < areaBound*(1-1e-9) {
+			t.Fatalf("trial %d: schedule time %g below area bound %g", trial, sched.Time, areaBound)
+		}
+		if sched.Time < cpAtP*(1-1e-9) {
+			t.Fatalf("trial %d: schedule time %g below critical path bound %g", trial, sched.Time, cpAtP)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+)
+
+func chicModel(nodes int) *Model {
+	return &Model{Machine: arch.CHiC().Subset(nodes)}
+}
+
+// consecutiveCores returns the first q cores in canonical order.
+func consecutiveCores(m *arch.Machine, q int) []arch.CoreID {
+	return m.AllCores()[:q]
+}
+
+// scatteredCores returns q cores taking corresponding cores of successive
+// nodes first (1.1.1, 2.1.1, ..., n.1.1, 1.1.2, ...).
+func scatteredCores(m *arch.Machine, q int) []arch.CoreID {
+	var cores []arch.CoreID
+	for p := 0; p < m.ProcsPerNode && len(cores) < q; p++ {
+		for c := 0; c < m.CoresPerProc && len(cores) < q; c++ {
+			for n := 0; n < m.Nodes && len(cores) < q; n++ {
+				cores = append(cores, arch.CoreID{Node: n, Proc: p, Core: c})
+			}
+		}
+	}
+	return cores
+}
+
+func TestCompTimeLinearSpeedup(t *testing.T) {
+	m := chicModel(1)
+	w := 5.2e9 // one second of work on one 5.2 GFlop/s core
+	if got := m.CompTime(w, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CompTime(w,1) = %g, want 1", got)
+	}
+	if got := m.CompTime(w, 4); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("CompTime(w,4) = %g, want 0.25", got)
+	}
+	if got := m.CompTime(w, 0); got != m.CompTime(w, 1) {
+		t.Fatalf("CompTime clamps q to 1: %g", got)
+	}
+}
+
+func TestAllgatherTrivial(t *testing.T) {
+	m := chicModel(2)
+	if got := m.Allgather(nil, 100); got != 0 {
+		t.Fatalf("empty allgather = %g", got)
+	}
+	one := [][]arch.CoreID{{{Node: 0, Proc: 0, Core: 0}}}
+	if got := m.Allgather(one, 100); got != 0 {
+		t.Fatalf("single-core allgather = %g", got)
+	}
+}
+
+func TestAllgatherMappingOrderFig14Left(t *testing.T) {
+	// Fig 14 left: a global allgather on 256 CHiC cores is fastest with
+	// a consecutive mapping and slowest with a scattered mapping, for
+	// large messages; mixed(2) lies in between.
+	mach := arch.CHiC().Subset(64) // 256 cores
+	m := &Model{Machine: mach}
+	q := 256
+	perCore := 64 * 1024
+
+	cons := consecutiveCores(mach, q)
+	scat := scatteredCores(mach, q)
+	// mixed d=2: two consecutive cores per node, then next node.
+	var mixed []arch.CoreID
+	for half := 0; half < 2; half++ {
+		for n := 0; n < mach.Nodes; n++ {
+			mixed = append(mixed, arch.CoreID{Node: n, Proc: half, Core: 0},
+				arch.CoreID{Node: n, Proc: half, Core: 1})
+		}
+	}
+	tc := m.Allgather([][]arch.CoreID{cons}, perCore)
+	tm := m.Allgather([][]arch.CoreID{mixed}, perCore)
+	ts := m.Allgather([][]arch.CoreID{scat}, perCore)
+	if !(tc < tm && tm < ts) {
+		t.Fatalf("allgather order wrong: consecutive=%g mixed=%g scattered=%g", tc, tm, ts)
+	}
+}
+
+func TestMultiAllgatherFig14Right(t *testing.T) {
+	// Fig 14 right: with 4 groups of 64 cores (group-based
+	// communication) consecutive wins; for the orthogonal sets induced
+	// by the two mappings (64 groups of 4), scattered wins because its
+	// orthogonal sets stay inside one node.
+	mach := arch.CHiC().Subset(64)
+	m := &Model{Machine: mach}
+	perCore := 16 * 1024
+	g, gs := 4, 64
+
+	// Group-based: 4 groups of 64.
+	var consGroups, scatGroups [][]arch.CoreID
+	cons := consecutiveCores(mach, 256)
+	scat := scatteredCores(mach, 256)
+	for i := 0; i < g; i++ {
+		consGroups = append(consGroups, cons[i*gs:(i+1)*gs])
+		scatGroups = append(scatGroups, scat[i*gs:(i+1)*gs])
+	}
+	tcg := m.Allgather(consGroups, perCore)
+	tsg := m.Allgather(scatGroups, perCore)
+	if !(tcg < tsg) {
+		t.Fatalf("group-based: consecutive=%g should beat scattered=%g", tcg, tsg)
+	}
+
+	// Orthogonal: 64 sets of 4 cores, one from each group, at the same
+	// within-group position.
+	var consOrth, scatOrth [][]arch.CoreID
+	for j := 0; j < gs; j++ {
+		var co, so []arch.CoreID
+		for i := 0; i < g; i++ {
+			co = append(co, cons[i*gs+j])
+			so = append(so, scat[i*gs+j])
+		}
+		consOrth = append(consOrth, co)
+		scatOrth = append(scatOrth, so)
+	}
+	tco := m.Allgather(consOrth, perCore)
+	tso := m.Allgather(scatOrth, perCore)
+	if !(tso < tco) {
+		t.Fatalf("orthogonal: scattered=%g should beat consecutive=%g", tso, tco)
+	}
+	// Scattered orthogonal sets are node-internal: much cheaper.
+	if tso > tco/2 {
+		t.Fatalf("scattered orthogonal should be far cheaper: %g vs %g", tso, tco)
+	}
+}
+
+func TestAllgatherContentionMonotone(t *testing.T) {
+	// More concurrent groups crossing the same nodes => no faster.
+	mach := arch.CHiC().Subset(8)
+	m := &Model{Machine: mach}
+	scat := scatteredCores(mach, 32)
+	one := m.Allgather([][]arch.CoreID{scat[:8]}, 4096)
+	four := m.Allgather([][]arch.CoreID{scat[:8], scat[8:16], scat[16:24], scat[24:32]}, 4096)
+	if four < one {
+		t.Fatalf("adding concurrent groups made allgather faster: %g < %g", four, one)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m := chicModel(4)
+	mach := m.Machine
+	intra := m.Broadcast(consecutiveCores(mach, 4), 4096)  // one node
+	inter := m.Broadcast(consecutiveCores(mach, 16), 4096) // four nodes
+	single := m.Broadcast(consecutiveCores(mach, 1), 4096) // no comm
+	if single != 0 {
+		t.Fatalf("single-core broadcast = %g", single)
+	}
+	if !(intra < inter) {
+		t.Fatalf("node-internal broadcast %g should beat inter-node %g", intra, inter)
+	}
+	// log2 growth: 16 cores need 4 rounds, 4 cores 2 rounds.
+	if inter < intra {
+		t.Fatal("rounds should grow with group size")
+	}
+	if b := m.Barrier(consecutiveCores(mach, 4)); b != 2*m.Broadcast(consecutiveCores(mach, 4), 0) {
+		t.Fatalf("barrier = %g", b)
+	}
+}
+
+func TestRedistribute(t *testing.T) {
+	m := chicModel(8)
+	mach := m.Machine
+	a := consecutiveCores(mach, 8)
+	b := mach.AllCores()[8:16]
+	if got := m.Redistribute(a, a, 1<<20); got != 0 {
+		t.Fatalf("same-group redistribution = %g, want 0", got)
+	}
+	if got := m.Redistribute(a, b, 0); got != 0 {
+		t.Fatalf("zero-byte redistribution = %g", got)
+	}
+	small := m.Redistribute(a, b, 1<<10)
+	large := m.Redistribute(a, b, 1<<20)
+	if !(small < large) {
+		t.Fatalf("redistribution not monotone in size: %g vs %g", small, large)
+	}
+	// Cross-node redistribution costs more than an intra-node one.
+	intra := m.Redistribute(a[:2], a[2:4], 1<<20)
+	if !(intra < large) {
+		t.Fatalf("intra-node redistribution %g should beat inter-node %g", intra, large)
+	}
+}
+
+func TestTaskTime(t *testing.T) {
+	m := chicModel(8)
+	mach := m.Machine
+	task := &graph.Task{Name: "t", Work: 5.2e9, CommBytes: 1 << 20, CommCount: 2}
+	t4 := m.TaskTime(task, consecutiveCores(mach, 4))
+	t16 := m.TaskTime(task, consecutiveCores(mach, 16))
+	if t4 <= 0 || t16 <= 0 {
+		t.Fatal("non-positive task time")
+	}
+	// Pure compute part shrinks 4x; comm grows. For this size compute
+	// dominates, so t16 < t4.
+	if !(t16 < t4) {
+		t.Fatalf("16 cores (%g) should beat 4 cores (%g) for compute-heavy task", t16, t4)
+	}
+	if got := m.TaskTime(task, nil); !math.IsInf(got, 1) {
+		t.Fatalf("empty group time = %g, want +Inf", got)
+	}
+	// MaxWidth caps the effective parallelism.
+	capped := &graph.Task{Name: "c", Work: 5.2e9, MaxWidth: 2}
+	if got, want := m.TaskTime(capped, consecutiveCores(mach, 16)), m.CompTime(5.2e9, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxWidth ignored: got %g want %g", got, want)
+	}
+}
+
+func TestSymbolicUpperBound(t *testing.T) {
+	// Tsymb must be an upper bound of the physical time under any
+	// mapping (the default pattern charges the slowest network).
+	m := chicModel(16)
+	mach := m.Machine
+	task := &graph.Task{Name: "t", Work: 1e9, CommBytes: 1 << 18, CommCount: 3}
+	for _, q := range []int{2, 4, 8, 16, 32} {
+		symb := m.SymbolicTaskTime(task, q)
+		cons := m.TaskTime(task, consecutiveCores(mach, q))
+		if cons > symb*1.0001 {
+			t.Fatalf("q=%d: consecutive %g exceeds symbolic bound %g", q, cons, symb)
+		}
+	}
+}
+
+func TestSymbolicCommGrowsWithGroupSize(t *testing.T) {
+	m := chicModel(16)
+	prev := 0.0
+	for _, p := range []int{2, 4, 8, 16} {
+		v := m.SymbolicAllgather(p, 4096)
+		if v <= prev {
+			t.Fatalf("symbolic allgather not increasing: p=%d v=%g prev=%g", p, v, prev)
+		}
+		prev = v
+	}
+	if got := m.SymbolicAllgather(1, 4096); got != 0 {
+		t.Fatalf("p=1 symbolic allgather = %g", got)
+	}
+}
+
+func TestHybridReducesGlobalCollectives(t *testing.T) {
+	// Fig 18: the hybrid scheme wins for global communication because
+	// fewer ranks participate.
+	mach := arch.CHiC().Subset(32) // 128 cores
+	pure := &Model{Machine: mach}
+	hyb := &Model{Machine: mach, Hybrid: true}
+	cores := consecutiveCores(mach, 128)
+	perCore := 64 * 1024
+	tp := pure.Allgather([][]arch.CoreID{cores}, perCore)
+	th := hyb.Allgather([][]arch.CoreID{cores}, perCore)
+	if !(th < tp) {
+		t.Fatalf("hybrid allgather %g should beat pure MPI %g", th, tp)
+	}
+}
+
+func TestHybridRanks(t *testing.T) {
+	mach := arch.CHiC().Subset(4)
+	m := &Model{Machine: mach, Hybrid: true}
+	cores := consecutiveCores(mach, 16) // 4 nodes
+	reps, threads, _ := m.ranks(cores)
+	if len(reps) != 4 {
+		t.Fatalf("expected 4 hybrid ranks, got %d", len(reps))
+	}
+	for i, th := range threads {
+		if th != 4 {
+			t.Fatalf("rank %d has %d threads, want 4", i, th)
+		}
+	}
+	// ThreadsPerRank=2 splits each node into two ranks.
+	m2 := &Model{Machine: mach, Hybrid: true, ThreadsPerRank: 2}
+	reps2, _, _ := m2.ranks(cores)
+	if len(reps2) != 8 {
+		t.Fatalf("expected 8 ranks with 2 threads each, got %d", len(reps2))
+	}
+	// Altix-style shared memory threads may span nodes.
+	alt := arch.SGIAltix().Subset(4)
+	ma := &Model{Machine: alt, Hybrid: true, ThreadsPerRank: 16}
+	repsA, thA, spanA := ma.ranks(alt.AllCores())
+	if spanA != 4 {
+		t.Fatalf("Altix 16-thread rank spans %d nodes, want 4", spanA)
+	}
+	if len(repsA) != 1 || thA[0] != 16 {
+		t.Fatalf("Altix 16-thread rank: got %d ranks, threads %v", len(repsA), thA)
+	}
+}
+
+func TestHybridForkJoinChargesSmallOps(t *testing.T) {
+	// For tiny messages inside one node, hybrid pays fork-join overhead
+	// and must not be faster than pure MPI shared-memory collectives.
+	mach := arch.CHiC().Subset(1)
+	pure := &Model{Machine: mach}
+	hyb := &Model{Machine: mach, Hybrid: true}
+	cores := consecutiveCores(mach, 4)
+	tp := pure.Allgather([][]arch.CoreID{cores}, 8)
+	th := hyb.Allgather([][]arch.CoreID{cores}, 8)
+	if th < tp {
+		// One rank: no ring steps, only the fork-join term.
+		if th < mach.HybridForkJoin {
+			t.Fatalf("hybrid intra-node op %g below fork-join floor %g", th, tp)
+		}
+	}
+}
+
+func TestSmallAllgatherUsesRecursiveDoubling(t *testing.T) {
+	// Tiny payloads are latency-dominated: the recursive-doubling cost
+	// must be close to rounds*latency and far below the ring's
+	// (q-1)*latency.
+	mach := arch.CHiC().Subset(16) // 64 cores
+	m := &Model{Machine: mach}
+	cores := consecutiveCores(mach, 64)
+	small := m.Allgather([][]arch.CoreID{cores}, 64) // 64 B <= threshold
+	ringLatency := 63 * mach.Links[arch.LevelNetwork].Latency
+	if !(small < ringLatency/2) {
+		t.Fatalf("small allgather %g not latency-optimised (ring lower bound %g)", small, ringLatency)
+	}
+	// Just above the threshold the ring model applies and costs more.
+	large := m.Allgather([][]arch.CoreID{cores}, smallAllgather+1)
+	if !(small < large) {
+		t.Fatalf("algorithm crossover broken: %g vs %g", small, large)
+	}
+	// Consecutive mapping keeps the early doubling rounds on-node.
+	scat := scatteredCores(mach, 64)
+	cons := m.Allgather([][]arch.CoreID{cores}, 8)
+	scatT := m.Allgather([][]arch.CoreID{scat}, 8)
+	if cons > scatT*1.5 {
+		t.Fatalf("consecutive RD %g implausibly above scattered %g", cons, scatT)
+	}
+}

@@ -1,0 +1,239 @@
+// Package dynsched provides dynamic scheduling of M-tasks, the runtime
+// counterpart of the static layer-based algorithm: Section 2.2.2 of the
+// paper notes that "for a dynamic scheduling, subsets of cores are
+// assigned to M-tasks at runtime, depending on the availability of free
+// cores. This approach can also handle the dynamic or recursive creation
+// of M-tasks, which is suitable for adaptive computations or
+// divide-and-conquer algorithms. The Tlib library supports such
+// applications."
+//
+// Two facilities mirror Tlib:
+//
+//   - Ctx.SplitRun recursively splits the current core group into weighted
+//     subgroups, each executing a child M-task concurrently
+//     (divide-and-conquer task creation);
+//   - Pool schedules a dynamic stream of M-tasks with given core
+//     requirements onto free cores greedily.
+package dynsched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mtask/internal/runtime"
+)
+
+// Task is a dynamically created M-task: an SPMD body executed by every
+// core of its group.
+type Task func(ctx *Ctx) error
+
+// Ctx is the execution context of a dynamic M-task.
+type Ctx struct {
+	// Comm is the communicator of the cores executing this task.
+	Comm *runtime.Comm
+	// Depth is the recursive split depth (0 for the root task).
+	Depth int
+}
+
+// Run executes the root task on all cores of the world.
+func Run(w *runtime.World, root Task) error {
+	errs := make([]error, w.P)
+	w.Run(func(c *runtime.Comm) {
+		errs[c.Rank()] = root(&Ctx{Comm: c})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SplitSizes computes the subgroup sizes for q cores and the given
+// weights: proportional with a floor of one core each and largest-
+// remainder rounding (the same rule as the static scheduler's group
+// adjustment). It returns an error if there are more subgroups than
+// cores.
+func SplitSizes(q int, weights []float64) ([]int, error) {
+	g := len(weights)
+	if g == 0 {
+		return nil, fmt.Errorf("dynsched: empty split")
+	}
+	if g > q {
+		return nil, fmt.Errorf("dynsched: cannot split %d cores into %d subgroups", q, g)
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dynsched: negative weight %g", w)
+		}
+		total += w
+	}
+	sizes := make([]int, g)
+	if total == 0 {
+		for i := range sizes {
+			sizes[i] = q / g
+			if i < q%g {
+				sizes[i]++
+			}
+		}
+		return sizes, nil
+	}
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, g)
+	sum := 0
+	for i, w := range weights {
+		exact := float64(q) * w / total
+		sizes[i] = int(exact)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		fracs[i] = frac{i: i, f: exact - float64(int(exact))}
+		sum += sizes[i]
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].i < fracs[b].i
+	})
+	for k := 0; sum < q; k = (k + 1) % g {
+		sizes[fracs[k].i]++
+		sum++
+	}
+	for k := g - 1; sum > q; k = (k - 1 + g) % g {
+		if sizes[fracs[k].i] > 1 {
+			sizes[fracs[k].i]--
+			sum--
+		}
+	}
+	return sizes, nil
+}
+
+// SplitRun splits the current group into len(tasks) subgroups sized
+// proportionally to weights and runs tasks[i] on subgroup i, concurrently.
+// It is collective: every core of the group must call it with identical
+// arguments. It returns after all subtasks completed, propagating the
+// first error to every member.
+func (c *Ctx) SplitRun(weights []float64, tasks []Task) error {
+	if len(weights) != len(tasks) {
+		return fmt.Errorf("dynsched: %d weights for %d tasks", len(weights), len(tasks))
+	}
+	sizes, err := SplitSizes(c.Comm.Size(), weights)
+	if err != nil {
+		return err
+	}
+	// Subgroup of this rank from the size prefix sums.
+	rank := c.Comm.Rank()
+	color, off := 0, 0
+	for i, sz := range sizes {
+		if rank < off+sz {
+			color = i
+			break
+		}
+		off += sz
+	}
+	sub := c.Comm.Split(color, rank, runtime.Group)
+	taskErr := tasks[color](&Ctx{Comm: sub, Depth: c.Depth + 1})
+	// Propagate errors: exchange error strings over the parent group.
+	var mine any
+	if taskErr != nil {
+		mine = taskErr.Error()
+	}
+	for _, v := range c.Comm.ExchangeAny(mine) {
+		if v != nil {
+			return fmt.Errorf("dynsched: subtask failed: %s", v.(string))
+		}
+	}
+	return nil
+}
+
+// --- dynamic pool scheduling ---
+
+// PoolTask is an M-task submitted to a dynamic pool: it requires Cores
+// cores and runs Body on a fresh group of that size.
+type PoolTask struct {
+	Name  string
+	Cores int
+	Body  func(c *runtime.Comm) error
+}
+
+// Pool schedules a set of M-tasks onto P cores dynamically: whenever
+// enough cores are idle, the next task (largest requirement first, the
+// greedy rule of the static scheduler) grabs them. It returns the first
+// task error, if any.
+type Pool struct {
+	P int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	free  int
+	first error
+}
+
+// NewPool returns a dynamic pool over P cores.
+func NewPool(p int) (*Pool, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dynsched: pool needs at least one core")
+	}
+	pool := &Pool{P: p, free: p}
+	pool.cond = sync.NewCond(&pool.mu)
+	return pool, nil
+}
+
+// RunAll executes the tasks, each on its own goroutine group, never using
+// more than P cores at once. Tasks requiring more than P cores are
+// clamped to P (the paper's schedulers do the same via MaxWidth).
+func (p *Pool) RunAll(tasks []PoolTask) error {
+	ordered := append([]PoolTask(nil), tasks...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Cores > ordered[j].Cores })
+	var wg sync.WaitGroup
+	for _, t := range ordered {
+		need := t.Cores
+		if need < 1 {
+			need = 1
+		}
+		if need > p.P {
+			need = p.P
+		}
+		p.mu.Lock()
+		for p.free < need {
+			p.cond.Wait()
+		}
+		p.free -= need
+		p.mu.Unlock()
+
+		wg.Add(1)
+		go func(t PoolTask, need int) {
+			defer wg.Done()
+			w, err := runtime.NewWorld(need)
+			if err == nil {
+				errs := make([]error, need)
+				w.Run(func(c *runtime.Comm) {
+					errs[c.Rank()] = t.Body(c)
+				})
+				for _, e := range errs {
+					if e != nil {
+						err = e
+						break
+					}
+				}
+			}
+			p.mu.Lock()
+			if err != nil && p.first == nil {
+				p.first = fmt.Errorf("dynsched: task %q: %w", t.Name, err)
+			}
+			p.free += need
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}(t, need)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.first
+}

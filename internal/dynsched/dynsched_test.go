@@ -1,0 +1,239 @@
+package dynsched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"mtask/internal/runtime"
+)
+
+func TestSplitSizes(t *testing.T) {
+	sizes, err := SplitSizes(8, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0] != 6 || sizes[1] != 2 {
+		t.Fatalf("sizes = %v, want [6 2]", sizes)
+	}
+	// Zero weights split evenly.
+	sizes, _ = SplitSizes(7, []float64{0, 0, 0})
+	if sizes[0]+sizes[1]+sizes[2] != 7 {
+		t.Fatalf("even split %v", sizes)
+	}
+	if _, err := SplitSizes(2, []float64{1, 1, 1}); err == nil {
+		t.Fatal("oversplit accepted")
+	}
+	if _, err := SplitSizes(4, nil); err == nil {
+		t.Fatal("empty split accepted")
+	}
+	if _, err := SplitSizes(4, []float64{-1, 2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestRunRoot(t *testing.T) {
+	w, _ := runtime.NewWorld(6)
+	var ran atomic.Int64
+	err := Run(w, func(ctx *Ctx) error {
+		ran.Add(1)
+		if ctx.Depth != 0 {
+			t.Errorf("root depth %d", ctx.Depth)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("root ran on %d cores", ran.Load())
+	}
+}
+
+func TestSplitRunRecursive(t *testing.T) {
+	// Divide and conquer: sum an array by recursively halving both the
+	// data and the core group, like a Tlib program.
+	const n = 1 << 12
+	data := make([]float64, n)
+	var want float64
+	for i := range data {
+		data[i] = float64(i % 23)
+		want += data[i]
+	}
+	results := make(chan float64, 16)
+
+	var sumTask func(lo, hi int) Task
+	sumTask = func(lo, hi int) Task {
+		return func(ctx *Ctx) error {
+			if ctx.Comm.Size() == 1 || hi-lo < 64 {
+				var s float64
+				for _, v := range data[lo:hi] {
+					s += v
+				}
+				// Only rank 0 of the leaf group reports.
+				if ctx.Comm.Rank() == 0 {
+					results <- s
+				}
+				return nil
+			}
+			mid := (lo + hi) / 2
+			return ctx.SplitRun([]float64{1, 1}, []Task{sumTask(lo, mid), sumTask(mid, hi)})
+		}
+	}
+
+	w, _ := runtime.NewWorld(8)
+	if err := Run(w, sumTask(0, n)); err != nil {
+		t.Fatal(err)
+	}
+	close(results)
+	var got float64
+	for s := range results {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("recursive sum = %g, want %g", got, want)
+	}
+}
+
+func TestSplitRunWeighted(t *testing.T) {
+	w, _ := runtime.NewWorld(8)
+	var bigSize, smallSize atomic.Int64
+	err := Run(w, func(ctx *Ctx) error {
+		return ctx.SplitRun([]float64{3, 1}, []Task{
+			func(c *Ctx) error { bigSize.Store(int64(c.Comm.Size())); return nil },
+			func(c *Ctx) error { smallSize.Store(int64(c.Comm.Size())); return nil },
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigSize.Load() != 6 || smallSize.Load() != 2 {
+		t.Fatalf("weighted split sizes = %d, %d, want 6, 2", bigSize.Load(), smallSize.Load())
+	}
+}
+
+func TestSplitRunErrorPropagation(t *testing.T) {
+	w, _ := runtime.NewWorld(4)
+	err := Run(w, func(ctx *Ctx) error {
+		return ctx.SplitRun([]float64{1, 1}, []Task{
+			func(c *Ctx) error { return nil },
+			func(c *Ctx) error {
+				if c.Comm.Rank() == 0 {
+					return fmt.Errorf("boom")
+				}
+				return nil
+			},
+		})
+	})
+	if err == nil {
+		t.Fatal("subtask error not propagated")
+	}
+}
+
+func TestSplitRunArgMismatch(t *testing.T) {
+	w, _ := runtime.NewWorld(2)
+	err := Run(w, func(ctx *Ctx) error {
+		return ctx.SplitRun([]float64{1}, []Task{
+			func(c *Ctx) error { return nil },
+			func(c *Ctx) error { return nil },
+		})
+	})
+	if err == nil {
+		t.Fatal("weight/task mismatch accepted")
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	pool, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	var peak atomic.Int64
+	var active atomic.Int64
+	tasks := make([]PoolTask, 12)
+	for i := range tasks {
+		need := 1 + i%4
+		tasks[i] = PoolTask{
+			Name:  fmt.Sprintf("t%d", i),
+			Cores: need,
+			Body: func(c *runtime.Comm) error {
+				if c.Rank() == 0 {
+					cur := active.Add(int64(c.Size()))
+					for {
+						p := peak.Load()
+						if cur <= p || peak.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+					ran.Add(1)
+				}
+				c.Barrier()
+				if c.Rank() == 0 {
+					active.Add(-int64(c.Size()))
+				}
+				return nil
+			},
+		}
+	}
+	if err := pool.RunAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 12 {
+		t.Fatalf("ran %d tasks, want 12", ran.Load())
+	}
+	if peak.Load() > 8 {
+		t.Fatalf("pool oversubscribed: peak %d cores", peak.Load())
+	}
+}
+
+func TestPoolClampsAndErrors(t *testing.T) {
+	pool, _ := NewPool(4)
+	var size atomic.Int64
+	err := pool.RunAll([]PoolTask{
+		{Name: "big", Cores: 99, Body: func(c *runtime.Comm) error {
+			if c.Rank() == 0 {
+				size.Store(int64(c.Size()))
+			}
+			return nil
+		}},
+		{Name: "bad", Cores: 2, Body: func(c *runtime.Comm) error {
+			return fmt.Errorf("nope")
+		}},
+	})
+	if err == nil {
+		t.Fatal("task error swallowed")
+	}
+	if size.Load() != 4 {
+		t.Fatalf("oversized task got %d cores, want clamp to 4", size.Load())
+	}
+	if _, err := NewPool(0); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+// Property (testing/quick): split sizes always sum to q with a floor of
+// one core per subgroup.
+func TestQuickSplitSizes(t *testing.T) {
+	f := func(qRaw, gRaw uint8, w1, w2, w3 uint16) bool {
+		g := int(gRaw%3) + 1
+		q := g + int(qRaw%32)
+		weights := []float64{float64(w1), float64(w2), float64(w3)}[:g]
+		sizes, err := SplitSizes(q, weights)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import "fmt"
+
+// ContractionResult is the output of ContractChains: the contracted graph
+// and the mapping from original task ids to the id of the contracted node
+// containing them.
+type ContractionResult struct {
+	Graph *Graph
+	// NodeOf maps each original task id to its node in the contracted
+	// graph.
+	NodeOf []TaskID
+}
+
+// ContractChains implements step 1 of the layer-based scheduling algorithm
+// (Section 3.2): it identifies maximal linear chains of the M-task graph
+// and replaces each chain by a single node whose costs are the accumulated
+// computation and communication costs of the merged tasks. Merged nodes
+// record the original member ids in execution order, so that a schedule of
+// the contracted graph can be expanded back to the original tasks.
+//
+// A linear chain is a path M1 -> M2 -> ... -> Mn (n >= 2) where every node
+// except the entry has exactly one predecessor (its chain predecessor) and
+// every node except the exit has exactly one successor (its chain
+// successor). Start and stop markers and composed nodes are never merged.
+func ContractChains(g *Graph) *ContractionResult {
+	n := g.Len()
+	mergeable := func(id TaskID) bool {
+		k := g.Task(id).Kind
+		return k == KindBasic
+	}
+	// next[u] = v if u -> v is a chain link: u has exactly one
+	// successor v, v has exactly one predecessor u, both mergeable.
+	next := make([]TaskID, n)
+	prev := make([]TaskID, n)
+	for i := range next {
+		next[i] = None
+		prev[i] = None
+	}
+	for u := 0; u < n; u++ {
+		uid := TaskID(u)
+		if !mergeable(uid) || len(g.Succ(uid)) != 1 {
+			continue
+		}
+		v := g.Succ(uid)[0]
+		if !mergeable(v) || len(g.Pred(v)) != 1 {
+			continue
+		}
+		next[uid] = v
+		prev[v] = uid
+	}
+
+	res := &ContractionResult{Graph: New(g.Name + "/contracted"), NodeOf: make([]TaskID, n)}
+	for i := range res.NodeOf {
+		res.NodeOf[i] = None
+	}
+
+	// Walk each maximal chain from its head (a node with no chain
+	// predecessor) and emit one node per chain; non-chain tasks are
+	// copied as-is. Iterate in id order for determinism.
+	for u := 0; u < n; u++ {
+		uid := TaskID(u)
+		if res.NodeOf[uid] != None || prev[uid] != None {
+			continue // already emitted, or interior of some chain
+		}
+		if next[uid] == None {
+			// Singleton: copy the task.
+			t := *g.Task(uid)
+			t.Members = []TaskID{uid}
+			nid := res.Graph.AddTask(&t)
+			res.NodeOf[uid] = nid
+			continue
+		}
+		// Head of a chain of length >= 2: accumulate members.
+		var members []TaskID
+		var work float64
+		var commCount, bcastCount int
+		commBytes, bcastBytes := 0, 0
+		maxWidth := 0
+		for id := uid; id != None; id = next[id] {
+			t := g.Task(id)
+			members = append(members, id)
+			work += t.Work
+			commCount += t.CommCount
+			bcastCount += t.BcastCount
+			if t.CommBytes > commBytes {
+				commBytes = t.CommBytes
+			}
+			if t.BcastBytes > bcastBytes {
+				bcastBytes = t.BcastBytes
+			}
+			if t.MaxWidth > 0 && (maxWidth == 0 || t.MaxWidth < maxWidth) {
+				maxWidth = t.MaxWidth
+			}
+		}
+		exit := members[len(members)-1]
+		node := &Task{
+			Name:       fmt.Sprintf("chain[%s..%s]", g.Task(uid).Name, g.Task(exit).Name),
+			Kind:       KindBasic,
+			Work:       work,
+			CommBytes:  commBytes,
+			CommCount:  commCount,
+			BcastBytes: bcastBytes,
+			BcastCount: bcastCount,
+			OutBytes:   g.Task(exit).OutBytes,
+			MaxWidth:   maxWidth,
+			Members:    members,
+		}
+		nid := res.Graph.AddTask(node)
+		for _, m := range members {
+			res.NodeOf[m] = nid
+		}
+	}
+
+	// Re-create edges between contracted nodes. Chain-internal edges
+	// vanish; parallel edges merge (AddEdge accumulates bytes).
+	for _, e := range g.Edges() {
+		cf, ct := res.NodeOf[e.From], res.NodeOf[e.To]
+		if cf == ct {
+			continue
+		}
+		bytes := e.Bytes
+		if bytes == 0 {
+			bytes = g.Task(e.From).OutBytes
+		}
+		res.Graph.MustEdge(cf, ct, bytes)
+	}
+	return res
+}
+
+// Layer is a set of pairwise independent tasks scheduled together.
+type Layer []TaskID
+
+// Layers partitions the graph into layers of independent M-tasks (step 2 of
+// the layer-based algorithm): a greedy algorithm runs over the graph in a
+// breadth-first manner and puts as many independent nodes as possible into
+// the current layer — i.e. every task enters the earliest layer in which
+// all of its predecessors have already been placed. Start and stop markers
+// carry no computation and are not assigned to any layer.
+func Layers(g *Graph) []Layer {
+	n := g.Len()
+	indeg := make([]int, n)
+	skip := func(id TaskID) bool {
+		k := g.Task(id).Kind
+		return k == KindStart || k == KindStop
+	}
+	for id := 0; id < n; id++ {
+		indeg[id] = len(g.Pred(TaskID(id)))
+	}
+	placed := make([]bool, n)
+	// Start/stop markers are released immediately: treat them as placed
+	// once their predecessors are, but never emit them.
+	var layers []Layer
+	remaining := n
+	for remaining > 0 {
+		var ready []TaskID
+		for id := 0; id < n; id++ {
+			if !placed[id] && indeg[id] == 0 {
+				ready = append(ready, TaskID(id))
+			}
+		}
+		if len(ready) == 0 {
+			// Cycle: give up (Validate reports this properly).
+			break
+		}
+		var layer Layer
+		for _, id := range ready {
+			placed[id] = true
+			remaining--
+			for _, s := range g.Succ(id) {
+				indeg[s]--
+			}
+			if !skip(id) {
+				layer = append(layer, id)
+			}
+		}
+		if len(layer) > 0 {
+			layers = append(layers, layer)
+		}
+	}
+	return layers
+}

@@ -1,0 +1,389 @@
+// Package graph implements M-task graphs: directed acyclic graphs whose
+// nodes are multiprocessor tasks (M-tasks) and whose edges are input-output
+// relations between tasks (Section 2.1 of the paper). The package provides
+// validation, topological ordering, independence tests, the linear-chain
+// contraction of the layer-based scheduling algorithm (Section 3.2, step 1)
+// and the greedy partitioning into layers of independent tasks (step 2).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within one Graph.
+type TaskID int
+
+// None is the invalid task id.
+const None TaskID = -1
+
+// Kind distinguishes plain computational tasks from the structural start
+// and stop markers that the CM-task compiler inserts, and from composed
+// tasks that contain a whole subgraph (e.g. a while loop whose body is a
+// lower-level M-task graph).
+type Kind int
+
+const (
+	// KindBasic is an ordinary M-task carrying computation.
+	KindBasic Kind = iota
+	// KindStart is the unique entry marker (no computation).
+	KindStart
+	// KindStop is the unique exit marker (no computation).
+	KindStop
+	// KindComposed is a node representing an entire subgraph, e.g. a
+	// loop whose body is scheduled hierarchically.
+	KindComposed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBasic:
+		return "basic"
+	case KindStart:
+		return "start"
+	case KindStop:
+		return "stop"
+	case KindComposed:
+		return "composed"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Task is one node of an M-task graph.
+type Task struct {
+	ID   TaskID
+	Name string
+	Kind Kind
+
+	// Work is the sequential computation time Tcomp(M) of the task in
+	// abstract work units (converted to seconds by the cost model).
+	Work float64
+
+	// CommBytes is the payload size in bytes of the task-internal
+	// collective communication (e.g. the multi-broadcast of a micro
+	// step); CommCount is how many such collectives one activation
+	// executes. Zero means a communication-free task.
+	CommBytes int
+	CommCount int
+
+	// BcastBytes/BcastCount describe task-internal broadcast operations
+	// (e.g. the pivot-row broadcasts of the DIIRK method's distributed
+	// linear solver).
+	BcastBytes int
+	BcastCount int
+
+	// OutBytes is the size of the task's output data, used for
+	// re-distribution costs on outgoing edges when no explicit edge
+	// size is given.
+	OutBytes int
+
+	// MaxWidth bounds the number of cores the task can use (0 = no
+	// bound). Used e.g. for tasks with limited inner parallelism.
+	MaxWidth int
+
+	// Members lists the original task ids merged into this node by
+	// linear-chain contraction (nil for original tasks).
+	Members []TaskID
+
+	// Sub is the lower-level graph of a composed node, if any.
+	Sub *Graph
+
+	// Meta carries application-specific data (e.g. the (i,j) micro-step
+	// indices of the extrapolation method, or a zone index).
+	Meta map[string]int
+}
+
+// Edge is a directed input-output relation between two tasks. Bytes is the
+// amount of data re-distributed along the edge if producer and consumer run
+// on different core groups (0 means: use the producer's OutBytes).
+type Edge struct {
+	From, To TaskID
+	Bytes    int
+}
+
+// Graph is an M-task graph. The zero value is an empty graph ready to use.
+type Graph struct {
+	Name  string
+	tasks []*Task
+	succ  [][]TaskID
+	pred  [][]TaskID
+	edges map[[2]TaskID]*Edge
+}
+
+// New returns an empty named graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, edges: make(map[[2]TaskID]*Edge)}
+}
+
+// AddTask adds a task and returns its id. The task's ID field is set by the
+// graph; any preset value is ignored.
+func (g *Graph) AddTask(t *Task) TaskID {
+	if g.edges == nil {
+		g.edges = make(map[[2]TaskID]*Edge)
+	}
+	id := TaskID(len(g.tasks))
+	t.ID = id
+	g.tasks = append(g.tasks, t)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddBasic is a convenience for adding a basic computational task.
+func (g *Graph) AddBasic(name string, work float64) TaskID {
+	return g.AddTask(&Task{Name: name, Kind: KindBasic, Work: work})
+}
+
+// AddEdge adds the input-output relation from -> to carrying the given
+// number of bytes. Duplicate edges are merged (bytes accumulate). Self
+// edges are rejected.
+func (g *Graph) AddEdge(from, to TaskID, bytes int) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("graph %s: edge %d->%d references unknown task", g.Name, from, to)
+	}
+	if from == to {
+		return fmt.Errorf("graph %s: self edge on task %d", g.Name, from)
+	}
+	key := [2]TaskID{from, to}
+	if e, ok := g.edges[key]; ok {
+		e.Bytes += bytes
+		return nil
+	}
+	g.edges[key] = &Edge{From: from, To: to, Bytes: bytes}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error, for graph construction code
+// whose task ids are known-correct by construction.
+func (g *Graph) MustEdge(from, to TaskID, bytes int) {
+	if err := g.AddEdge(from, to, bytes); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id TaskID) bool { return id >= 0 && int(id) < len(g.tasks) }
+
+// Task returns the task with the given id.
+func (g *Graph) Task(id TaskID) *Task { return g.tasks[id] }
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Tasks returns all tasks in id order. The slice is shared; do not modify.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Succ returns the successor ids of a task. Shared slice; do not modify.
+func (g *Graph) Succ(id TaskID) []TaskID { return g.succ[id] }
+
+// Pred returns the predecessor ids of a task. Shared slice; do not modify.
+func (g *Graph) Pred(id TaskID) []TaskID { return g.pred[id] }
+
+// Edge returns the edge from->to, or nil.
+func (g *Graph) Edge(from, to TaskID) *Edge { return g.edges[[2]TaskID{from, to}] }
+
+// Edges returns all edges in deterministic (from, to) order.
+func (g *Graph) Edges() []*Edge {
+	es := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// EdgeBytes returns the re-distribution payload of the edge from->to,
+// falling back to the producer's OutBytes when the edge carries no explicit
+// size.
+func (g *Graph) EdgeBytes(from, to TaskID) int {
+	e := g.Edge(from, to)
+	if e == nil {
+		return 0
+	}
+	if e.Bytes > 0 {
+		return e.Bytes
+	}
+	return g.tasks[from].OutBytes
+}
+
+// TotalWork returns the sum of the Work of all tasks.
+func (g *Graph) TotalWork() float64 {
+	var w float64
+	for _, t := range g.tasks {
+		w += t.Work
+	}
+	return w
+}
+
+// TopoOrder returns a topological order of the task ids, or an error if the
+// graph contains a cycle. The order is deterministic (Kahn's algorithm with
+// a sorted ready set, smallest id first).
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	indeg := make([]int, len(g.tasks))
+	for id := range g.tasks {
+		indeg[id] = len(g.pred[id])
+	}
+	var ready []TaskID
+	for id := range g.tasks {
+		if indeg[id] == 0 {
+			ready = append(ready, TaskID(id))
+		}
+	}
+	order := make([]TaskID, 0, len(g.tasks))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(g.tasks) {
+		return nil, fmt.Errorf("graph %s: cycle detected (%d of %d tasks ordered)", g.Name, len(order), len(g.tasks))
+	}
+	return order, nil
+}
+
+// Validate checks that the graph is a DAG and that start/stop markers, if
+// present, are unique and are a source / sink respectively.
+func (g *Graph) Validate() error {
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	starts, stops := 0, 0
+	for _, t := range g.tasks {
+		switch t.Kind {
+		case KindStart:
+			starts++
+			if len(g.pred[t.ID]) != 0 {
+				return fmt.Errorf("graph %s: start node %d has predecessors", g.Name, t.ID)
+			}
+		case KindStop:
+			stops++
+			if len(g.succ[t.ID]) != 0 {
+				return fmt.Errorf("graph %s: stop node %d has successors", g.Name, t.ID)
+			}
+		}
+		if t.Work < 0 {
+			return fmt.Errorf("graph %s: task %d has negative work", g.Name, t.ID)
+		}
+	}
+	if starts > 1 || stops > 1 {
+		return fmt.Errorf("graph %s: %d start and %d stop nodes (at most one each)", g.Name, starts, stops)
+	}
+	return nil
+}
+
+// AddStartStop inserts a unique start node preceding all sources and a
+// unique stop node succeeding all sinks, as the CM-task compiler does
+// (Section 2.2.3). It returns the two new ids. Tasks added later are not
+// connected automatically.
+func (g *Graph) AddStartStop() (start, stop TaskID) {
+	var sources, sinks []TaskID
+	for id := range g.tasks {
+		if len(g.pred[id]) == 0 {
+			sources = append(sources, TaskID(id))
+		}
+		if len(g.succ[id]) == 0 {
+			sinks = append(sinks, TaskID(id))
+		}
+	}
+	start = g.AddTask(&Task{Name: "start", Kind: KindStart})
+	stop = g.AddTask(&Task{Name: "stop", Kind: KindStop})
+	for _, s := range sources {
+		g.MustEdge(start, s, 0)
+	}
+	for _, s := range sinks {
+		g.MustEdge(s, stop, 0)
+	}
+	return start, stop
+}
+
+// Reachable reports whether there is a directed path from a to b (a == b
+// counts as reachable).
+func (g *Graph) Reachable(a, b TaskID) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(g.tasks))
+	stack := []TaskID{a}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succ[id] {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Independent reports whether tasks a and b are independent, i.e. not
+// connected by a path in either direction. Independent tasks may be
+// executed concurrently on disjoint core groups.
+func (g *Graph) Independent(a, b TaskID) bool {
+	return a != b && !g.Reachable(a, b) && !g.Reachable(b, a)
+}
+
+// CriticalPathWork returns the maximum total Work along any directed path.
+func (g *Graph) CriticalPathWork() float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	finish := make([]float64, len(g.tasks))
+	var maxf float64
+	for _, id := range order {
+		f := g.tasks[id].Work
+		var best float64
+		for _, p := range g.pred[id] {
+			if finish[p] > best {
+				best = finish[p]
+			}
+		}
+		finish[id] = best + f
+		if finish[id] > maxf {
+			maxf = finish[id]
+		}
+	}
+	return maxf
+}
+
+// Clone returns a deep copy of the graph structure. Task Meta maps and
+// Members slices are copied; Sub graphs are shared (they are scheduled
+// hierarchically and never mutated by scheduling).
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, t := range g.tasks {
+		nt := *t
+		if t.Meta != nil {
+			nt.Meta = make(map[string]int, len(t.Meta))
+			for k, v := range t.Meta {
+				nt.Meta[k] = v
+			}
+		}
+		if t.Members != nil {
+			nt.Members = append([]TaskID(nil), t.Members...)
+		}
+		c.AddTask(&nt)
+	}
+	for _, e := range g.Edges() {
+		c.MustEdge(e.From, e.To, e.Bytes)
+	}
+	return c
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickDAG deterministically builds a DAG from compact random parameters.
+func quickDAG(seed int64, n int, density float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("quick")
+	for i := 0; i < n; i++ {
+		g.AddTask(&Task{
+			Name:      "t",
+			Kind:      KindBasic,
+			Work:      float64(1 + rng.Intn(50)),
+			CommBytes: rng.Intn(1 << 12),
+			CommCount: rng.Intn(3),
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.MustEdge(TaskID(i), TaskID(j), 1+rng.Intn(256))
+			}
+		}
+	}
+	return g
+}
+
+// Property: chain contraction preserves total work, task coverage and
+// acyclicity for arbitrary DAGs.
+func TestQuickContractionInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		density := float64(dRaw%40) / 100
+		g := quickDAG(seed, n, density)
+		res := ContractChains(g)
+		if err := res.Graph.Validate(); err != nil {
+			return false
+		}
+		if res.Graph.TotalWork() != g.TotalWork() {
+			return false
+		}
+		// Every original task appears in exactly one node's members.
+		count := make([]int, g.Len())
+		for _, node := range res.Graph.Tasks() {
+			for _, m := range node.Members {
+				count[m]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		// Contracted reachability preserves original edges.
+		for _, e := range g.Edges() {
+			cf, ct := res.NodeOf[e.From], res.NodeOf[e.To]
+			if cf != ct && !res.Graph.Reachable(cf, ct) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: layering covers every task exactly once and respects edges for
+// arbitrary DAGs.
+func TestQuickLayerInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		density := float64(dRaw%40) / 100
+		g := quickDAG(seed, n, density)
+		layers := Layers(g)
+		layerOf := make(map[TaskID]int)
+		total := 0
+		for li, layer := range layers {
+			for _, id := range layer {
+				if _, dup := layerOf[id]; dup {
+					return false
+				}
+				layerOf[id] = li
+				total++
+			}
+		}
+		if total != n {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if layerOf[e.From] >= layerOf[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopoOrder is a permutation consistent with all edges.
+func TestQuickTopoOrder(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		g := quickDAG(seed, n, float64(dRaw%40)/100)
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make(map[TaskID]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		if len(pos) != n {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/cluster"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+)
+
+func TestClasses(t *testing.T) {
+	if ClassC().Zones() != 256 {
+		t.Fatalf("class C zones = %d, want 256", ClassC().Zones())
+	}
+	if ClassD().Zones() != 1024 {
+		t.Fatalf("class D zones = %d, want 1024", ClassD().Zones())
+	}
+}
+
+func TestMakeZonesSPMZEqual(t *testing.T) {
+	zones := MakeZones(SPMZ, ClassC())
+	if len(zones) != 256 {
+		t.Fatalf("%d zones", len(zones))
+	}
+	w0 := zones[0].Work
+	for _, z := range zones {
+		if z.Work != w0 {
+			t.Fatalf("SP-MZ zones unequal: %g vs %g", z.Work, w0)
+		}
+		if len(z.Neighbors) != 4 {
+			t.Fatalf("zone %d has %d neighbors", z.ID, len(z.Neighbors))
+		}
+		for _, nid := range z.Neighbors {
+			if z.BorderBytes[nid] <= 0 {
+				t.Fatalf("zone %d missing border bytes to %d", z.ID, nid)
+			}
+		}
+	}
+	if got := Imbalance(zones); got != 1 {
+		t.Fatalf("SP-MZ imbalance = %g, want 1", got)
+	}
+}
+
+func TestMakeZonesBTMZImbalance(t *testing.T) {
+	zones := MakeZones(BTMZ, ClassD())
+	imb := Imbalance(zones)
+	// The NPB-MZ geometric sizing targets a ~20x spread; integer
+	// rounding makes it approximate.
+	if imb < 10 || imb > 40 {
+		t.Fatalf("BT-MZ imbalance = %g, want roughly 20", imb)
+	}
+	// Total mesh is preserved in x per row.
+	sum := 0
+	for xi := 0; xi < ClassD().XZones; xi++ {
+		sum += zones[xi].NX
+	}
+	if sum != ClassD().GX {
+		t.Fatalf("BT-MZ row width sums to %d, want %d", sum, ClassD().GX)
+	}
+}
+
+func TestAssignContiguous(t *testing.T) {
+	zones := MakeZones(SPMZ, ClassC())
+	for _, g := range []int{1, 4, 16, 64, 256} {
+		groups, err := AssignContiguous(zones, g)
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		if len(groups) != g {
+			t.Fatalf("g=%d: built %d groups", g, len(groups))
+		}
+		seen := make(map[int]bool)
+		prevEnd := -1
+		for _, grp := range groups {
+			if len(grp) == 0 {
+				t.Fatalf("g=%d: empty group", g)
+			}
+			for _, id := range grp {
+				if seen[id] {
+					t.Fatalf("zone %d in two groups", id)
+				}
+				seen[id] = true
+				if id != prevEnd+1 {
+					t.Fatalf("g=%d: group not contiguous at zone %d", g, id)
+				}
+				prevEnd = id
+			}
+		}
+		if len(seen) != len(zones) {
+			t.Fatalf("g=%d: covered %d zones", g, len(seen))
+		}
+	}
+	if _, err := AssignContiguous(zones, 0); err == nil {
+		t.Fatal("g=0 accepted")
+	}
+	if _, err := AssignContiguous(zones, len(zones)+1); err == nil {
+		t.Fatal("too many groups accepted")
+	}
+}
+
+func TestAssignContiguousBalancesBTMZ(t *testing.T) {
+	zones := MakeZones(BTMZ, ClassC())
+	groups, err := AssignContiguous(zones, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := TotalWork(zones)
+	avg := total / 16
+	for gi, grp := range groups {
+		w := GroupWork(zones, grp)
+		if w > 2.2*avg {
+			t.Fatalf("group %d work %g exceeds 2.2x average %g", gi, w, avg)
+		}
+	}
+}
+
+func TestBuildProgramSimulates(t *testing.T) {
+	mach := arch.CHiC().Subset(16) // 64 cores
+	model := &cost.Model{Machine: mach}
+	zones := MakeZones(SPMZ, ClassW())
+	groups, _ := AssignContiguous(zones, 4)
+	prog, err := BuildProgram(mach, SPMZ, zones, groups, core.Scattered{}, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Simulate(model, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// Border crossings between groups produce re-distribution time.
+	if res.RedistTime <= 0 {
+		t.Fatal("no redistribution time despite cross-group borders")
+	}
+	// Errors: too few cores, bad steps.
+	if _, err := BuildProgram(mach, SPMZ, zones, groups, core.Scattered{}, 2, 1); err == nil {
+		t.Fatal("2 cores for 4 groups accepted")
+	}
+	if _, err := BuildProgram(mach, SPMZ, zones, groups, core.Scattered{}, 64, 0); err == nil {
+		t.Fatal("0 steps accepted")
+	}
+}
+
+func TestProgramGroupCountTradeoff(t *testing.T) {
+	// One group (all zones data-parallel-ish) must lose against a
+	// medium group count: the within-zone collectives over the full
+	// machine dominate (Fig. 17's "low number of groups not
+	// competitive").
+	mach := arch.CHiC().Subset(16)
+	model := &cost.Model{Machine: mach}
+	zones := MakeZones(SPMZ, ClassW()) // 16 zones
+	run := func(g int) float64 {
+		groups, err := AssignContiguous(zones, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := BuildProgram(mach, SPMZ, zones, groups, core.Scattered{}, 64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cluster.Simulate(model, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	one := run(1)
+	four := run(4)
+	if !(four < one) {
+		t.Fatalf("4 groups (%g) should beat 1 group (%g)", four, one)
+	}
+}
+
+func TestThomasSolver(t *testing.T) {
+	// Solve (1+2a) x_i - a x_{i-1} - a x_{i+1} = d_i against a direct
+	// reference.
+	a, b := 0.3, 1.6
+	d := []float64{1, 2, 3, 4, 5}
+	orig := append([]float64(nil), d...)
+	scratch := make([]float64, len(d))
+	thomas(a, b, d, scratch)
+	// Verify residual.
+	for i := range d {
+		r := b * d[i]
+		if i > 0 {
+			r -= a * d[i-1]
+		}
+		if i < len(d)-1 {
+			r -= a * d[i+1]
+		}
+		if math.Abs(r-orig[i]) > 1e-12 {
+			t.Fatalf("residual %d: %g vs %g", i, r, orig[i])
+		}
+	}
+}
+
+func TestMultizoneParallelMatchesSequential(t *testing.T) {
+	seq := NewMultizone(ClassW())
+	par := NewMultizone(ClassW())
+	for s := 0; s < 3; s++ {
+		seq.Step(1)
+		par.Step(8)
+	}
+	if seq.Checksum() != par.Checksum() {
+		t.Fatalf("checksums differ: %g vs %g", seq.Checksum(), par.Checksum())
+	}
+	for zid := range seq.Fields {
+		for i, v := range seq.Fields[zid].u {
+			if v != par.Fields[zid].u[i] {
+				t.Fatalf("zone %d differs at %d: %g vs %g", zid, i, v, par.Fields[zid].u[i])
+			}
+		}
+	}
+}
+
+func TestMultizoneDiffusionStable(t *testing.T) {
+	m := NewMultizone(ClassW())
+	initial := m.MaxAbs()
+	for s := 0; s < 5; s++ {
+		m.Step(4)
+	}
+	final := m.MaxAbs()
+	if math.IsNaN(final) || final > initial*1.01 {
+		t.Fatalf("diffusion not stable: %g -> %g", initial, final)
+	}
+	if final == 0 {
+		t.Fatal("field collapsed to zero")
+	}
+}
+
+func TestBorderExchangePeriodic(t *testing.T) {
+	m := NewMultizone(ClassW())
+	// After the initial exchange, the left ghost of zone (0, yi) must
+	// equal the right edge of the last zone in the row.
+	c := m.Class
+	for yi := 0; yi < c.YZones; yi++ {
+		z0 := m.Zones[yi*c.XZones]
+		zl := m.Zones[yi*c.XZones+c.XZones-1]
+		f0 := m.Fields[z0.ID]
+		fl := m.Fields[zl.ID]
+		for j := 0; j < z0.NY; j++ {
+			if f0.Get(-1, j, 0) != fl.Get(zl.NX-1, j, 0) {
+				t.Fatalf("periodic ghost mismatch in row %d", yi)
+			}
+		}
+	}
+}

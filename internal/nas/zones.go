@@ -1,0 +1,243 @@
+// Package nas implements a multi-zone benchmark workload modelled on the
+// NAS parallel benchmarks multi-zone versions SP-MZ and BT-MZ used in
+// Section 4.6 of the paper: the overall discretization mesh is divided
+// into zones; within a time step all zones are computed independently
+// (each zone is one M-task), and at the end of a time step overlapping
+// zones exchange border values.
+//
+// SP-MZ divides the mesh into equally sized zones; BT-MZ sizes the zones
+// following a geometric progression in the x direction so that the largest
+// zone is roughly 20 times the smallest, creating the load imbalance that
+// makes the assignment of zones to core groups an issue (Fig. 17).
+//
+// The package provides the zone geometry and cost model for the
+// cluster-simulator experiments, and a small functional ADI-style zone
+// solver with real border exchanges for the goroutine runtime.
+package nas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Benchmark selects the zone solver variant.
+type Benchmark int
+
+const (
+	// SPMZ is the Scalar Pentadiagonal multi-zone benchmark (equal
+	// zones).
+	SPMZ Benchmark = iota
+	// BTMZ is the Block Tridiagonal multi-zone benchmark (geometric
+	// zone sizes).
+	BTMZ
+)
+
+func (b Benchmark) String() string {
+	if b == BTMZ {
+		return "BT-MZ"
+	}
+	return "SP-MZ"
+}
+
+// Class describes a benchmark class: the aggregate mesh and the zone grid,
+// following the NPB-MZ specification (class C: 480x320x28 points in
+// 16x16 = 256 zones; class D: 1632x1216x34 points in 32x32 = 1024 zones).
+type Class struct {
+	Name           string
+	GX, GY, GZ     int // aggregate mesh
+	XZones, YZones int // zone grid
+}
+
+// ClassC returns benchmark class C (256 zones).
+func ClassC() Class { return Class{Name: "C", GX: 480, GY: 320, GZ: 28, XZones: 16, YZones: 16} }
+
+// ClassD returns benchmark class D (1024 zones).
+func ClassD() Class { return Class{Name: "D", GX: 1632, GY: 1216, GZ: 34, XZones: 32, YZones: 32} }
+
+// ClassW returns a miniature class for functional tests.
+func ClassW() Class { return Class{Name: "W", GX: 64, GY: 48, GZ: 8, XZones: 4, YZones: 4} }
+
+// Zones returns the zone count of the class.
+func (c Class) Zones() int { return c.XZones * c.YZones }
+
+// Zone is one zone of the multi-zone mesh: its grid extent, its work per
+// time step, and its border-exchange partners.
+type Zone struct {
+	ID         int
+	XI, YI     int // position in the zone grid
+	NX, NY, NZ int
+
+	// Work is the floating-point work of one time step of the zone's
+	// solver.
+	Work float64
+
+	// Neighbors lists the ids of adjacent zones (exchange partners);
+	// BorderBytes the per-step exchange volume to each.
+	Neighbors   []int
+	BorderBytes map[int]int
+}
+
+// flopsPerCell is the per-grid-point per-step work of the two solvers.
+// The BT solver performs roughly 2.5x the work of the SP solver per point,
+// matching the NPB ratio of the two.
+func flopsPerCell(b Benchmark) float64 {
+	if b == BTMZ {
+		return 5000
+	}
+	return 2000
+}
+
+// btWidths returns the x widths of the zones of one row for BT-MZ: a
+// geometric progression normalised to total gx, with a largest/smallest
+// ratio of about 20, as in the NPB-MZ reference.
+func btWidths(gx, xzones int) []int {
+	if xzones == 1 {
+		return []int{gx}
+	}
+	const ratio = 20.0
+	r := math.Pow(ratio, 1/float64(xzones-1))
+	weights := make([]float64, xzones)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(r, float64(i))
+		sum += weights[i]
+	}
+	widths := make([]int, xzones)
+	used := 0
+	for i := range widths {
+		widths[i] = int(float64(gx) * weights[i] / sum)
+		if widths[i] < 2 {
+			widths[i] = 2
+		}
+		used += widths[i]
+	}
+	// Adjust the largest zone to consume rounding remainders.
+	widths[xzones-1] += gx - used
+	if widths[xzones-1] < 2 {
+		widths[xzones-1] = 2
+	}
+	return widths
+}
+
+// MakeZones constructs the zones of the benchmark with geometry, work and
+// border-exchange volumes. Borders connect zones adjacent in the zone
+// grid (with wrap-around, as the NPB-MZ meshes are periodic in x and y).
+func MakeZones(b Benchmark, c Class) []Zone {
+	xw := make([]int, c.XZones)
+	if b == BTMZ {
+		copy(xw, btWidths(c.GX, c.XZones))
+	} else {
+		for i := range xw {
+			xw[i] = c.GX / c.XZones
+		}
+	}
+	yw := c.GY / c.YZones
+	nz := c.GZ
+	fpc := flopsPerCell(b)
+
+	zones := make([]Zone, 0, c.Zones())
+	id := func(xi, yi int) int { return yi*c.XZones + xi }
+	for yi := 0; yi < c.YZones; yi++ {
+		for xi := 0; xi < c.XZones; xi++ {
+			nx := xw[xi]
+			z := Zone{
+				ID: id(xi, yi), XI: xi, YI: yi,
+				NX: nx, NY: yw, NZ: nz,
+				Work:        fpc * float64(nx*yw*nz),
+				BorderBytes: make(map[int]int),
+			}
+			// 5 solution variables, 8 bytes, full face per
+			// neighbour.
+			addN := func(nid, cells int) {
+				if nid == z.ID {
+					return
+				}
+				z.Neighbors = append(z.Neighbors, nid)
+				z.BorderBytes[nid] = 5 * 8 * cells
+			}
+			left := id((xi-1+c.XZones)%c.XZones, yi)
+			right := id((xi+1)%c.XZones, yi)
+			down := id(xi, (yi-1+c.YZones)%c.YZones)
+			up := id(xi, (yi+1)%c.YZones)
+			addN(left, yw*nz)
+			addN(right, yw*nz)
+			addN(down, nx*nz)
+			addN(up, nx*nz)
+			zones = append(zones, z)
+		}
+	}
+	return zones
+}
+
+// TotalWork returns the summed per-step work of the zones.
+func TotalWork(zones []Zone) float64 {
+	var w float64
+	for _, z := range zones {
+		w += z.Work
+	}
+	return w
+}
+
+// Imbalance returns the ratio of the largest to the smallest zone work.
+func Imbalance(zones []Zone) float64 {
+	min, max := math.Inf(1), 0.0
+	for _, z := range zones {
+		if z.Work < min {
+			min = z.Work
+		}
+		if z.Work > max {
+			max = z.Work
+		}
+	}
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// AssignContiguous partitions the zones (in row-major zone-grid order)
+// into g contiguous groups with balanced work: it walks the zone sequence
+// and cuts a group whenever the accumulated work reaches the remaining
+// average. Contiguity keeps neighbouring zones in the same group, which is
+// what the paper's best configurations do ("assigning 16 neighboring zones
+// to each group"). It returns the zone ids per group.
+func AssignContiguous(zones []Zone, g int) ([][]int, error) {
+	if g < 1 || g > len(zones) {
+		return nil, fmt.Errorf("nas: cannot build %d groups from %d zones", g, len(zones))
+	}
+	total := TotalWork(zones)
+	groups := make([][]int, 0, g)
+	var cur []int
+	var acc float64
+	remaining := total
+	for i, z := range zones {
+		cur = append(cur, z.ID)
+		acc += z.Work
+		zonesLeft := len(zones) - i - 1
+		groupsLeft := g - len(groups) - 1
+		// Cut when this group reached the average of the remaining
+		// work, but never leave fewer zones than groups.
+		if groupsLeft > 0 && (acc >= remaining/float64(groupsLeft+1) || zonesLeft == groupsLeft) {
+			groups = append(groups, cur)
+			remaining -= acc
+			cur = nil
+			acc = 0
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	if len(groups) != g {
+		return nil, fmt.Errorf("nas: built %d groups, want %d", len(groups), g)
+	}
+	return groups, nil
+}
+
+// GroupWork returns the summed work of a zone id group.
+func GroupWork(zones []Zone, group []int) float64 {
+	var w float64
+	for _, id := range group {
+		w += zones[id].Work
+	}
+	return w
+}

@@ -1,0 +1,175 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical helpers shared by the solvers: Lagrange polynomial integrals
+// for collocation/Adams coefficients and Gauss-Legendre nodes for the
+// (DI)IRK stage abscissas.
+
+// polyMul multiplies two polynomials in coefficient form (index = power).
+func polyMul(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, ai := range a {
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}
+
+// lagrangeCoeffs returns the coefficient form of the Lagrange basis
+// polynomial L_j over the given nodes.
+func lagrangeCoeffs(nodes []float64, j int) []float64 {
+	coeffs := []float64{1}
+	for k, ck := range nodes {
+		if k == j {
+			continue
+		}
+		den := nodes[j] - ck
+		coeffs = polyMul(coeffs, []float64{-ck / den, 1 / den})
+	}
+	return coeffs
+}
+
+// polyIntegral integrates a polynomial in coefficient form from a to b.
+func polyIntegral(coeffs []float64, a, b float64) float64 {
+	var s float64
+	for i, c := range coeffs {
+		p := float64(i + 1)
+		s += c / p * (math.Pow(b, p) - math.Pow(a, p))
+	}
+	return s
+}
+
+// LagrangeIntegral returns the integral of the Lagrange basis polynomial
+// L_j over [a, b] for the given interpolation nodes. These integrals are
+// the collocation weights of the IRK methods and the Adams coefficients of
+// the PAB/PABM methods.
+func LagrangeIntegral(nodes []float64, j int, a, b float64) float64 {
+	if j < 0 || j >= len(nodes) {
+		panic(fmt.Sprintf("ode: Lagrange index %d out of range", j))
+	}
+	return polyIntegral(lagrangeCoeffs(nodes, j), a, b)
+}
+
+// GaussNodes returns the K Gauss-Legendre collocation nodes shifted to
+// (0, 1): the roots of the shifted Legendre polynomial P_K(2x - 1),
+// computed by Newton iteration.
+func GaussNodes(k int) []float64 {
+	if k < 1 {
+		panic("ode: GaussNodes needs k >= 1")
+	}
+	nodes := make([]float64, k)
+	for i := 0; i < k; i++ {
+		// Chebyshev-like initial guess on [-1, 1].
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(k) + 0.5))
+		for iter := 0; iter < 100; iter++ {
+			p, dp := legendre(k, x)
+			dx := p / dp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[k-1-i] = (x + 1) / 2 // shift to (0,1), ascending order
+	}
+	return nodes
+}
+
+// legendre evaluates the Legendre polynomial P_k and its derivative at x
+// via the three-term recurrence.
+func legendre(k int, x float64) (p, dp float64) {
+	p0, p1 := 1.0, x
+	if k == 0 {
+		return 1, 0
+	}
+	for j := 2; j <= k; j++ {
+		p0, p1 = p1, ((2*float64(j)-1)*x*p1-(float64(j)-1)*p0)/float64(j)
+	}
+	dp = float64(k) * (x*p1 - p0) / (x*x - 1)
+	return p1, dp
+}
+
+// CollocationRK holds the Butcher tableau of a K-stage collocation
+// Runge-Kutta method: A[i][j] = integral of L_j over [0, c_i], B[j] =
+// integral of L_j over [0, 1].
+type CollocationRK struct {
+	K int
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// NewGaussRK constructs the K-stage Gauss collocation method (order 2K),
+// the corrector of the paper's IRK and DIIRK solvers.
+func NewGaussRK(k int) *CollocationRK {
+	c := GaussNodes(k)
+	rk := &CollocationRK{K: k, C: c, B: make([]float64, k), A: make([][]float64, k)}
+	for i := 0; i < k; i++ {
+		rk.A[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			rk.A[i][j] = LagrangeIntegral(c, j, 0, c[i])
+		}
+	}
+	for j := 0; j < k; j++ {
+		rk.B[j] = LagrangeIntegral(c, j, 0, 1)
+	}
+	return rk
+}
+
+// AdamsCoeffs holds the coefficients of the K-stage parallel
+// Adams-Bashforth(-Moulton) block methods: the stages of step n+1 sit at
+// abscissas 1 + c_i relative to step n, and are predicted (PAB) by
+// integrating the interpolation polynomial through the previous stage
+// derivatives, or corrected (PABM) by additionally interpolating the new
+// stage's own derivative.
+type AdamsCoeffs struct {
+	K int
+	C []float64
+	// Beta[i][j]: PAB predictor weight of F_j^n for stage i of step n+1.
+	Beta [][]float64
+	// Mu[i][j]: PABM corrector weight of F_j^n; Nu[i]: corrector weight
+	// of F(Y_i^{n+1}).
+	Mu [][]float64
+	Nu []float64
+}
+
+// NewAdams constructs the coefficients for K stages at the equidistant
+// abscissas c_i = (i+1)/K (so stage K-1 sits at the step end and carries
+// the solution).
+func NewAdams(k int) *AdamsCoeffs {
+	if k < 1 {
+		panic("ode: NewAdams needs k >= 1")
+	}
+	a := &AdamsCoeffs{K: k, C: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		a.C[i] = float64(i+1) / float64(k)
+	}
+	// Predictor: interpolate through (c_j, F_j^n), integrate from 1
+	// (the step end, where y_n lives) to 1 + c_i.
+	a.Beta = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		a.Beta[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			a.Beta[i][j] = LagrangeIntegral(a.C, j, 1, 1+a.C[i])
+		}
+	}
+	// Corrector: interpolate through (c_j, F_j^n) plus the new point
+	// (1 + c_i, F(Y_i^{n+1})).
+	a.Mu = make([][]float64, k)
+	a.Nu = make([]float64, k)
+	for i := 0; i < k; i++ {
+		nodes := make([]float64, k+1)
+		copy(nodes, a.C)
+		nodes[k] = 1 + a.C[i]
+		a.Mu[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			a.Mu[i][j] = LagrangeIntegral(nodes, j, 1, 1+a.C[i])
+		}
+		a.Nu[i] = LagrangeIntegral(nodes, k, 1, 1+a.C[i])
+	}
+	return a
+}

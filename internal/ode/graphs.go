@@ -1,0 +1,230 @@
+package ode
+
+import (
+	"fmt"
+
+	"mtask/internal/graph"
+)
+
+// M-task graph builders: each builder produces the M-task graph of `steps`
+// consecutive time steps of a solver with cost annotations (floating-point
+// operations, collective payloads) derived from the system size and the
+// right-hand side's evaluation cost, for use with the scheduling/mapping
+// algorithms and the cluster simulator. The structures mirror the
+// specification programs of Section 2.2.3 after loop unrolling.
+
+// vecBytes is the size of a solution vector in bytes.
+func vecBytes(n int) int { return 8 * n }
+
+// microStepWork is the paper's cost of one extrapolation micro step,
+// n*(2*top + teval(f)), in operation counts.
+func microStepWork(n int, evalFlops float64) float64 {
+	return float64(n) * (2 + evalFlops)
+}
+
+// stageWork is the work of evaluating one stage argument and derivative
+// for a K-stage method: the argument accumulation (2K ops per component)
+// plus the function evaluation.
+func stageWork(n, k int, evalFlops float64) float64 {
+	return float64(n) * (2*float64(k) + evalFlops)
+}
+
+// BuildEPOLGraph returns the M-task graph of `steps` time steps of the
+// extrapolation method with R approximations on a system of size n (Fig. 4
+// of the paper): per step, R independent chains of micro steps feeding a
+// combine task; consecutive steps are linked through the combine task.
+func BuildEPOLGraph(n int, evalFlops float64, r, steps int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("EPOL(R=%d,n=%d)", r, n))
+	vb := vecBytes(n)
+	var prevCombine graph.TaskID = graph.None
+	for s := 0; s < steps; s++ {
+		combine := g.AddTask(&graph.Task{
+			Name: fmt.Sprintf("combine[%d]", s),
+			Kind: graph.KindBasic,
+			// Neville extrapolation: R(R-1)/2 component updates
+			// with ~3 ops each, plus the error estimate.
+			Work:     float64(n) * (3*float64(r*(r-1))/2 + float64(r)),
+			OutBytes: vb,
+			Meta:     map[string]int{"step": s},
+		})
+		for i := 1; i <= r; i++ {
+			prev := prevCombine
+			for j := 1; j <= i; j++ {
+				st := g.AddTask(&graph.Task{
+					Name:      fmt.Sprintf("step[%d](%d,%d)", s, i, j),
+					Kind:      graph.KindBasic,
+					Work:      microStepWork(n, evalFlops),
+					CommBytes: vb,
+					CommCount: 1,
+					OutBytes:  vb,
+					Meta:      map[string]int{"step": s, "i": i, "j": j},
+				})
+				if prev != graph.None {
+					g.MustEdge(prev, st, vb)
+				}
+				prev = st
+			}
+			g.MustEdge(prev, combine, vb)
+		}
+		prevCombine = combine
+	}
+	g.AddStartStop()
+	return g
+}
+
+// BuildIRKGraph returns the M-task graph of `steps` time steps of the
+// Iterated Runge-Kutta method with K stages and m fixed-point iterations
+// on a system of size n: per step an init task (the initial stage value),
+// m layers of K independent stage tasks with all-to-all dependencies
+// between consecutive iterations (the orthogonal exchange), and a combine
+// task.
+func BuildIRKGraph(n int, evalFlops float64, k, m, steps int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("IRK(K=%d,m=%d,n=%d)", k, m, n))
+	vb := vecBytes(n)
+	var prevCombine graph.TaskID = graph.None
+	for s := 0; s < steps; s++ {
+		init := g.AddTask(&graph.Task{
+			Name:      fmt.Sprintf("init[%d]", s),
+			Kind:      graph.KindBasic,
+			Work:      float64(n) * evalFlops,
+			CommBytes: vb,
+			CommCount: 1,
+			OutBytes:  vb,
+		})
+		if prevCombine != graph.None {
+			g.MustEdge(prevCombine, init, vb)
+		}
+		prev := make([]graph.TaskID, k)
+		for st := 0; st < k; st++ {
+			prev[st] = init
+		}
+		for j := 0; j < m; j++ {
+			cur := make([]graph.TaskID, k)
+			for st := 0; st < k; st++ {
+				cur[st] = g.AddTask(&graph.Task{
+					Name:      fmt.Sprintf("stage[%d](%d,%d)", s, j, st),
+					Kind:      graph.KindBasic,
+					Work:      stageWork(n, k, evalFlops),
+					CommBytes: vb,
+					CommCount: 1,
+					OutBytes:  vb / k,
+					Meta:      map[string]int{"step": s, "iter": j, "stage": st},
+				})
+				for l := 0; l < k; l++ {
+					g.MustEdge(prev[l], cur[st], vb/k)
+				}
+			}
+			prev = cur
+		}
+		combine := g.AddTask(&graph.Task{
+			Name:     fmt.Sprintf("combine[%d]", s),
+			Kind:     graph.KindBasic,
+			Work:     float64(n) * 2 * float64(k),
+			OutBytes: vb,
+		})
+		for l := 0; l < k; l++ {
+			g.MustEdge(prev[l], combine, vb/k)
+		}
+		prevCombine = combine
+	}
+	g.AddStartStop()
+	return g
+}
+
+// BuildDIIRKGraph returns the M-task graph of `steps` time steps of the
+// DIIRK method with K stages and a fixed iteration count iters on a system
+// of size n. Every stage task carries the distributed Newton solve of its
+// iteration: n pivot-row broadcasts of n+1 values each and the elimination
+// work of a dense n x n system, which makes DIIRK far more
+// communication-intensive within M-tasks than IRK (Section 4.5). The
+// Jacobian computation (n * n evaluations-worth of work) is a separate
+// per-step task.
+func BuildDIIRKGraph(n int, evalFlops float64, k, iters, steps int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("DIIRK(K=%d,I=%d,n=%d)", k, iters, n))
+	vb := vecBytes(n)
+	solveWork := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+	var prevCombine graph.TaskID = graph.None
+	for s := 0; s < steps; s++ {
+		init := g.AddTask(&graph.Task{
+			Name:      fmt.Sprintf("init[%d]", s),
+			Kind:      graph.KindBasic,
+			Work:      float64(n)*evalFlops + float64(n)*float64(n)*evalFlops, // f0 + Jacobian
+			CommBytes: vb,
+			CommCount: 1,
+			OutBytes:  vb,
+		})
+		if prevCombine != graph.None {
+			g.MustEdge(prevCombine, init, vb)
+		}
+		prev := make([]graph.TaskID, k)
+		for st := 0; st < k; st++ {
+			prev[st] = init
+		}
+		for j := 0; j < iters; j++ {
+			cur := make([]graph.TaskID, k)
+			for st := 0; st < k; st++ {
+				cur[st] = g.AddTask(&graph.Task{
+					Name:       fmt.Sprintf("newton[%d](%d,%d)", s, j, st),
+					Kind:       graph.KindBasic,
+					Work:       stageWork(n, k, evalFlops) + solveWork,
+					CommBytes:  vb,
+					CommCount:  1,
+					BcastBytes: 8 * (n + 1),
+					BcastCount: n,
+					OutBytes:   vb / k,
+					Meta:       map[string]int{"step": s, "iter": j, "stage": st},
+				})
+				for l := 0; l < k; l++ {
+					g.MustEdge(prev[l], cur[st], vb/k)
+				}
+			}
+			prev = cur
+		}
+		combine := g.AddTask(&graph.Task{
+			Name:     fmt.Sprintf("combine[%d]", s),
+			Kind:     graph.KindBasic,
+			Work:     float64(n) * 2 * float64(k),
+			OutBytes: vb,
+		})
+		for l := 0; l < k; l++ {
+			g.MustEdge(prev[l], combine, vb/k)
+		}
+		prevCombine = combine
+	}
+	g.AddStartStop()
+	return g
+}
+
+// BuildPABGraph returns the M-task graph of `steps` time steps of the PAB
+// (m = 0) or PABM (m > 0) method with K stages on a system of size n: per
+// step K independent stage tasks; each stage of step s+1 depends on all
+// stages of step s (the orthogonal exchange of stage derivatives).
+func BuildPABGraph(n int, evalFlops float64, k, m, steps int) *graph.Graph {
+	name := "PAB"
+	if m > 0 {
+		name = "PABM"
+	}
+	g := graph.New(fmt.Sprintf("%s(K=%d,m=%d,n=%d)", name, k, m, n))
+	vb := vecBytes(n)
+	var prev []graph.TaskID
+	for s := 0; s < steps; s++ {
+		cur := make([]graph.TaskID, k)
+		for st := 0; st < k; st++ {
+			cur[st] = g.AddTask(&graph.Task{
+				Name:      fmt.Sprintf("stage[%d](%d)", s, st),
+				Kind:      graph.KindBasic,
+				Work:      float64(1+m) * stageWork(n, k, evalFlops),
+				CommBytes: vb,
+				CommCount: 1 + m,
+				OutBytes:  vb / k,
+				Meta:      map[string]int{"step": s, "stage": st},
+			})
+			for _, p := range prev {
+				g.MustEdge(p, cur[st], vb/k)
+			}
+		}
+		prev = cur
+	}
+	g.AddStartStop()
+	return g
+}

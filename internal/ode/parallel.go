@@ -1,0 +1,444 @@
+package ode
+
+import (
+	"fmt"
+	"sort"
+
+	"mtask/internal/runtime"
+)
+
+// RunOpts configures a parallel solver run.
+type RunOpts struct {
+	// Groups is the number of disjoint core groups of the task-parallel
+	// program version; 0 or 1 selects the data-parallel version.
+	Groups int
+	// Steps is the number of time steps.
+	Steps int
+	// H is the (fixed) step size.
+	H float64
+	// Control enables the step-control collectives (error reduction and,
+	// in the task-parallel versions, the broadcast of the step decision)
+	// without changing the actual step size, so that trajectories remain
+	// comparable to the fixed-step sequential reference while the
+	// communication pattern matches the adaptive solver of the paper.
+	Control bool
+}
+
+func (o RunOpts) validate(p int) error {
+	if o.Steps < 1 {
+		return fmt.Errorf("ode: need at least one step")
+	}
+	if o.H <= 0 {
+		return fmt.Errorf("ode: non-positive step size")
+	}
+	if o.Groups > 1 && p%o.Groups != 0 {
+		return fmt.Errorf("ode: %d cores not divisible into %d groups", p, o.Groups)
+	}
+	return nil
+}
+
+// runErr collects the first per-rank error of a world run.
+type runErr struct {
+	errs []error
+}
+
+func newRunErr(p int) *runErr { return &runErr{errs: make([]error, p)} }
+
+func (r *runErr) first() error {
+	for _, e := range r.errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// AssignChains distributes the R approximation chains of the extrapolation
+// method over g groups with the greedy LPT rule used by the scheduling
+// algorithm (chains in decreasing length order, each to the least loaded
+// group). For g = R/2 this pairs chains i and R-i+1, giving every group
+// R+1 micro steps (Section 4.2). The result lists, per group, the chain
+// lengths in ascending order.
+func AssignChains(r, g int) [][]int {
+	loads := make([]int, g)
+	out := make([][]int, g)
+	for i := r; i >= 1; i-- {
+		best := 0
+		for j := 1; j < g; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		loads[best] += i
+		out[best] = append(out[best], i)
+	}
+	for _, chains := range out {
+		sort.Ints(chains)
+	}
+	return out
+}
+
+// stepControl performs the step-control communication: the error estimate
+// is reduced over all cores; in the task-parallel version the root
+// additionally broadcasts the step decision (the paper's 1*Tbc of the
+// EPOL(tp) row of Table 1).
+func stepControl(global *runtime.Comm, taskParallel bool, errEst float64) {
+	_ = global.AllreduceMax(errEst)
+	if taskParallel {
+		var decision []float64
+		if global.Rank() == 0 {
+			decision = []float64{errEst, 1}
+		}
+		global.Bcast(0, decision)
+	}
+}
+
+// gatherFullFromGroupZero assembles a full vector that is block-distributed
+// within every group (all groups hold identical copies of the blocks) by a
+// single global allgather to which only the cores of group zero contribute
+// their blocks; all cores receive the full vector. This realises the
+// single global multi-broadcast per time step of the task-parallel IRK and
+// DIIRK versions (Table 1).
+func gatherFullFromGroupZero(global *runtime.Comm, groupIdx int, block []float64) []float64 {
+	var contrib []float64
+	if groupIdx == 0 {
+		contrib = block
+	}
+	return global.Allgather(contrib)
+}
+
+// --- EPOL ---
+
+// ParallelEPOL runs the extrapolation method with R approximations on the
+// world: the data-parallel version (opts.Groups <= 1) computes the chains
+// one after another on all cores with one global multi-broadcast per micro
+// step; the task-parallel version distributes the chains over the groups
+// (LPT pairing), uses group-internal multi-broadcasts, re-distributes the
+// approximations between the groups (counted separately, as the paper's
+// compiler-inserted re-distributions are), and broadcasts the step
+// decision. It returns the final solution vector.
+func ParallelEPOL(w *runtime.World, sys System, r int, opts RunOpts) ([]float64, error) {
+	if err := opts.validate(w.P); err != nil {
+		return nil, err
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("ode: EPOL needs R >= 1")
+	}
+	n := sys.Dim()
+	if opts.Groups > 1 && n%(w.P/opts.Groups) != 0 {
+		// Keep block layouts aligned across groups.
+		return nil, fmt.Errorf("ode: system size %d not divisible by group size %d", n, w.P/opts.Groups)
+	}
+	taskParallel := opts.Groups > 1
+	var result []float64
+	re := newRunErr(w.P)
+	w.Run(func(global *runtime.Comm) {
+		var out []float64
+		if taskParallel {
+			out = epolTP(global, sys, r, opts, re)
+		} else {
+			out = epolDP(global, sys, r, opts)
+		}
+		if global.Rank() == 0 {
+			result = out
+		}
+	})
+	if err := re.first(); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// epolChainDistributed runs one approximation chain (i micro steps of size
+// h/i) with the block distribution of comm: every micro step assembles the
+// full iterate with one allgather over comm and evaluates f on the local
+// block. The chain starts from the caller's block of y and returns the
+// final block.
+func epolChainDistributed(comm *runtime.Comm, sys System, t, h float64, yBlock []float64, lo, hi, i int) []float64 {
+	blk := append([]float64(nil), yBlock...)
+	micro := h / float64(i)
+	out := make([]float64, hi-lo)
+	for j := 0; j < i; j++ {
+		full := comm.Allgather(blk)
+		sys.Eval(t+float64(j)*micro, full, lo, hi, out)
+		for c := range blk {
+			blk[c] += micro * out[c]
+		}
+	}
+	return blk
+}
+
+// neville extrapolates the R chain results (blocks) in place and returns
+// the final block and the error estimate block difference.
+func neville(tab [][]float64, r int) (final []float64, errEst float64) {
+	for k := 1; k < r; k++ {
+		for i := r - 1; i >= k; i-- {
+			den := float64(i+1)/float64(i+1-k) - 1
+			for c := range tab[i] {
+				tab[i][c] += (tab[i][c] - tab[i-1][c]) / den
+			}
+		}
+	}
+	if r > 1 {
+		errEst = MaxAbsDiff(tab[r-1], tab[r-2])
+	}
+	return tab[r-1], errEst
+}
+
+func epolDP(global *runtime.Comm, sys System, r int, opts RunOpts) []float64 {
+	n := sys.Dim()
+	rank, size := global.Rank(), global.Size()
+	lo, hi := runtime.BlockRange(n, size, rank)
+	t0, y0 := sys.Initial()
+	blk := append([]float64(nil), y0[lo:hi]...)
+	t := t0
+	for s := 0; s < opts.Steps; s++ {
+		tab := make([][]float64, r)
+		for i := 1; i <= r; i++ {
+			tab[i-1] = epolChainDistributed(global, sys, t, opts.H, blk, lo, hi, i)
+		}
+		var errEst float64
+		blk, errEst = neville(tab, r)
+		if opts.Control {
+			_ = global.AllreduceMax(errEst)
+		}
+		t += opts.H
+	}
+	return global.Allgather(blk)
+}
+
+func epolTP(global *runtime.Comm, sys System, r int, opts RunOpts, re *runErr) []float64 {
+	n := sys.Dim()
+	g := opts.Groups
+	q := global.Size() / g
+	rank := global.Rank()
+	gi := rank / q
+	group := global.Split(gi, rank, runtime.Group)
+	pos := group.Rank()
+	ortho := global.Split(pos, rank, runtime.Orthogonal)
+	lo, hi := runtime.BlockRange(n, q, pos)
+	bsz := hi - lo
+
+	assign := AssignChains(r, g)
+	myChains := assign[gi]
+
+	t0, y0 := sys.Initial()
+	blk := append([]float64(nil), y0[lo:hi]...)
+	t := t0
+	for s := 0; s < opts.Steps; s++ {
+		// Compute the group's chains with group-internal collectives.
+		results := make(map[int][]float64, len(myChains))
+		for _, i := range myChains {
+			results[i] = epolChainDistributed(group, sys, t, opts.H, blk, lo, hi, i)
+		}
+		// Re-distribute: the orthogonal set at this block position
+		// exchanges all chains' blocks (compiler-inserted
+		// re-distribution, counted as such and not as a collective of
+		// Table 1).
+		contrib := make([]float64, 0, len(myChains)*bsz)
+		for _, i := range myChains {
+			contrib = append(contrib, results[i]...)
+		}
+		all := ortho.AllgatherAs(contrib, runtime.OpRedist)
+		tab := make([][]float64, r)
+		off := 0
+		for og := 0; og < g; og++ {
+			for _, i := range assign[og] {
+				tab[i-1] = all[off : off+bsz]
+				off += bsz
+			}
+		}
+		var errEst float64
+		blk, errEst = neville(tab, r)
+		if opts.Control {
+			stepControl(global, true, errEst)
+		}
+		t += opts.H
+	}
+	if q*g != global.Size() {
+		re.errs[rank] = fmt.Errorf("ode: internal group sizing error")
+	}
+	return gatherFullFromGroupZero(global, gi, blk)
+}
+
+// --- IRK ---
+
+// ParallelIRK runs the Iterated Runge-Kutta method with K stages and m
+// fixed-point iterations. The data-parallel version keeps all stage
+// vectors replicated with K global multi-broadcasts per iteration plus one
+// for the initial stage value ((K*m+1) global Tag, Table 1). The
+// task-parallel version computes each stage on its own group: per
+// iteration one group-internal multi-broadcast assembles the stage's
+// argument vector and one orthogonal multi-broadcast exchanges the new
+// stage blocks between the groups (m group Tag + m orthogonal Tag), and a
+// single global multi-broadcast per step replicates the new approximation
+// (1 global Tag).
+func ParallelIRK(w *runtime.World, sys System, k, m int, opts RunOpts) ([]float64, error) {
+	if err := opts.validate(w.P); err != nil {
+		return nil, err
+	}
+	if opts.Groups > 1 && opts.Groups != k {
+		return nil, fmt.Errorf("ode: IRK task-parallel version needs one group per stage (K=%d, groups=%d)", k, opts.Groups)
+	}
+	rk := NewGaussRK(k)
+	var result []float64
+	w.Run(func(global *runtime.Comm) {
+		var out []float64
+		if opts.Groups > 1 {
+			out = irkTP(global, sys, rk, m, opts)
+		} else {
+			out = irkDP(global, sys, rk, m, opts)
+		}
+		if global.Rank() == 0 {
+			result = out
+		}
+	})
+	return result, nil
+}
+
+func irkDP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunOpts) []float64 {
+	n := sys.Dim()
+	k := rk.K
+	rank, size := global.Rank(), global.Size()
+	lo, hi := runtime.BlockRange(n, size, rank)
+	t0, y := sys.Initial()
+	y = append([]float64(nil), y...)
+	t := t0
+	blkOut := make([]float64, hi-lo)
+	arg := make([]float64, n)
+	for s := 0; s < opts.Steps; s++ {
+		// Initial stage value: one global multi-broadcast.
+		sys.Eval(t, y, lo, hi, blkOut)
+		f0 := global.Allgather(blkOut)
+		v := make([][]float64, k)
+		for st := 0; st < k; st++ {
+			v[st] = f0
+		}
+		var prev [][]float64
+		for j := 0; j < m; j++ {
+			if j == m-1 {
+				prev = v
+			}
+			next := make([][]float64, k)
+			for st := 0; st < k; st++ {
+				for c := 0; c < n; c++ {
+					sum := 0.0
+					for l := 0; l < k; l++ {
+						sum += rk.A[st][l] * v[l][c]
+					}
+					arg[c] = y[c] + opts.H*sum
+				}
+				sys.Eval(t+rk.C[st]*opts.H, arg, lo, hi, blkOut)
+				next[st] = global.Allgather(blkOut)
+			}
+			v = next
+		}
+		var errEst float64
+		for c := 0; c < n; c++ {
+			sum := 0.0
+			for l := 0; l < k; l++ {
+				sum += rk.B[l] * v[l][c]
+			}
+			y[c] += opts.H * sum
+			if opts.Control && prev != nil {
+				d := 0.0
+				for l := 0; l < k; l++ {
+					d += rk.B[l] * (v[l][c] - prev[l][c])
+				}
+				if d < 0 {
+					d = -d
+				}
+				if opts.H*d > errEst {
+					errEst = opts.H * d
+				}
+			}
+		}
+		if opts.Control {
+			_ = global.AllreduceMax(errEst)
+		}
+		t += opts.H
+	}
+	return y
+}
+
+func irkTP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunOpts) []float64 {
+	n := sys.Dim()
+	k := rk.K
+	q := global.Size() / k
+	rank := global.Rank()
+	gi := rank / q
+	group := global.Split(gi, rank, runtime.Group)
+	pos := group.Rank()
+	ortho := global.Split(pos, rank, runtime.Orthogonal)
+	lo, hi := runtime.BlockRange(n, q, pos)
+	bsz := hi - lo
+
+	t0, y := sys.Initial()
+	y = append([]float64(nil), y...)
+	t := t0
+	blkOut := make([]float64, bsz)
+	argBlk := make([]float64, bsz)
+	for s := 0; s < opts.Steps; s++ {
+		// v0 blocks, identical for all stages, computed locally from
+		// the replicated y.
+		sys.Eval(t, y, lo, hi, blkOut)
+		vAll := make([][]float64, k) // stage l's derivative at [lo,hi)
+		for l := 0; l < k; l++ {
+			vAll[l] = append([]float64(nil), blkOut...)
+		}
+		var prevAll [][]float64
+		for j := 0; j < m; j++ {
+			if j == m-1 {
+				prevAll = vAll
+			}
+			// Assemble this group's stage argument with one
+			// group-internal multi-broadcast.
+			for c := 0; c < bsz; c++ {
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += rk.A[gi][l] * vAll[l][c]
+				}
+				argBlk[c] = y[lo+c] + opts.H*sum
+			}
+			argFull := group.Allgather(argBlk)
+			sys.Eval(t+rk.C[gi]*opts.H, argFull, lo, hi, blkOut)
+			// Exchange the new stage blocks orthogonally.
+			exch := ortho.Allgather(blkOut)
+			next := make([][]float64, k)
+			for l := 0; l < k; l++ {
+				next[l] = exch[l*bsz : (l+1)*bsz]
+			}
+			vAll = next
+		}
+		// New approximation block and error estimate.
+		newBlk := make([]float64, bsz)
+		var errEst float64
+		for c := 0; c < bsz; c++ {
+			sum := 0.0
+			for l := 0; l < k; l++ {
+				sum += rk.B[l] * vAll[l][c]
+			}
+			newBlk[c] = y[lo+c] + opts.H*sum
+			if opts.Control && prevAll != nil {
+				d := 0.0
+				for l := 0; l < k; l++ {
+					d += rk.B[l] * (vAll[l][c] - prevAll[l][c])
+				}
+				if d < 0 {
+					d = -d
+				}
+				if opts.H*d > errEst {
+					errEst = opts.H * d
+				}
+			}
+		}
+		if opts.Control {
+			_ = global.AllreduceMax(errEst)
+		}
+		// Replicate the new approximation with the single global
+		// multi-broadcast of the step.
+		y = gatherFullFromGroupZero(global, gi, newBlk)
+		t += opts.H
+	}
+	return y
+}

@@ -1,0 +1,150 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"mtask/internal/runtime"
+)
+
+// ParallelEPOLAdaptive integrates from t0 to te with real step-size
+// control, mirroring IntegrateAdaptive exactly: a step is accepted when
+// its extrapolation error estimate is at most tol, and the step size
+// follows the standard controller. In the data-parallel version the error
+// is agreed by a global reduction; in the task-parallel version the root
+// core makes the step decision and broadcasts it (the 1*Tbc of Table 1's
+// EPOL(tp) row — here carrying a real payload: acceptance flag and the
+// next step size). It returns the final approximation and the number of
+// accepted steps.
+func ParallelEPOLAdaptive(w *runtime.World, sys System, r, groups int, te, h0, tol float64) ([]float64, int, error) {
+	if r < 1 {
+		return nil, 0, fmt.Errorf("ode: EPOL needs R >= 1")
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > 1 && w.P%groups != 0 {
+		return nil, 0, fmt.Errorf("ode: %d cores not divisible into %d groups", w.P, groups)
+	}
+	n := sys.Dim()
+	if groups > 1 && n%(w.P/groups) != 0 {
+		return nil, 0, fmt.Errorf("ode: system size %d not divisible by group size %d", n, w.P/groups)
+	}
+	taskParallel := groups > 1
+	var result []float64
+	var steps int
+	w.Run(func(global *runtime.Comm) {
+		y, s := epolAdaptive(global, sys, r, groups, taskParallel, te, h0, tol)
+		if global.Rank() == 0 {
+			result = y
+			steps = s
+		}
+	})
+	return result, steps, nil
+}
+
+// stepOrder is the controller exponent 1/(order+1) of the extrapolation
+// method with R approximations (order R).
+func epolController(order int, errEst, tol float64) float64 {
+	fac := 2.0
+	if errEst > 0 {
+		fac = 0.9 * math.Pow(tol/errEst, 1/float64(order+1))
+	}
+	if fac > 4 {
+		fac = 4
+	}
+	if fac < 0.25 {
+		fac = 0.25
+	}
+	return fac
+}
+
+func epolAdaptive(global *runtime.Comm, sys System, r, groups int, taskParallel bool, te, h0, tol float64) ([]float64, int) {
+	n := sys.Dim()
+	var comm *runtime.Comm
+	var ortho *runtime.Comm
+	var myChains []int
+	var assign [][]int
+	var lo, hi, gi int
+	if taskParallel {
+		q := global.Size() / groups
+		gi = global.Rank() / q
+		comm = global.Split(gi, global.Rank(), runtime.Group)
+		ortho = global.Split(comm.Rank(), global.Rank(), runtime.Orthogonal)
+		assign = AssignChains(r, groups)
+		myChains = assign[gi]
+		lo, hi = runtime.BlockRange(n, q, comm.Rank())
+	} else {
+		comm = global
+		lo, hi = runtime.BlockRange(n, global.Size(), global.Rank())
+	}
+	bsz := hi - lo
+
+	t0, y0 := sys.Initial()
+	blk := append([]float64(nil), y0[lo:hi]...)
+	t, h := t0, h0
+	steps := 0
+	for t < te-1e-14 {
+		if t+h > te {
+			h = te - t
+		}
+		// Compute the chains of this step from the current block.
+		tab := make([][]float64, r)
+		if taskParallel {
+			results := make(map[int][]float64, len(myChains))
+			for _, i := range myChains {
+				results[i] = epolChainDistributed(comm, sys, t, h, blk, lo, hi, i)
+			}
+			contrib := make([]float64, 0, len(myChains)*bsz)
+			for _, i := range myChains {
+				contrib = append(contrib, results[i]...)
+			}
+			all := ortho.AllgatherAs(contrib, runtime.OpRedist)
+			off := 0
+			for og := 0; og < groups; og++ {
+				for _, i := range assign[og] {
+					tab[i-1] = all[off : off+bsz]
+					off += bsz
+				}
+			}
+		} else {
+			for i := 1; i <= r; i++ {
+				tab[i-1] = epolChainDistributed(comm, sys, t, h, blk, lo, hi, i)
+			}
+		}
+		newBlk, errLocal := neville(tab, r)
+
+		// Agree on the step decision.
+		errEst := global.AllreduceMax(errLocal)
+		var accepted bool
+		var hNew float64
+		if taskParallel {
+			// The root decides and broadcasts (Table 1's 1*Tbc).
+			var decision []float64
+			if global.Rank() == 0 {
+				acc := 0.0
+				if errEst <= tol || h <= 1e-12 {
+					acc = 1
+				}
+				decision = []float64{acc, h * epolController(r, errEst, tol)}
+			}
+			decision = global.Bcast(0, decision)
+			accepted = decision[0] > 0
+			hNew = decision[1]
+		} else {
+			// Deterministic local decision (all cores hold errEst).
+			accepted = errEst <= tol || h <= 1e-12
+			hNew = h * epolController(r, errEst, tol)
+		}
+		if accepted {
+			blk = newBlk
+			t += h
+			steps++
+		}
+		h = hNew
+	}
+	if taskParallel {
+		return gatherFullFromGroupZero(global, gi, blk), steps
+	}
+	return global.Allgather(blk), steps
+}

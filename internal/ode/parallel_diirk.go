@@ -1,0 +1,276 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"mtask/internal/runtime"
+)
+
+// ParallelDIIRK runs the Diagonal-Implicitly Iterated Runge-Kutta method
+// with K stages. Each fixed-point iteration performs one Newton step per
+// stage whose linear system (I - h*a_kk*J) delta = g is solved by a
+// row-distributed Gauss-Jordan elimination: one pivot-row broadcast per
+// column, which is the source of the method's (n-1)*I broadcast operations
+// per stage in Table 1 (our Gauss-Jordan variant uses n broadcasts; the
+// accounting difference is recorded in EXPERIMENTS.md). The data-parallel
+// version distributes the rows globally (K*n*I global Tbc); the
+// task-parallel version computes each stage on its own group (n*I group
+// Tbc) and exchanges the stage updates orthogonally (I orthogonal Tag).
+// The iteration count I is determined dynamically by a convergence
+// criterion, 1 <= I <= MaxIter.
+func ParallelDIIRK(w *runtime.World, sys System, k int, opts RunOpts) ([]float64, error) {
+	if err := opts.validate(w.P); err != nil {
+		return nil, err
+	}
+	if opts.Groups > 1 && opts.Groups != k {
+		return nil, fmt.Errorf("ode: DIIRK task-parallel version needs one group per stage (K=%d, groups=%d)", k, opts.Groups)
+	}
+	d := NewDIIRK(k)
+	var result []float64
+	w.Run(func(global *runtime.Comm) {
+		var out []float64
+		if opts.Groups > 1 {
+			out = diirkTP(global, sys, d, opts)
+		} else {
+			out = diirkDP(global, sys, d, opts)
+		}
+		if global.Rank() == 0 {
+			result = out
+		}
+	})
+	return result, nil
+}
+
+// jacobianRows computes rows [lo,hi) of the Jacobian of f at (t, y) by
+// forward differences; y must be the full (replicated) vector.
+func jacobianRows(sys System, t float64, y []float64, lo, hi int) [][]float64 {
+	n := len(y)
+	rows := make([][]float64, hi-lo)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+	f0 := make([]float64, hi-lo)
+	sys.Eval(t, y, lo, hi, f0)
+	yp := append([]float64(nil), y...)
+	col := make([]float64, hi-lo)
+	for j := 0; j < n; j++ {
+		eps := 1e-7 * (math.Abs(y[j]) + 1)
+		yp[j] = y[j] + eps
+		sys.Eval(t, yp, lo, hi, col)
+		yp[j] = y[j]
+		for i := 0; i < hi-lo; i++ {
+			rows[i][j] = (col[i] - f0[i]) / eps
+		}
+	}
+	return rows
+}
+
+// newtonMatrixRows builds rows [lo,hi) of I - h*akk*J from the Jacobian
+// rows.
+func newtonMatrixRows(jrows [][]float64, h, akk float64, lo int) [][]float64 {
+	out := make([][]float64, len(jrows))
+	for i, jr := range jrows {
+		row := make([]float64, len(jr))
+		for j, v := range jr {
+			row[j] = -h * akk * v
+		}
+		row[lo+i] += 1
+		out[i] = row
+	}
+	return out
+}
+
+// distSolve solves the row-distributed linear system by Gauss-Jordan
+// elimination over the communicator: the rows [lo,hi) and the matching
+// right-hand-side entries belong to this member; for every column the
+// owning member broadcasts its pivot row, all members eliminate the column
+// from their other rows, and the solution entries of the local rows remain
+// local. Matrix rows and rhs are destroyed. rowOwner maps a global row
+// index to the owning communicator rank.
+func distSolve(comm *runtime.Comm, a [][]float64, rhs []float64, lo int, rowOwner []int) []float64 {
+	n := len(rowOwner)
+	for col := 0; col < n; col++ {
+		owner := rowOwner[col]
+		var pivot []float64
+		if comm.Rank() == owner {
+			pr := a[col-lo]
+			pivot = make([]float64, 0, n+1)
+			pivot = append(pivot, pr...)
+			pivot = append(pivot, rhs[col-lo])
+		}
+		pivot = comm.Bcast(owner, pivot)
+		pd := pivot[col]
+		for i := range a {
+			if lo+i == col {
+				continue
+			}
+			m := a[i][col] / pd
+			if m == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a[i][j] -= m * pivot[j]
+			}
+			rhs[i] -= m * pivot[n]
+		}
+	}
+	x := make([]float64, len(rhs))
+	for i := range x {
+		x[i] = rhs[i] / a[i][lo+i]
+	}
+	return x
+}
+
+// makeRowOwner maps global row indices to the rank owning them under the
+// block distribution of size over n rows.
+func makeRowOwner(n, size int) []int {
+	owner := make([]int, n)
+	for r := 0; r < size; r++ {
+		lo, hi := runtime.BlockRange(n, size, r)
+		for i := lo; i < hi; i++ {
+			owner[i] = r
+		}
+	}
+	return owner
+}
+
+func diirkDP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64 {
+	rk := d.RK
+	n := sys.Dim()
+	k := rk.K
+	rank, size := global.Rank(), global.Size()
+	lo, hi := runtime.BlockRange(n, size, rank)
+	rowOwner := makeRowOwner(n, size)
+	t0, y := sys.Initial()
+	y = append([]float64(nil), y...)
+	t := t0
+	blkOut := make([]float64, hi-lo)
+	arg := make([]float64, n)
+	for s := 0; s < opts.Steps; s++ {
+		sys.Eval(t, y, lo, hi, blkOut)
+		f0 := global.Allgather(blkOut) // the 1 global Tag of Table 1
+		v := make([][]float64, k)
+		for st := 0; st < k; st++ {
+			v[st] = append([]float64(nil), f0...)
+		}
+		jrows := jacobianRows(sys, t, y, lo, hi)
+		for iter := 0; iter < d.MaxIter; iter++ {
+			var delta float64
+			for st := 0; st < k; st++ {
+				for c := 0; c < n; c++ {
+					sum := 0.0
+					for l := 0; l < k; l++ {
+						sum += rk.A[st][l] * v[l][c]
+					}
+					arg[c] = y[c] + opts.H*sum
+				}
+				sys.Eval(t+rk.C[st]*opts.H, arg, lo, hi, blkOut)
+				g := make([]float64, hi-lo)
+				for c := range g {
+					g[c] = blkOut[c] - v[st][lo+c]
+				}
+				m := newtonMatrixRows(jrows, opts.H, rk.A[st][st], lo)
+				x := distSolve(global, m, g, lo, rowOwner)
+				// Replicate the stage update (accounted in
+				// EXPERIMENTS.md as an implementation extra).
+				xf := global.Allgather(x)
+				for c := 0; c < n; c++ {
+					v[st][c] += xf[c]
+					if ad := math.Abs(xf[c]); ad > delta {
+						delta = ad
+					}
+				}
+			}
+			delta = global.AllreduceMax(delta)
+			if delta < d.Tol {
+				break
+			}
+		}
+		for c := 0; c < n; c++ {
+			sum := 0.0
+			for l := 0; l < k; l++ {
+				sum += rk.B[l] * v[l][c]
+			}
+			y[c] += opts.H * sum
+		}
+		t += opts.H
+	}
+	return y
+}
+
+func diirkTP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64 {
+	rk := d.RK
+	n := sys.Dim()
+	k := rk.K
+	q := global.Size() / k
+	rank := global.Rank()
+	gi := rank / q
+	group := global.Split(gi, rank, runtime.Group)
+	pos := group.Rank()
+	ortho := global.Split(pos, rank, runtime.Orthogonal)
+	lo, hi := runtime.BlockRange(n, q, pos)
+	bsz := hi - lo
+	rowOwner := makeRowOwner(n, q)
+
+	t0, y := sys.Initial()
+	y = append([]float64(nil), y...)
+	t := t0
+	blkOut := make([]float64, bsz)
+	argBlk := make([]float64, bsz)
+	for s := 0; s < opts.Steps; s++ {
+		sys.Eval(t, y, lo, hi, blkOut)
+		vAll := make([][]float64, k)
+		for l := 0; l < k; l++ {
+			vAll[l] = append([]float64(nil), blkOut...)
+		}
+		jrows := jacobianRows(sys, t, y, lo, hi)
+		for iter := 0; iter < d.MaxIter; iter++ {
+			// Assemble this group's stage argument (group Tag).
+			for c := 0; c < bsz; c++ {
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += rk.A[gi][l] * vAll[l][c]
+				}
+				argBlk[c] = y[lo+c] + opts.H*sum
+			}
+			argFull := group.Allgather(argBlk)
+			sys.Eval(t+rk.C[gi]*opts.H, argFull, lo, hi, blkOut)
+			g := make([]float64, bsz)
+			for c := range g {
+				g[c] = blkOut[c] - vAll[gi][c]
+			}
+			m := newtonMatrixRows(jrows, opts.H, rk.A[gi][gi], lo)
+			x := distSolve(group, m, g, lo, rowOwner)
+			var delta float64
+			newBlk := make([]float64, bsz)
+			for c := 0; c < bsz; c++ {
+				newBlk[c] = vAll[gi][c] + x[c]
+				if ad := math.Abs(x[c]); ad > delta {
+					delta = ad
+				}
+			}
+			// Exchange stage blocks orthogonally (ortho Tag).
+			exch := ortho.Allgather(newBlk)
+			for l := 0; l < k; l++ {
+				vAll[l] = exch[l*bsz : (l+1)*bsz]
+			}
+			delta = global.AllreduceMax(delta)
+			if delta < d.Tol {
+				break
+			}
+		}
+		newBlk := make([]float64, bsz)
+		for c := 0; c < bsz; c++ {
+			sum := 0.0
+			for l := 0; l < k; l++ {
+				sum += rk.B[l] * vAll[l][c]
+			}
+			newBlk[c] = y[lo+c] + opts.H*sum
+		}
+		// Single global Tag: replicate the new approximation.
+		y = gatherFullFromGroupZero(global, gi, newBlk)
+		t += opts.H
+	}
+	return y
+}

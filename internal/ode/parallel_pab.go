@@ -1,0 +1,184 @@
+package ode
+
+import (
+	"fmt"
+
+	"mtask/internal/runtime"
+)
+
+// ParallelPAB runs the Parallel Adams-Bashforth method (corrector == 0) or
+// the Parallel Adams-Bashforth-Moulton method (corrector == m > 0) with K
+// stages. The data-parallel version keeps the stage derivatives replicated
+// with one global multi-broadcast per stage evaluation (K global Tag for
+// PAB, K*(1+m) for PABM, Table 1). The task-parallel version computes each
+// stage on its own group: per evaluation one group-internal
+// multi-broadcast assembles the stage value, and one orthogonal
+// multi-broadcast per step exchanges the new stage derivatives (and the
+// step-closing stage value) between the groups (1 group Tag + 1 orthogonal
+// Tag for PAB, (1+m) group Tag + 1 orthogonal Tag for PABM).
+func ParallelPAB(w *runtime.World, sys System, k, corrector int, opts RunOpts) ([]float64, error) {
+	if err := opts.validate(w.P); err != nil {
+		return nil, err
+	}
+	if opts.Groups > 1 && opts.Groups != k {
+		return nil, fmt.Errorf("ode: PAB/PABM task-parallel version needs one group per stage (K=%d, groups=%d)", k, opts.Groups)
+	}
+	a := NewAdams(k)
+	var result []float64
+	w.Run(func(global *runtime.Comm) {
+		var out []float64
+		if opts.Groups > 1 {
+			out = pabTP(global, sys, a, corrector, opts)
+		} else {
+			out = pabDP(global, sys, a, corrector, opts)
+		}
+		if global.Rank() == 0 {
+			result = out
+		}
+	})
+	return result, nil
+}
+
+// pabBootstrap produces the initial stage values and derivatives at
+// t0 + c_i*h by fine RK4 integration, executed redundantly on every core
+// (the bootstrap phase is not part of the per-step communication counts).
+func pabBootstrap(sys System, a *AdamsCoeffs, t0 float64, y0 []float64, h float64) (yn []float64, f [][]float64) {
+	n := sys.Dim()
+	const boot = 16
+	f = make([][]float64, a.K)
+	cur := append([]float64(nil), y0...)
+	prevC := 0.0
+	for i := 0; i < a.K; i++ {
+		ci := a.C[i]
+		dt := (ci - prevC) * h
+		cur = RK4(sys, t0+prevC*h, cur, dt/boot, boot)
+		prevC = ci
+		fi := make([]float64, n)
+		sys.Eval(t0+ci*h, cur, 0, n, fi)
+		f[i] = fi
+		if i == a.K-1 {
+			yn = append([]float64(nil), cur...)
+		}
+	}
+	return yn, f
+}
+
+func pabDP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts RunOpts) []float64 {
+	n := sys.Dim()
+	k := a.K
+	rank, size := global.Rank(), global.Size()
+	lo, hi := runtime.BlockRange(n, size, rank)
+	t0, y0 := sys.Initial()
+	yn, f := pabBootstrap(sys, a, t0, y0, opts.H)
+	t := t0 + opts.H
+	blkOut := make([]float64, hi-lo)
+	for s := 0; s < opts.Steps; s++ {
+		newF := make([][]float64, k)
+		var lastY []float64
+		for i := 0; i < k; i++ {
+			// Predictor: stage value from the replicated history,
+			// computed fully locally; the evaluation is
+			// distributed and replicated by one global Tag.
+			yi := make([]float64, n)
+			for c := 0; c < n; c++ {
+				sum := 0.0
+				for j := 0; j < k; j++ {
+					sum += a.Beta[i][j] * f[j][c]
+				}
+				yi[c] = yn[c] + opts.H*sum
+			}
+			ti := t + a.C[i]*opts.H
+			sys.Eval(ti, yi, lo, hi, blkOut)
+			fi := global.Allgather(blkOut)
+			// Corrector iterations (PABM).
+			for it := 0; it < corrector; it++ {
+				for c := 0; c < n; c++ {
+					sum := a.Nu[i] * fi[c]
+					for j := 0; j < k; j++ {
+						sum += a.Mu[i][j] * f[j][c]
+					}
+					yi[c] = yn[c] + opts.H*sum
+				}
+				sys.Eval(ti, yi, lo, hi, blkOut)
+				fi = global.Allgather(blkOut)
+			}
+			newF[i] = fi
+			if i == k-1 {
+				lastY = yi
+			}
+		}
+		yn = lastY
+		f = newF
+		t += opts.H
+	}
+	return yn
+}
+
+func pabTP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts RunOpts) []float64 {
+	n := sys.Dim()
+	k := a.K
+	q := global.Size() / k
+	rank := global.Rank()
+	gi := rank / q
+	group := global.Split(gi, rank, runtime.Group)
+	pos := group.Rank()
+	ortho := global.Split(pos, rank, runtime.Orthogonal)
+	lo, hi := runtime.BlockRange(n, q, pos)
+	bsz := hi - lo
+
+	t0, y0 := sys.Initial()
+	ynFull, fFull := pabBootstrap(sys, a, t0, y0, opts.H)
+	// Keep only this core's group block of the history.
+	ynB := append([]float64(nil), ynFull[lo:hi]...)
+	fB := make([][]float64, k)
+	for l := 0; l < k; l++ {
+		fB[l] = append([]float64(nil), fFull[l][lo:hi]...)
+	}
+	t := t0 + opts.H
+	blkOut := make([]float64, bsz)
+	for s := 0; s < opts.Steps; s++ {
+		// This group's stage (stage index == group index).
+		yiB := make([]float64, bsz)
+		for c := 0; c < bsz; c++ {
+			sum := 0.0
+			for j := 0; j < k; j++ {
+				sum += a.Beta[gi][j] * fB[j][c]
+			}
+			yiB[c] = ynB[c] + opts.H*sum
+		}
+		ti := t + a.C[gi]*opts.H
+		// Assemble the stage value (group Tag), evaluate the block.
+		yiFull := group.Allgather(yiB)
+		sys.Eval(ti, yiFull, lo, hi, blkOut)
+		fiB := append([]float64(nil), blkOut...)
+		// Corrector iterations: one group Tag each.
+		for it := 0; it < corrector; it++ {
+			for c := 0; c < bsz; c++ {
+				sum := a.Nu[gi] * fiB[c]
+				for j := 0; j < k; j++ {
+					sum += a.Mu[gi][j] * fB[j][c]
+				}
+				yiB[c] = ynB[c] + opts.H*sum
+			}
+			yiFull = group.Allgather(yiB)
+			sys.Eval(ti, yiFull, lo, hi, blkOut)
+			copy(fiB, blkOut)
+		}
+		// Orthogonal exchange: every group contributes its stage
+		// derivative block; the last group additionally contributes
+		// the new step-closing stage value block.
+		contrib := fiB
+		if gi == k-1 {
+			contrib = append(append([]float64(nil), fiB...), yiB...)
+		}
+		exch := ortho.Allgather(contrib)
+		for l := 0; l < k; l++ {
+			copy(fB[l], exch[l*bsz:(l+1)*bsz])
+		}
+		copy(ynB, exch[k*bsz:(k+1)*bsz])
+		t += opts.H
+	}
+	// Final assembly of the solution vector (outside the per-step
+	// counts).
+	return gatherFullFromGroupZero(global, gi, ynB)
+}

@@ -1,0 +1,367 @@
+package ode
+
+import (
+	"testing"
+
+	"mtask/internal/runtime"
+)
+
+// world returns a fresh world of p cores.
+func world(t *testing.T, p int) *runtime.World {
+	t.Helper()
+	w, err := runtime.NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAssignChains(t *testing.T) {
+	// g = R/2 pairs chains i and R-i+1 (Section 4.2).
+	assign := AssignChains(4, 2)
+	if len(assign[0]) != 2 || len(assign[1]) != 2 {
+		t.Fatalf("assignment %v", assign)
+	}
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if sum(assign[0]) != 5 || sum(assign[1]) != 5 {
+		t.Fatalf("unbalanced pairing %v", assign)
+	}
+	// All chains assigned exactly once.
+	seen := map[int]bool{}
+	for _, chains := range AssignChains(8, 3) {
+		for _, c := range chains {
+			if seen[c] {
+				t.Fatalf("chain %d assigned twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d chains assigned", len(seen))
+	}
+}
+
+func TestParallelEPOLMatchesSequential(t *testing.T) {
+	sys := NewLinearDecay(16)
+	t0, y0 := sys.Initial()
+	const r, steps = 4, 5
+	h := 0.05
+	want := IntegrateFixed(NewEPOL(r), sys, t0, y0, h, steps)
+
+	for _, tc := range []struct {
+		name   string
+		groups int
+	}{{"dp", 1}, {"tp", 2}} {
+		w := world(t, 8)
+		got, err := ParallelEPOL(w, sys, r, RunOpts{Groups: tc.groups, Steps: steps, H: h, Control: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("EPOL %s deviates from sequential by %g", tc.name, d)
+		}
+	}
+}
+
+func TestParallelEPOLOnBruss2D(t *testing.T) {
+	sys := NewBruss2D(4) // n = 32
+	t0, y0 := sys.Initial()
+	const r, steps = 4, 3
+	h := 0.01
+	want := IntegrateFixed(NewEPOL(r), sys, t0, y0, h, steps)
+	w := world(t, 8)
+	got, err := ParallelEPOL(w, sys, r, RunOpts{Groups: 2, Steps: steps, H: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("EPOL tp on BRUSS2D deviates by %g", d)
+	}
+}
+
+func TestParallelEPOLValidation(t *testing.T) {
+	sys := NewLinearDecay(16)
+	w := world(t, 8)
+	if _, err := ParallelEPOL(w, sys, 4, RunOpts{Groups: 3, Steps: 1, H: 0.1}); err == nil {
+		t.Error("non-divisible group count accepted")
+	}
+	if _, err := ParallelEPOL(w, sys, 4, RunOpts{Groups: 1, Steps: 0, H: 0.1}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := ParallelEPOL(w, sys, 4, RunOpts{Groups: 1, Steps: 1, H: -1}); err == nil {
+		t.Error("negative step size accepted")
+	}
+}
+
+func TestEPOLTable1Counts(t *testing.T) {
+	sys := NewLinearDecay(16)
+	const r, steps, g = 4, 3, 2
+	// dp: R(R+1)/2 global Tag per step (+1 final gather).
+	w := world(t, 8)
+	if _, err := ParallelEPOL(w, sys, r, RunOpts{Groups: 1, Steps: steps, H: 0.05, Control: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := EPOLCountsDP(r)
+	if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != steps*want.GlobalTag+1 {
+		t.Errorf("EPOL dp global Tag = %d, want %d", got, steps*want.GlobalTag+1)
+	}
+	if got := w.Stats.Count(runtime.Group, runtime.OpAllgather); got != 0 {
+		t.Errorf("EPOL dp has %d group Tags", got)
+	}
+
+	// tp: R(R+1)/2 group Tags total (= (R+1) per group with g = R/2),
+	// 1 global Tbc, q re-distributions (+1 final gather).
+	w = world(t, 8)
+	if _, err := ParallelEPOL(w, sys, r, RunOpts{Groups: g, Steps: steps, H: 0.05, Control: true}); err != nil {
+		t.Fatal(err)
+	}
+	wantTP := EPOLCountsTP(r, g, 8/g)
+	if got := w.Stats.Count(runtime.Group, runtime.OpAllgather); got != steps*wantTP.GroupTag {
+		t.Errorf("EPOL tp group Tag = %d, want %d", got, steps*wantTP.GroupTag)
+	}
+	perGroup := w.Stats.Count(runtime.Group, runtime.OpAllgather) / g / steps
+	if perGroup != r+1 {
+		t.Errorf("EPOL tp per-group Tag per step = %d, want R+1 = %d (Table 1)", perGroup, r+1)
+	}
+	if got := w.Stats.Count(runtime.Global, runtime.OpBcast); got != steps*wantTP.GlobalTbc {
+		t.Errorf("EPOL tp global Tbc = %d, want %d", got, steps*wantTP.GlobalTbc)
+	}
+	if got := w.Stats.Count(runtime.Orthogonal, runtime.OpRedist); got != steps*wantTP.Redist {
+		t.Errorf("EPOL tp redistributions = %d, want %d", got, steps*wantTP.Redist)
+	}
+	if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != 1 {
+		t.Errorf("EPOL tp global Tag = %d, want 1 (final gather only)", got)
+	}
+}
+
+func TestParallelIRKMatchesSequential(t *testing.T) {
+	sys := NewLinearDecay(16)
+	t0, y0 := sys.Initial()
+	const k, m, steps = 4, 3, 4
+	h := 0.05
+	want := IntegrateFixed(NewIRK(k, m), sys, t0, y0, h, steps)
+	for _, groups := range []int{1, k} {
+		w := world(t, 8)
+		got, err := ParallelIRK(w, sys, k, m, RunOpts{Groups: groups, Steps: steps, H: h, Control: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("IRK groups=%d deviates by %g", groups, d)
+		}
+	}
+	// Wrong group count for tp is rejected.
+	w := world(t, 8)
+	if _, err := ParallelIRK(w, sys, k, m, RunOpts{Groups: 2, Steps: 1, H: h}); err == nil {
+		t.Error("IRK accepted groups != K")
+	}
+}
+
+func TestIRKTable1Counts(t *testing.T) {
+	sys := NewLinearDecay(16)
+	const k, m, steps = 4, 3, 3
+	w := world(t, 8)
+	if _, err := ParallelIRK(w, sys, k, m, RunOpts{Groups: 1, Steps: steps, H: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	want := IRKCountsDP(k, m)
+	if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != steps*want.GlobalTag {
+		t.Errorf("IRK dp global Tag = %d, want %d", got, steps*want.GlobalTag)
+	}
+
+	w = world(t, 8)
+	q := 8 / k
+	if _, err := ParallelIRK(w, sys, k, m, RunOpts{Groups: k, Steps: steps, H: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	wantTP := IRKCountsTP(k, m, q)
+	if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != steps*wantTP.GlobalTag {
+		t.Errorf("IRK tp global Tag = %d, want %d", got, steps*wantTP.GlobalTag)
+	}
+	if got := w.Stats.Count(runtime.Group, runtime.OpAllgather); got != steps*wantTP.GroupTag {
+		t.Errorf("IRK tp group Tag = %d, want %d", got, steps*wantTP.GroupTag)
+	}
+	if got := w.Stats.Count(runtime.Orthogonal, runtime.OpAllgather); got != steps*wantTP.OrthoTag {
+		t.Errorf("IRK tp ortho Tag = %d, want %d", got, steps*wantTP.OrthoTag)
+	}
+	// Per-group and per-set numbers match the Table 1 row: m each.
+	if perGroup := w.Stats.Count(runtime.Group, runtime.OpAllgather) / k / steps; perGroup != m {
+		t.Errorf("IRK tp per-group Tag = %d, want m = %d", perGroup, m)
+	}
+	if perSet := w.Stats.Count(runtime.Orthogonal, runtime.OpAllgather) / q / steps; perSet != m {
+		t.Errorf("IRK tp per-set ortho Tag = %d, want m = %d", perSet, m)
+	}
+}
+
+func TestParallelDIIRKMatchesSequential(t *testing.T) {
+	sys := NewLinearDecay(16)
+	t0, y0 := sys.Initial()
+	const k, steps = 2, 3
+	h := 0.05
+	want := IntegrateFixed(NewDIIRK(k), sys, t0, y0, h, steps)
+	for _, groups := range []int{1, k} {
+		w := world(t, 8)
+		got, err := ParallelDIIRK(w, sys, k, RunOpts{Groups: groups, Steps: steps, H: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The distributed solver uses a different elimination order
+		// than the sequential partial-pivoting solver; allow roundoff.
+		if d := MaxAbsDiff(got, want); d > 1e-6 {
+			t.Errorf("DIIRK groups=%d deviates by %g", groups, d)
+		}
+	}
+}
+
+func TestDIIRKCountRelations(t *testing.T) {
+	// The iteration count I is dynamic; verify the structural relation
+	// Tbc == n * (Tag - steps) / ... per version instead of fixed
+	// numbers.
+	sys := NewLinearDecay(16)
+	n := sys.Dim()
+	const k, steps = 2, 3
+	w := world(t, 8)
+	if _, err := ParallelDIIRK(w, sys, k, RunOpts{Groups: 1, Steps: steps, H: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	tag := w.Stats.Count(runtime.Global, runtime.OpAllgather)
+	tbc := w.Stats.Count(runtime.Global, runtime.OpBcast)
+	// tag = steps*(1 + K*I_total/steps) => K*I_total = tag - steps.
+	ki := tag - steps
+	if ki <= 0 || ki%k != 0 {
+		t.Fatalf("implausible iteration total: tag=%d steps=%d", tag, steps)
+	}
+	if tbc != n*ki {
+		t.Errorf("DIIRK dp Tbc = %d, want n*(Tag-steps) = %d", tbc, n*ki)
+	}
+
+	w = world(t, 8)
+	if _, err := ParallelDIIRK(w, sys, k, RunOpts{Groups: k, Steps: steps, H: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	q := 8 / k
+	gtag := w.Stats.Count(runtime.Group, runtime.OpAllgather)
+	gtbc := w.Stats.Count(runtime.Group, runtime.OpBcast)
+	otag := w.Stats.Count(runtime.Orthogonal, runtime.OpAllgather)
+	// gtag = K*I_total, gtbc = K*n*I_total, otag = q*I_total.
+	if gtag <= 0 || gtbc != n*gtag {
+		t.Errorf("DIIRK tp group Tbc = %d, want n*groupTag = %d", gtbc, n*gtag)
+	}
+	if otag*k != gtag*q {
+		t.Errorf("DIIRK tp ortho Tag %d inconsistent with group Tag %d", otag, gtag)
+	}
+	if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != steps {
+		t.Errorf("DIIRK tp global Tag = %d, want %d", got, steps)
+	}
+}
+
+func TestParallelPABMatchesSequential(t *testing.T) {
+	sys := NewLinearDecay(16)
+	t0, y0 := sys.Initial()
+	const k, steps = 4, 5
+	h := 0.05
+	for _, m := range []int{0, 2} {
+		p := NewPABIntegrator(k, m, sys, t0, y0, h)
+		p.Integrate(steps)
+		want := p.Y()
+		for _, groups := range []int{1, k} {
+			w := world(t, 8)
+			got, err := ParallelPAB(w, sys, k, m, RunOpts{Groups: groups, Steps: steps, H: h})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := MaxAbsDiff(got, want); d > 1e-12 {
+				t.Errorf("PAB(m=%d) groups=%d deviates by %g", m, groups, d)
+			}
+		}
+	}
+}
+
+func TestPABTable1Counts(t *testing.T) {
+	sys := NewLinearDecay(16)
+	const k, steps = 4, 3
+	q := 8 / k
+	for _, m := range []int{0, 2} {
+		w := world(t, 8)
+		if _, err := ParallelPAB(w, sys, k, m, RunOpts{Groups: 1, Steps: steps, H: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+		want := PABCountsDP(k, m)
+		if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != steps*want.GlobalTag {
+			t.Errorf("PAB(m=%d) dp global Tag = %d, want %d", m, got, steps*want.GlobalTag)
+		}
+
+		w = world(t, 8)
+		if _, err := ParallelPAB(w, sys, k, m, RunOpts{Groups: k, Steps: steps, H: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+		wantTP := PABCountsTP(k, m, q)
+		if got := w.Stats.Count(runtime.Group, runtime.OpAllgather); got != steps*wantTP.GroupTag {
+			t.Errorf("PAB(m=%d) tp group Tag = %d, want %d", m, got, steps*wantTP.GroupTag)
+		}
+		if got := w.Stats.Count(runtime.Orthogonal, runtime.OpAllgather); got != steps*wantTP.OrthoTag {
+			t.Errorf("PAB(m=%d) tp ortho Tag = %d, want %d", m, got, steps*wantTP.OrthoTag)
+		}
+		// Per-group / per-set Table 1 numbers.
+		if per := w.Stats.Count(runtime.Group, runtime.OpAllgather) / k / steps; per != 1+m {
+			t.Errorf("PAB(m=%d) tp per-group Tag = %d, want %d", m, per, 1+m)
+		}
+		if per := w.Stats.Count(runtime.Orthogonal, runtime.OpAllgather) / q / steps; per != 1 {
+			t.Errorf("PAB(m=%d) tp per-set ortho = %d, want 1", m, per)
+		}
+		// tp uses exactly one global Tag in total (final assembly).
+		if got := w.Stats.Count(runtime.Global, runtime.OpAllgather); got != 1 {
+			t.Errorf("PAB(m=%d) tp global Tag = %d, want 1", m, got)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 10 {
+		t.Fatalf("Table1 has %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Benchmark == "" || r.Paper == "" || r.Ours == "" {
+			t.Fatalf("incomplete row %+v", r)
+		}
+	}
+}
+
+func TestParallelEPOLAdaptiveMatchesSequential(t *testing.T) {
+	sys := NewLinearDecay(16)
+	t0, y0 := sys.Initial()
+	const r = 4
+	te, h0, tol := 0.5, 0.02, 1e-9
+	want, wantSteps := IntegrateAdaptive(NewEPOL(r), sys, t0, y0, te, h0, tol)
+	for _, groups := range []int{1, 2} {
+		w := world(t, 8)
+		got, steps, err := ParallelEPOLAdaptive(w, sys, r, groups, te, h0, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps != wantSteps {
+			t.Errorf("groups=%d: %d accepted steps, sequential took %d", groups, steps, wantSteps)
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("groups=%d: adaptive trajectory deviates by %g", groups, d)
+		}
+		// tp variant broadcasts one real decision per attempted step.
+		if groups > 1 {
+			if got := w.Stats.Count(runtime.Global, runtime.OpBcast); got < steps {
+				t.Errorf("only %d decision broadcasts for %d steps", got, steps)
+			}
+		}
+	}
+	// Invalid configurations are rejected.
+	w := world(t, 8)
+	if _, _, err := ParallelEPOLAdaptive(w, sys, r, 3, te, h0, tol); err == nil {
+		t.Error("non-divisible group count accepted")
+	}
+}

@@ -1,0 +1,420 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// OneStep is a sequential one-step ODE method: Step advances the solution
+// from t to t+h and returns the new approximation together with a local
+// error estimate for step-size control.
+type OneStep interface {
+	Name() string
+	Order() int
+	Step(sys System, t, h float64, y []float64) (ynext []float64, errEst float64)
+}
+
+// --- EPOL: explicit extrapolation ---
+
+// EPOL is the explicit extrapolation method of Section 2.2.3: one time
+// step computes R approximations with the explicit Euler method using i
+// micro steps of size h/i (i = 1..R) and combines them by Aitken-Neville
+// extrapolation into an approximation of order R. The micro steps of one
+// approximation form a linear chain; different approximations are
+// independent — the source of the method's task parallelism.
+type EPOL struct {
+	R int
+}
+
+// NewEPOL returns the extrapolation method with R approximations.
+func NewEPOL(r int) *EPOL {
+	if r < 1 {
+		panic("ode: EPOL needs R >= 1")
+	}
+	return &EPOL{R: r}
+}
+
+// Name implements OneStep.
+func (e *EPOL) Name() string { return fmt.Sprintf("EPOL(R=%d)", e.R) }
+
+// Order implements OneStep.
+func (e *EPOL) Order() int { return e.R }
+
+// eulerChain performs i explicit Euler micro steps of size h/i.
+func eulerChain(sys System, t, h float64, y []float64, i int) []float64 {
+	cur := append([]float64(nil), y...)
+	micro := h / float64(i)
+	f := make([]float64, sys.Dim())
+	for j := 0; j < i; j++ {
+		sys.Eval(t+float64(j)*micro, cur, 0, sys.Dim(), f)
+		for k := range cur {
+			cur[k] += micro * f[k]
+		}
+	}
+	return cur
+}
+
+// Step implements OneStep.
+func (e *EPOL) Step(sys System, t, h float64, y []float64) ([]float64, float64) {
+	r := e.R
+	// T[i] starts as the Euler approximation with i+1 micro steps.
+	tab := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		tab[i] = eulerChain(sys, t, h, y, i+1)
+	}
+	// Aitken-Neville extrapolation towards micro step 0 for the
+	// harmonic sequence n_i = i+1: column k eliminates the k-th error
+	// term. After the loop, tab[i] holds the diagonal value T_{i+1,i+1}.
+	for k := 1; k < r; k++ {
+		for i := r - 1; i >= k; i-- {
+			den := float64(i+1)/float64(i+1-k) - 1
+			for c := range tab[i] {
+				tab[i][c] += (tab[i][c] - tab[i-1][c]) / den
+			}
+		}
+	}
+	errEst := 0.0
+	if r > 1 {
+		errEst = MaxAbsDiff(tab[r-1], tab[r-2])
+	}
+	return tab[r-1], errEst
+}
+
+// --- IRK: iterated Runge-Kutta ---
+
+// IRK is the Iterated Runge-Kutta method: the K stage vectors of an
+// implicit collocation method (Gauss, order 2K) are approximated by M
+// fixed-point iterations
+//
+//	v_k^{(j)} = f(t + c_k h, y + h * sum_l a_kl v_l^{(j-1)}),
+//
+// starting from v^{(0)} = f(t, y). The K stage vectors of one iteration
+// are independent of each other — the method's task parallelism.
+type IRK struct {
+	RK *CollocationRK
+	M  int
+}
+
+// NewIRK returns the iterated K-stage Gauss method with m fixed-point
+// iterations.
+func NewIRK(k, m int) *IRK {
+	if m < 1 {
+		panic("ode: IRK needs m >= 1")
+	}
+	return &IRK{RK: NewGaussRK(k), M: m}
+}
+
+// Name implements OneStep.
+func (irk *IRK) Name() string { return fmt.Sprintf("IRK(K=%d,m=%d)", irk.RK.K, irk.M) }
+
+// Order implements OneStep. Each iteration gains one order, capped by the
+// corrector's order 2K.
+func (irk *IRK) Order() int {
+	o := irk.M + 1
+	if max := 2 * irk.RK.K; o > max {
+		o = max
+	}
+	return o
+}
+
+// Step implements OneStep.
+func (irk *IRK) Step(sys System, t, h float64, y []float64) ([]float64, float64) {
+	k := irk.RK.K
+	n := sys.Dim()
+	f0 := EvalAll(sys, t, y)
+	v := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		v[s] = append([]float64(nil), f0...)
+	}
+	next := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		next[s] = make([]float64, n)
+	}
+	arg := make([]float64, n)
+	var prev [][]float64
+	for j := 0; j < irk.M; j++ {
+		if j == irk.M-1 {
+			prev = make([][]float64, k)
+			for s := 0; s < k; s++ {
+				prev[s] = append([]float64(nil), v[s]...)
+			}
+		}
+		for s := 0; s < k; s++ {
+			for c := 0; c < n; c++ {
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += irk.RK.A[s][l] * v[l][c]
+				}
+				arg[c] = y[c] + h*sum
+			}
+			sys.Eval(t+irk.RK.C[s]*h, arg, 0, n, next[s])
+		}
+		v, next = next, v
+	}
+	out := append([]float64(nil), y...)
+	for c := 0; c < n; c++ {
+		sum := 0.0
+		for l := 0; l < k; l++ {
+			sum += irk.RK.B[l] * v[l][c]
+		}
+		out[c] += h * sum
+	}
+	// Error estimate: difference between the updates of the last two
+	// iterates.
+	errEst := 0.0
+	for c := 0; c < n; c++ {
+		sum := 0.0
+		for l := 0; l < k; l++ {
+			sum += irk.RK.B[l] * (v[l][c] - prev[l][c])
+		}
+		if d := math.Abs(h * sum); d > errEst {
+			errEst = d
+		}
+	}
+	return out, errEst
+}
+
+// --- DIIRK: diagonal-implicitly iterated Runge-Kutta ---
+
+// DIIRK is the Diagonal-Implicitly Iterated Runge-Kutta method: like IRK,
+// but each fixed-point iteration treats the diagonal stage coefficient
+// implicitly and performs one Newton step
+//
+//	(I - h a_kk J) (v_k^{(j)} - v_k^{(j-1)}) = f(arg) - v_k^{(j-1)},
+//
+// where J is the Jacobian of f at (t, y), making the method suitable for
+// stiff systems. The number of iterations I is chosen dynamically by a
+// convergence criterion (1 <= I <= MaxIter, typically small), as in the
+// paper. The linear solve is what produces the method's (n-1) broadcast
+// operations per iteration in the parallel version (Table 1).
+type DIIRK struct {
+	RK      *CollocationRK
+	MaxIter int
+	Tol     float64
+
+	lastIterations int
+}
+
+// NewDIIRK returns the diagonal-implicitly iterated K-stage Gauss method.
+func NewDIIRK(k int) *DIIRK {
+	return &DIIRK{RK: NewGaussRK(k), MaxIter: 3, Tol: 1e-8}
+}
+
+// Name implements OneStep.
+func (d *DIIRK) Name() string { return fmt.Sprintf("DIIRK(K=%d)", d.RK.K) }
+
+// Order implements OneStep.
+func (d *DIIRK) Order() int { return d.MaxIter + 1 }
+
+// Jacobian approximates the dense Jacobian of f at (t, y) by forward
+// differences (n+1 evaluations of f).
+func Jacobian(sys System, t float64, y []float64) [][]float64 {
+	n := sys.Dim()
+	f0 := EvalAll(sys, t, y)
+	jac := make([][]float64, n)
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+	yp := append([]float64(nil), y...)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		eps := 1e-7 * (math.Abs(y[j]) + 1)
+		yp[j] = y[j] + eps
+		sys.Eval(t, yp, 0, n, col)
+		yp[j] = y[j]
+		for i := 0; i < n; i++ {
+			jac[i][j] = (col[i] - f0[i]) / eps
+		}
+	}
+	return jac
+}
+
+// solveDense solves A x = b in place by Gaussian elimination with partial
+// pivoting; A and b are destroyed.
+func solveDense(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(a[i][k]) > math.Abs(a[p][k]) {
+				p = i
+			}
+		}
+		a[k], a[p] = a[p], a[k]
+		b[k], b[p] = b[p], b[k]
+		piv := a[k][k]
+		for i := k + 1; i < n; i++ {
+			m := a[i][k] / piv
+			if m == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				a[i][j] -= m * a[k][j]
+			}
+			b[i] -= m * b[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x
+}
+
+// Step implements OneStep. It also reports the number of iterations used
+// through the LastIterations field.
+func (d *DIIRK) Step(sys System, t, h float64, y []float64) ([]float64, float64) {
+	k := d.RK.K
+	n := sys.Dim()
+	jac := Jacobian(sys, t, y)
+	f0 := EvalAll(sys, t, y)
+	v := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		v[s] = append([]float64(nil), f0...)
+	}
+	arg := make([]float64, n)
+	g := make([]float64, n)
+	iters := 0
+	var lastDelta float64
+	for j := 0; j < d.MaxIter; j++ {
+		iters++
+		lastDelta = 0
+		for s := 0; s < k; s++ {
+			akk := d.RK.A[s][s]
+			for c := 0; c < n; c++ {
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += d.RK.A[s][l] * v[l][c]
+				}
+				arg[c] = y[c] + h*sum
+			}
+			fv := make([]float64, n)
+			sys.Eval(t+d.RK.C[s]*h, arg, 0, n, fv)
+			for c := 0; c < n; c++ {
+				g[c] = fv[c] - v[s][c]
+			}
+			// Newton matrix I - h a_kk J (rebuilt per solve; the
+			// parallel version distributes this elimination).
+			m := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				m[i] = make([]float64, n)
+				for jj := 0; jj < n; jj++ {
+					m[i][jj] = -h * akk * jac[i][jj]
+				}
+				m[i][i] += 1
+			}
+			rhs := append([]float64(nil), g...)
+			delta := solveDense(m, rhs)
+			for c := 0; c < n; c++ {
+				v[s][c] += delta[c]
+				if ad := math.Abs(delta[c]); ad > lastDelta {
+					lastDelta = ad
+				}
+			}
+		}
+		if lastDelta < d.Tol {
+			break
+		}
+	}
+	d.lastIterations = iters
+	out := append([]float64(nil), y...)
+	for c := 0; c < n; c++ {
+		sum := 0.0
+		for l := 0; l < k; l++ {
+			sum += d.RK.B[l] * v[l][c]
+		}
+		out[c] += h * sum
+	}
+	return out, lastDelta * h
+}
+
+// LastIterations returns the dynamically determined iteration count I of
+// the most recent Step call.
+func (d *DIIRK) LastIterations() int { return d.lastIterations }
+
+// --- fixed and adaptive integration drivers ---
+
+// IntegrateFixed advances y0 over the given number of equal steps and
+// returns the final approximation.
+func IntegrateFixed(m OneStep, sys System, t0 float64, y0 []float64, h float64, steps int) []float64 {
+	y := append([]float64(nil), y0...)
+	t := t0
+	for s := 0; s < steps; s++ {
+		y, _ = m.Step(sys, t, h, y)
+		t += h
+	}
+	return y
+}
+
+// IntegrateAdaptive integrates from t0 to te with local error control: a
+// step is accepted if its error estimate is at most tol, and the step size
+// is adapted by the standard controller h' = 0.9 h (tol/err)^(1/(p+1)),
+// clamped to [h/4, 4h]. It returns the final approximation and the number
+// of accepted steps.
+func IntegrateAdaptive(m OneStep, sys System, t0 float64, y0 []float64, te, h0, tol float64) ([]float64, int) {
+	y := append([]float64(nil), y0...)
+	t := t0
+	h := h0
+	steps := 0
+	for t < te-1e-14 {
+		if t+h > te {
+			h = te - t
+		}
+		ynew, errEst := m.Step(sys, t, h, y)
+		if errEst <= tol || h <= 1e-12 {
+			y = ynew
+			t += h
+			steps++
+		}
+		// Step-size update (also applied after rejections).
+		fac := 2.0
+		if errEst > 0 {
+			fac = 0.9 * math.Pow(tol/errEst, 1/float64(m.Order()+1))
+		}
+		if fac > 4 {
+			fac = 4
+		}
+		if fac < 0.25 {
+			fac = 0.25
+		}
+		h *= fac
+	}
+	return y, steps
+}
+
+// RK4 performs classical 4th-order Runge-Kutta steps; used to bootstrap
+// the multistep PAB/PABM methods.
+func RK4(sys System, t float64, y []float64, h float64, steps int) []float64 {
+	n := sys.Dim()
+	cur := append([]float64(nil), y...)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		sys.Eval(t, cur, 0, n, k1)
+		for i := range tmp {
+			tmp[i] = cur[i] + h/2*k1[i]
+		}
+		sys.Eval(t+h/2, tmp, 0, n, k2)
+		for i := range tmp {
+			tmp[i] = cur[i] + h/2*k2[i]
+		}
+		sys.Eval(t+h/2, tmp, 0, n, k3)
+		for i := range tmp {
+			tmp[i] = cur[i] + h*k3[i]
+		}
+		sys.Eval(t+h, tmp, 0, n, k4)
+		for i := range cur {
+			cur[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += h
+	}
+	return cur
+}

@@ -1,0 +1,264 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussNodes(t *testing.T) {
+	// K=1: midpoint. K=2: 1/2 +- sqrt(3)/6.
+	n1 := GaussNodes(1)
+	if math.Abs(n1[0]-0.5) > 1e-12 {
+		t.Fatalf("Gauss K=1 node = %v", n1)
+	}
+	n2 := GaussNodes(2)
+	want := []float64{0.5 - math.Sqrt(3)/6, 0.5 + math.Sqrt(3)/6}
+	for i := range want {
+		if math.Abs(n2[i]-want[i]) > 1e-12 {
+			t.Fatalf("Gauss K=2 nodes = %v, want %v", n2, want)
+		}
+	}
+	// Nodes are ascending and inside (0,1) for larger K.
+	for _, k := range []int{3, 4, 6, 8} {
+		nodes := GaussNodes(k)
+		for i, c := range nodes {
+			if c <= 0 || c >= 1 {
+				t.Fatalf("K=%d node %g outside (0,1)", k, c)
+			}
+			if i > 0 && nodes[i] <= nodes[i-1] {
+				t.Fatalf("K=%d nodes not ascending: %v", k, nodes)
+			}
+		}
+	}
+}
+
+func TestLagrangeIntegralPartitionOfUnity(t *testing.T) {
+	// The Lagrange basis sums to 1, so the integrals over [a,b] sum to
+	// b-a.
+	nodes := []float64{0.1, 0.4, 0.75, 0.9}
+	sum := 0.0
+	for j := range nodes {
+		sum += LagrangeIntegral(nodes, j, 0, 1)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("integrals sum to %g, want 1", sum)
+	}
+}
+
+func TestGaussRKWeights(t *testing.T) {
+	// Gauss collocation B weights sum to 1; row sums of A equal C.
+	for _, k := range []int{1, 2, 4} {
+		rk := NewGaussRK(k)
+		var bs float64
+		for _, b := range rk.B {
+			bs += b
+		}
+		if math.Abs(bs-1) > 1e-12 {
+			t.Fatalf("K=%d: sum B = %g", k, bs)
+		}
+		for i := 0; i < k; i++ {
+			var rs float64
+			for j := 0; j < k; j++ {
+				rs += rk.A[i][j]
+			}
+			if math.Abs(rs-rk.C[i]) > 1e-12 {
+				t.Fatalf("K=%d: row %d sum %g != c %g", k, i, rs, rk.C[i])
+			}
+		}
+	}
+}
+
+func TestAdamsCoeffs(t *testing.T) {
+	a := NewAdams(4)
+	// The last stage sits at the step end.
+	if a.C[3] != 1 {
+		t.Fatalf("c_K = %g, want 1", a.C[3])
+	}
+	// Predictor weights for stage i integrate a polynomial that is
+	// exactly 1 over an interval of length c_i: sum_j Beta[i][j] = c_i.
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			s += a.Beta[i][j]
+		}
+		if math.Abs(s-a.C[i]) > 1e-12 {
+			t.Fatalf("stage %d: sum Beta = %g, want %g", i, s, a.C[i])
+		}
+		s = a.Nu[i]
+		for j := 0; j < 4; j++ {
+			s += a.Mu[i][j]
+		}
+		if math.Abs(s-a.C[i]) > 1e-12 {
+			t.Fatalf("stage %d: sum Mu+Nu = %g, want %g", i, s, a.C[i])
+		}
+	}
+}
+
+// orderEstimate integrates the linear test problem at two step sizes and
+// returns the observed convergence order.
+func orderEstimate(t *testing.T, m OneStep, steps int) float64 {
+	t.Helper()
+	sys := NewLinearDecay(6)
+	t0, y0 := sys.Initial()
+	te := 1.0
+	h1 := (te - t0) / float64(steps)
+	y1 := IntegrateFixed(m, sys, t0, y0, h1, steps)
+	y2 := IntegrateFixed(m, sys, t0, y0, h1/2, 2*steps)
+	exact := sys.Exact(te)
+	e1 := MaxAbsDiff(y1, exact)
+	e2 := MaxAbsDiff(y2, exact)
+	if e1 == 0 || e2 == 0 {
+		return math.Inf(1)
+	}
+	return math.Log2(e1 / e2)
+}
+
+func TestEPOLConvergenceOrder(t *testing.T) {
+	for _, r := range []int{2, 3, 4} {
+		got := orderEstimate(t, NewEPOL(r), 8)
+		if got < float64(r)-0.5 {
+			t.Errorf("EPOL R=%d observed order %.2f, want >= %d", r, got, r)
+		}
+	}
+}
+
+func TestIRKConvergenceOrder(t *testing.T) {
+	// m iterations give order m+1 (up to the corrector's order 2K).
+	m := NewIRK(4, 3)
+	got := orderEstimate(t, m, 8)
+	if got < 3.5 {
+		t.Errorf("IRK K=4 m=3 observed order %.2f, want >= 4", got)
+	}
+	if m.Order() != 4 {
+		t.Errorf("IRK order = %d, want 4", m.Order())
+	}
+	if NewIRK(2, 10).Order() != 4 {
+		t.Error("IRK order not capped at 2K")
+	}
+}
+
+func TestDIIRKAccuracyAndStiffStability(t *testing.T) {
+	d := NewDIIRK(2)
+	got := orderEstimate(t, d, 8)
+	if got < 1.8 {
+		t.Errorf("DIIRK observed order %.2f, want ~>= 2", got)
+	}
+	if d.LastIterations() < 1 || d.LastIterations() > d.MaxIter {
+		t.Errorf("DIIRK iterations = %d", d.LastIterations())
+	}
+	// A moderately stiff component must not explode at a step size where
+	// explicit Euler would (h*lambda = 5).
+	stiff := &LinearDecay{Lambdas: []float64{50}, Y0: []float64{1}}
+	y := IntegrateFixed(NewDIIRK(2), stiff, 0, []float64{1}, 0.1, 10)
+	if math.Abs(y[0]) > 1 {
+		t.Errorf("DIIRK unstable on stiff problem: %g", y[0])
+	}
+}
+
+func TestPABConvergence(t *testing.T) {
+	sys := NewLinearDecay(6)
+	t0, y0 := sys.Initial()
+	run := func(k, m, steps int) float64 {
+		h := 1.0 / float64(steps)
+		p := NewPABIntegrator(k, m, sys, t0, y0, h)
+		p.Integrate(steps - 1) // bootstrap consumed one step
+		return MaxAbsDiff(p.Y(), sys.Exact(p.T()))
+	}
+	// Halving h must shrink the PAB error by at least 2^K-ish.
+	e1 := run(4, 0, 16)
+	e2 := run(4, 0, 32)
+	if !(e2 < e1/8) {
+		t.Errorf("PAB K=4: errors %g -> %g, want ~16x reduction", e1, e2)
+	}
+	// PABM must be at least as accurate as PAB.
+	em := run(4, 2, 16)
+	if em > e1 {
+		t.Errorf("PABM error %g worse than PAB %g", em, e1)
+	}
+}
+
+func TestAdaptiveIntegration(t *testing.T) {
+	sys := NewLinearDecay(4)
+	t0, y0 := sys.Initial()
+	y, steps := IntegrateAdaptive(NewEPOL(4), sys, t0, y0, 1.0, 0.1, 1e-8)
+	if steps < 1 {
+		t.Fatal("no steps taken")
+	}
+	if err := MaxAbsDiff(y, sys.Exact(1.0)); err > 1e-6 {
+		t.Fatalf("adaptive EPOL error %g too large", err)
+	}
+}
+
+func TestBruss2DEvalConsistency(t *testing.T) {
+	sys := NewBruss2D(6)
+	t0, y0 := sys.Initial()
+	full := EvalAll(sys, t0, y0)
+	// Blockwise evaluation must agree with the full evaluation.
+	n := sys.Dim()
+	for _, blocks := range []int{2, 3, 7} {
+		for b := 0; b < blocks; b++ {
+			lo := b * n / blocks
+			hi := (b + 1) * n / blocks
+			out := make([]float64, hi-lo)
+			sys.Eval(t0, y0, lo, hi, out)
+			for i, v := range out {
+				if v != full[lo+i] {
+					t.Fatalf("block eval differs at %d: %g vs %g", lo+i, v, full[lo+i])
+				}
+			}
+		}
+	}
+}
+
+func TestSchroedEvalConsistency(t *testing.T) {
+	sys := NewSchroed(40)
+	t0, y0 := sys.Initial()
+	full := EvalAll(sys, t0, y0)
+	out := make([]float64, 13)
+	sys.Eval(t0, y0, 11, 24, out)
+	for i, v := range out {
+		if v != full[11+i] {
+			t.Fatalf("block eval differs at %d", 11+i)
+		}
+	}
+}
+
+func TestBruss2DIntegratesStably(t *testing.T) {
+	sys := NewBruss2D(8)
+	t0, y0 := sys.Initial()
+	y := IntegrateFixed(NewEPOL(4), sys, t0, y0, 0.01, 20)
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 100 {
+			t.Fatalf("BRUSS2D diverged at component %d: %g", i, v)
+		}
+	}
+}
+
+func TestJacobianLinearSystem(t *testing.T) {
+	sys := NewLinearDecay(5)
+	t0, y0 := sys.Initial()
+	jac := Jacobian(sys, t0, y0)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = -sys.Lambdas[i]
+			}
+			if math.Abs(jac[i][j]-want) > 1e-5 {
+				t.Fatalf("J[%d][%d] = %g, want %g", i, j, jac[i][j], want)
+			}
+		}
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	a := [][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}}
+	// x = (1, 2, 3) => b = (4, 10, 14)
+	b := []float64{4, 10, 14}
+	x := solveDense(a, b)
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(x[i]-want) > 1e-12 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package ode implements the ordinary differential equation solvers of the
+// paper's evaluation (Section 4.2): the explicit extrapolation method
+// (EPOL), the Iterated Runge-Kutta method (IRK), the Diagonal-Implicitly
+// Iterated Runge-Kutta method (DIIRK), and the Parallel Adams-Bashforth
+// (PAB) and Parallel Adams-Bashforth-Moulton (PABM) methods, together with
+// the two ODE systems used as workloads: the sparse BRUSS2D system (spatial
+// discretization of the 2D Brusselator equation) and the dense SCHROED
+// system (Galerkin approximation of a Schrödinger-Poisson system).
+//
+// Every method exists in three forms: a sequential reference
+// implementation, parallel SPMD implementations (data-parallel and
+// task-parallel program versions, executed by the goroutine runtime and
+// instrumented to measure the collective-operation counts of Table 1), and
+// an M-task graph builder with cost annotations for the scheduling and
+// mapping experiments.
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// System is a right-hand-side function f of an ODE IVP y' = f(t, y),
+// y(t0) = y0, evaluable per component block so that the evaluation can be
+// distributed over cores.
+type System interface {
+	// Name identifies the system.
+	Name() string
+	// Dim returns the system size n.
+	Dim() int
+	// Eval writes f(t, y)[lo:hi] into out (len(out) == hi-lo). y is the
+	// full solution vector.
+	Eval(t float64, y []float64, lo, hi int, out []float64)
+	// Initial returns t0 and a fresh copy of y0.
+	Initial() (float64, []float64)
+	// EvalFlops returns the approximate floating-point operations to
+	// evaluate one component of f (the paper's teval(f) in work units);
+	// used by the cost-model graph builders.
+	EvalFlops() float64
+}
+
+// EvalAll evaluates the full right-hand side into a fresh vector.
+func EvalAll(s System, t float64, y []float64) []float64 {
+	out := make([]float64, s.Dim())
+	s.Eval(t, y, 0, s.Dim(), out)
+	return out
+}
+
+// --- BRUSS2D: sparse system ---
+
+// Bruss2D is the spatial discretization of the 2D Brusselator
+// reaction-diffusion equation on an NxN grid with Neumann-like boundary
+// handling: a sparse system of dimension 2*N*N whose evaluation time grows
+// linearly with the system size.
+//
+//	du/dt = B + u^2 v - (A+1) u + alpha (u_xx + u_yy)
+//	dv/dt = A u - u^2 v     + alpha (v_xx + v_yy)
+//
+// with the standard parameters A = 3.4, B = 1 of the paper's BRUSS2D
+// reference and diffusion alpha/h^2 from grid spacing h = 1/(N-1).
+type Bruss2D struct {
+	N     int
+	Alpha float64
+}
+
+// NewBruss2D returns the Brusselator system on an NxN grid.
+func NewBruss2D(n int) *Bruss2D {
+	if n < 2 {
+		panic(fmt.Sprintf("ode: BRUSS2D grid %d too small", n))
+	}
+	return &Bruss2D{N: n, Alpha: 2e-3}
+}
+
+// Name implements System.
+func (b *Bruss2D) Name() string { return fmt.Sprintf("BRUSS2D(N=%d)", b.N) }
+
+// Dim implements System.
+func (b *Bruss2D) Dim() int { return 2 * b.N * b.N }
+
+// EvalFlops implements System: a 5-point stencil plus reaction terms.
+func (b *Bruss2D) EvalFlops() float64 { return 14 }
+
+// Initial implements System: the standard smooth initial profile.
+func (b *Bruss2D) Initial() (float64, []float64) {
+	n := b.N
+	y := make([]float64, 2*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := float64(i) / float64(n-1)
+			z := float64(j) / float64(n-1)
+			y[i*n+j] = 0.5 + z     // u
+			y[n*n+i*n+j] = 1 + 5*x // v
+		}
+	}
+	return 0, y
+}
+
+// Eval implements System. Component layout: u occupies [0, N*N), v
+// occupies [N*N, 2*N*N), both row-major.
+func (b *Bruss2D) Eval(t float64, y []float64, lo, hi int, out []float64) {
+	const A, B = 3.4, 1.0
+	n := b.N
+	nn := n * n
+	h := 1.0 / float64(n-1)
+	d := b.Alpha / (h * h)
+	lap := func(base, i, j int) float64 {
+		c := y[base+i*n+j]
+		up, down, left, right := c, c, c, c
+		if i > 0 {
+			up = y[base+(i-1)*n+j]
+		}
+		if i < n-1 {
+			down = y[base+(i+1)*n+j]
+		}
+		if j > 0 {
+			left = y[base+i*n+j-1]
+		}
+		if j < n-1 {
+			right = y[base+i*n+j+1]
+		}
+		return up + down + left + right - 4*c
+	}
+	for k := lo; k < hi; k++ {
+		if k < nn {
+			i, j := k/n, k%n
+			u := y[k]
+			v := y[nn+k]
+			out[k-lo] = B + u*u*v - (A+1)*u + d*lap(0, i, j)
+		} else {
+			kk := k - nn
+			i, j := kk/n, kk%n
+			u := y[kk]
+			v := y[k]
+			out[k-lo] = A*u - u*u*v + d*lap(nn, i, j)
+		}
+	}
+}
+
+// --- SCHROED: dense system ---
+
+// Schroed is a dense synthetic stand-in for the Galerkin approximation of
+// a Schrödinger-Poisson system: every component of f couples to every
+// solution component through a smooth kernel, so the evaluation time of
+// the full system grows quadratically with the system size, as the paper
+// states for its dense SCHROED workload.
+//
+//	f_i(t, y) = -lambda_i y_i + (1/n) sum_j K(i,j) y_j,
+//	K(i,j) = 1 / (1 + |i-j|)
+type Schroed struct {
+	N int
+}
+
+// NewSchroed returns the dense system of dimension n.
+func NewSchroed(n int) *Schroed {
+	if n < 1 {
+		panic(fmt.Sprintf("ode: SCHROED size %d too small", n))
+	}
+	return &Schroed{N: n}
+}
+
+// Name implements System.
+func (s *Schroed) Name() string { return fmt.Sprintf("SCHROED(n=%d)", s.N) }
+
+// Dim implements System.
+func (s *Schroed) Dim() int { return s.N }
+
+// EvalFlops implements System: each component touches all n components.
+func (s *Schroed) EvalFlops() float64 { return 4 * float64(s.N) }
+
+// Initial implements System.
+func (s *Schroed) Initial() (float64, []float64) {
+	y := make([]float64, s.N)
+	for i := range y {
+		y[i] = 1 + 0.1*math.Sin(float64(i))
+	}
+	return 0, y
+}
+
+// Eval implements System.
+func (s *Schroed) Eval(t float64, y []float64, lo, hi int, out []float64) {
+	n := s.N
+	inv := 1.0 / float64(n)
+	for i := lo; i < hi; i++ {
+		lambda := 0.5 + 0.5*float64(i%7)/7.0
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			diff := i - j
+			if diff < 0 {
+				diff = -diff
+			}
+			sum += y[j] / float64(1+diff)
+		}
+		out[i-lo] = -lambda*y[i] + inv*sum
+	}
+}
+
+// --- linear test system with exact solution ---
+
+// LinearDecay is the decoupled linear system y_i' = -lambda_i * y_i with
+// the exact solution y_i(t) = y_i(0) * exp(-lambda_i t). It is used by the
+// convergence-order tests of the solvers.
+type LinearDecay struct {
+	Lambdas []float64
+	Y0      []float64
+}
+
+// NewLinearDecay returns a linear system with n components and spread-out
+// decay rates.
+func NewLinearDecay(n int) *LinearDecay {
+	l := &LinearDecay{Lambdas: make([]float64, n), Y0: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		l.Lambdas[i] = 0.2 + float64(i%5)*0.3
+		l.Y0[i] = 1 + float64(i%3)
+	}
+	return l
+}
+
+// Name implements System.
+func (l *LinearDecay) Name() string { return fmt.Sprintf("LINEAR(n=%d)", len(l.Y0)) }
+
+// Dim implements System.
+func (l *LinearDecay) Dim() int { return len(l.Y0) }
+
+// EvalFlops implements System.
+func (l *LinearDecay) EvalFlops() float64 { return 2 }
+
+// Initial implements System.
+func (l *LinearDecay) Initial() (float64, []float64) {
+	y := make([]float64, len(l.Y0))
+	copy(y, l.Y0)
+	return 0, y
+}
+
+// Eval implements System.
+func (l *LinearDecay) Eval(t float64, y []float64, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
+		out[i-lo] = -l.Lambdas[i] * y[i]
+	}
+}
+
+// Exact returns the exact solution at time t.
+func (l *LinearDecay) Exact(t float64) []float64 {
+	y := make([]float64, len(l.Y0))
+	for i := range y {
+		y[i] = l.Y0[i] * math.Exp(-l.Lambdas[i]*t)
+	}
+	return y
+}
+
+// MaxAbsDiff returns the maximum componentwise absolute difference of two
+// equally sized vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,252 @@
+// Package redist plans the data re-distribution operations that the
+// CM-task compiler inserts between cooperating M-tasks (Section 2.2.1):
+// when a producer task writes a data structure in one distribution on one
+// core group and a consumer reads it in another distribution on another
+// group, a set of point-to-point messages moves exactly the overlapping
+// element ranges. The planner computes that message set for block and
+// cyclic distributions and replicated data, and prices a plan under the
+// cost model's interconnect parameters.
+package redist
+
+import (
+	"fmt"
+	"sort"
+
+	"mtask/internal/arch"
+)
+
+// Kind enumerates the supported data distributions (the CM-task compiler
+// supports general block-cyclic distributions; block, cyclic and
+// replicated cover the paper's benchmarks).
+type Kind int
+
+const (
+	// Block distributes contiguous element ranges (the first n%q owners
+	// receive one extra element, matching runtime.BlockRange).
+	Block Kind = iota
+	// Cyclic deals elements round-robin.
+	Cyclic
+	// Replicated stores all elements on every core.
+	Replicated
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case Replicated:
+		return "replic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Layout is a distribution of n elements over a core group.
+type Layout struct {
+	Kind  Kind
+	Cores []arch.CoreID
+	N     int
+}
+
+// Validate checks the layout.
+func (l Layout) Validate() error {
+	if len(l.Cores) == 0 {
+		return fmt.Errorf("redist: layout without cores")
+	}
+	if l.N < 0 {
+		return fmt.Errorf("redist: negative element count")
+	}
+	return nil
+}
+
+// ownerOf returns, for each element index, the owning core rank (for
+// Replicated it returns rank 0 as the canonical source).
+func (l Layout) ownerOf(i int) int {
+	q := len(l.Cores)
+	switch l.Kind {
+	case Cyclic:
+		return i % q
+	case Replicated:
+		return 0
+	default:
+		// Block with remainder spread like runtime.BlockRange.
+		base, rem := l.N/q, l.N%q
+		if i < rem*(base+1) {
+			return i / (base + 1)
+		}
+		return rem + (i-rem*(base+1))/base
+	}
+}
+
+// Ranges returns the element ranges owned by the given rank as sorted
+// [lo, hi) pairs. For Replicated every rank owns everything.
+func (l Layout) Ranges(rank int) [][2]int {
+	if l.Kind == Replicated {
+		if l.N == 0 {
+			return nil
+		}
+		return [][2]int{{0, l.N}}
+	}
+	var out [][2]int
+	start := -1
+	for i := 0; i < l.N; i++ {
+		if l.ownerOf(i) == rank {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			out = append(out, [2]int{start, i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, [2]int{start, l.N})
+	}
+	return out
+}
+
+// Message is one point-to-point transfer of a plan: the element range
+// [Lo, Hi) moves from core From to core To.
+type Message struct {
+	From, To arch.CoreID
+	Lo, Hi   int
+}
+
+// Bytes returns the payload of the message for the given element size.
+func (m Message) Bytes(elemBytes int) int { return (m.Hi - m.Lo) * elemBytes }
+
+// Plan is the ordered message set of one re-distribution.
+type Plan struct {
+	Src, Dst Layout
+	Messages []Message
+}
+
+// NewPlan computes the messages that re-distribute n elements from the
+// source layout to the destination layout. Transfers between the same
+// physical core are elided (local copies). For a replicated destination,
+// every destination core receives the full data (from the closest source
+// owner in rank order); for a replicated source, rank 0 of the source
+// serves as the producer.
+func NewPlan(src, dst Layout) (*Plan, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dst.Validate(); err != nil {
+		return nil, err
+	}
+	if src.N != dst.N {
+		return nil, fmt.Errorf("redist: source has %d elements, destination %d", src.N, dst.N)
+	}
+	p := &Plan{Src: src, Dst: dst}
+	dstRanks := len(dst.Cores)
+	for r := 0; r < dstRanks; r++ {
+		for _, rng := range dst.Ranges(r) {
+			// Split the destination range by source ownership.
+			lo := rng[0]
+			for lo < rng[1] {
+				owner := src.ownerOf(lo)
+				hi := lo + 1
+				for hi < rng[1] && src.ownerOf(hi) == owner {
+					hi++
+				}
+				from := src.Cores[owner]
+				to := dst.Cores[r]
+				if from != to {
+					p.Messages = append(p.Messages, Message{From: from, To: to, Lo: lo, Hi: hi})
+				}
+				lo = hi
+			}
+		}
+	}
+	sort.Slice(p.Messages, func(i, j int) bool {
+		a, b := p.Messages[i], p.Messages[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Hi < b.Hi
+	})
+	return p, nil
+}
+
+// TotalBytes returns the summed payload of the plan.
+func (p *Plan) TotalBytes(elemBytes int) int {
+	total := 0
+	for _, m := range p.Messages {
+		total += m.Bytes(elemBytes)
+	}
+	return total
+}
+
+// Validate checks the plan's correctness invariants: every destination
+// element is covered exactly once per destination core (except elements
+// already local), sources own what they send, and ranges are well formed.
+func (p *Plan) Validate() error {
+	// Coverage per destination rank.
+	for r := range p.Dst.Cores {
+		need := p.Dst.Ranges(r)
+		covered := make(map[int]bool)
+		for _, m := range p.Messages {
+			if m.To != p.Dst.Cores[r] {
+				continue
+			}
+			if m.Lo >= m.Hi || m.Lo < 0 || m.Hi > p.Dst.N {
+				return fmt.Errorf("redist: malformed range [%d,%d)", m.Lo, m.Hi)
+			}
+			for i := m.Lo; i < m.Hi; i++ {
+				if covered[i] {
+					return fmt.Errorf("redist: element %d delivered twice to %v", i, m.To)
+				}
+				covered[i] = true
+			}
+		}
+		for _, rng := range need {
+			for i := rng[0]; i < rng[1]; i++ {
+				if covered[i] {
+					continue
+				}
+				// Acceptable only if the element is already
+				// local on this core under the source layout.
+				local := false
+				if p.Src.Kind == Replicated {
+					for _, c := range p.Src.Cores {
+						if c == p.Dst.Cores[r] {
+							local = true
+						}
+					}
+				} else {
+					owner := p.Src.Cores[p.Src.ownerOf(i)]
+					local = owner == p.Dst.Cores[r]
+				}
+				if !local {
+					return fmt.Errorf("redist: element %d missing at %v", i, p.Dst.Cores[r])
+				}
+			}
+		}
+	}
+	// Senders own what they send.
+	for _, m := range p.Messages {
+		for i := m.Lo; i < m.Hi; i++ {
+			if p.Src.Kind == Replicated {
+				continue
+			}
+			if p.Src.Cores[p.Src.ownerOf(i)] != m.From {
+				return fmt.Errorf("redist: core %v sends element %d it does not own", m.From, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CrossNodeBytes returns the payload that crosses node boundaries — the
+// quantity the scattered mapping minimises for orthogonal exchanges
+// (Section 3.4).
+func (p *Plan) CrossNodeBytes(elemBytes int) int {
+	total := 0
+	for _, m := range p.Messages {
+		if m.From.Node != m.To.Node {
+			total += m.Bytes(elemBytes)
+		}
+	}
+	return total
+}

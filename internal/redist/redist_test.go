@@ -1,0 +1,205 @@
+package redist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mtask/internal/arch"
+)
+
+func cores(n int) []arch.CoreID {
+	m := arch.CHiC().Subset((n + 3) / 4)
+	return m.AllCores()[:n]
+}
+
+func TestLayoutRangesBlock(t *testing.T) {
+	l := Layout{Kind: Block, Cores: cores(4), N: 10}
+	// 10 over 4: 3,3,2,2 like runtime.BlockRange.
+	wants := [][][2]int{
+		{{0, 3}}, {{3, 6}}, {{6, 8}}, {{8, 10}},
+	}
+	for r, want := range wants {
+		got := l.Ranges(r)
+		if len(got) != 1 || got[0] != want[0] {
+			t.Fatalf("rank %d ranges = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestLayoutRangesCyclic(t *testing.T) {
+	l := Layout{Kind: Cyclic, Cores: cores(3), N: 7}
+	got := l.Ranges(1) // elements 1, 4
+	want := [][2]int{{1, 2}, {4, 5}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("cyclic ranges = %v, want %v", got, want)
+	}
+}
+
+func TestLayoutRangesReplicated(t *testing.T) {
+	l := Layout{Kind: Replicated, Cores: cores(2), N: 5}
+	for r := 0; r < 2; r++ {
+		got := l.Ranges(r)
+		if len(got) != 1 || got[0] != [2]int{0, 5} {
+			t.Fatalf("replicated ranges = %v", got)
+		}
+	}
+}
+
+func TestPlanBlockToBlockDifferentGroups(t *testing.T) {
+	all := cores(8)
+	src := Layout{Kind: Block, Cores: all[:4], N: 16}
+	dst := Layout{Kind: Block, Cores: all[4:], N: 16}
+	p, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint groups: every element must move.
+	if got := p.TotalBytes(8); got != 16*8 {
+		t.Fatalf("total bytes = %d, want %d", got, 16*8)
+	}
+}
+
+func TestPlanSameLayoutIsEmpty(t *testing.T) {
+	all := cores(4)
+	l := Layout{Kind: Block, Cores: all, N: 12}
+	p, err := NewPlan(l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Messages) != 0 {
+		t.Fatalf("same-layout plan has %d messages", len(p.Messages))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanBlockToCyclicSameGroup(t *testing.T) {
+	all := cores(4)
+	src := Layout{Kind: Block, Cores: all, N: 16}
+	dst := Layout{Kind: Cyclic, Cores: all, N: 16}
+	p, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Block rank 0 owns 0..3; cyclic rank 0 owns 0,4,8,12: element 0
+	// stays local, 4, 8, 12 move in.
+	if len(p.Messages) == 0 {
+		t.Fatal("block->cyclic produced no messages")
+	}
+}
+
+func TestPlanToReplicated(t *testing.T) {
+	all := cores(4)
+	src := Layout{Kind: Block, Cores: all[:2], N: 8}
+	dst := Layout{Kind: Replicated, Cores: all[2:], N: 8}
+	p, err := NewPlan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every destination core receives all 8 elements.
+	if got := p.TotalBytes(1); got != 16 {
+		t.Fatalf("replicated fan-out bytes = %d, want 16", got)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	all := cores(2)
+	if _, err := NewPlan(Layout{Kind: Block, Cores: all, N: 4},
+		Layout{Kind: Block, Cores: all, N: 5}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := NewPlan(Layout{Kind: Block, N: 4},
+		Layout{Kind: Block, Cores: all, N: 4}); err == nil {
+		t.Fatal("empty source group accepted")
+	}
+}
+
+func TestCrossNodeBytesMappingSensitivity(t *testing.T) {
+	// Orthogonal exchange between two 4-core groups: under a scattered
+	// mapping the corresponding cores share nodes, so fewer bytes cross
+	// nodes than under a consecutive mapping (the Section 3.4 argument).
+	m := arch.CHiC().Subset(2) // 2 nodes x 4 cores
+	seqCons := m.AllCores()
+	srcCons := Layout{Kind: Block, Cores: seqCons[:4], N: 64}
+	dstCons := Layout{Kind: Block, Cores: seqCons[4:], N: 64}
+	pc, _ := NewPlan(srcCons, dstCons)
+
+	var seqScat []arch.CoreID
+	for p := 0; p < 2; p++ {
+		for c := 0; c < 2; c++ {
+			for n := 0; n < 2; n++ {
+				seqScat = append(seqScat, arch.CoreID{Node: n, Proc: p, Core: c})
+			}
+		}
+	}
+	srcScat := Layout{Kind: Block, Cores: seqScat[:4], N: 64}
+	dstScat := Layout{Kind: Block, Cores: seqScat[4:], N: 64}
+	ps, _ := NewPlan(srcScat, dstScat)
+
+	cons := pc.CrossNodeBytes(8)
+	scat := ps.CrossNodeBytes(8)
+	if !(scat < cons) {
+		t.Fatalf("scattered cross-node bytes %d not below consecutive %d", scat, cons)
+	}
+}
+
+// Property: for random layouts, plans validate and conserve data volume.
+func TestPlanPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := []Kind{Block, Cyclic, Replicated}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		all := cores(8)
+		srcQ := 1 + rng.Intn(4)
+		dstQ := 1 + rng.Intn(4)
+		srcOff := rng.Intn(8 - srcQ + 1)
+		dstOff := rng.Intn(8 - dstQ + 1)
+		src := Layout{Kind: kinds[rng.Intn(3)], Cores: all[srcOff : srcOff+srcQ], N: n}
+		dst := Layout{Kind: kinds[rng.Intn(3)], Cores: all[dstOff : dstOff+dstQ], N: n}
+		p, err := NewPlan(src, dst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d (%v->%v, n=%d): %v", trial, src.Kind, dst.Kind, n, err)
+		}
+		// No message exceeds the data size; cross-node subset of total.
+		if p.CrossNodeBytes(1) > p.TotalBytes(1) {
+			t.Fatalf("trial %d: cross-node exceeds total", trial)
+		}
+	}
+}
+
+// Property (testing/quick): plans over random shapes validate and the
+// per-destination received+local elements exactly cover the destination's
+// ownership.
+func TestQuickPlanInvariants(t *testing.T) {
+	f := func(nRaw, srcKindRaw, dstKindRaw, srcQRaw, dstQRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		kinds := []Kind{Block, Cyclic, Replicated}
+		all := cores(8)
+		srcQ := int(srcQRaw%4) + 1
+		dstQ := int(dstQRaw%4) + 1
+		src := Layout{Kind: kinds[srcKindRaw%3], Cores: all[:srcQ], N: n}
+		dst := Layout{Kind: kinds[dstKindRaw%3], Cores: all[8-dstQ:], N: n}
+		p, err := NewPlan(src, dst)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+// Package runtime executes M-task programs with goroutines in shared
+// memory. It replaces the MPI processes of the paper's generated programs:
+// every symbolic core is a goroutine, groups of cores communicate through
+// group communicators offering the collective operations of the ODE
+// solvers (barrier, broadcast, allgather), and every collective is counted
+// by communicator category — global, group-based or orthogonal — so that
+// the operation counts of Table 1 can be measured rather than assumed.
+//
+// The runtime provides functional execution (real numerics, real
+// synchronization); timing experiments at cluster scale use the simulator
+// in internal/cluster instead.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CommKind categorises a communicator for the operation statistics,
+// following the three communication types of Section 4.2.
+type CommKind int
+
+const (
+	// Global communicators span all cores of the program.
+	Global CommKind = iota
+	// Group communicators span the cores executing one M-task.
+	Group
+	// Orthogonal communicators connect cores with the same position
+	// within concurrently executed M-tasks.
+	Orthogonal
+)
+
+func (k CommKind) String() string {
+	switch k {
+	case Global:
+		return "global"
+	case Group:
+		return "group"
+	case Orthogonal:
+		return "orthogonal"
+	}
+	return fmt.Sprintf("CommKind(%d)", int(k))
+}
+
+// Op identifies a collective operation type for the statistics.
+type Op int
+
+const (
+	// OpBcast is a broadcast (the paper's Tbc).
+	OpBcast Op = iota
+	// OpAllgather is a multi-broadcast (the paper's Tag).
+	OpAllgather
+	// OpBarrier is a pure barrier.
+	OpBarrier
+	// OpReduce is an all-reduce.
+	OpReduce
+	// OpRedist is a data re-distribution between cooperating M-tasks
+	// (inserted by the CM-task compiler); the paper accounts for these
+	// separately from the collective operations of Table 1.
+	OpRedist
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpBcast:
+		return "bcast"
+	case OpAllgather:
+		return "allgather"
+	case OpBarrier:
+		return "barrier"
+	case OpReduce:
+		return "reduce"
+	case OpRedist:
+		return "redistribution"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Stats counts collective operations by communicator kind and operation.
+// Each collective is counted once (not once per participating core).
+type Stats struct {
+	mu     sync.Mutex
+	counts map[[2]int]int
+}
+
+// add records one collective.
+func (s *Stats) add(kind CommKind, op Op) {
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = make(map[[2]int]int)
+	}
+	s.counts[[2]int{int(kind), int(op)}]++
+	s.mu.Unlock()
+}
+
+// Count returns the number of recorded collectives of the given kind/op.
+func (s *Stats) Count(kind CommKind, op Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[[2]int{int(kind), int(op)}]
+}
+
+// Reset clears all counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	s.counts = nil
+	s.mu.Unlock()
+}
+
+// Total returns the total number of collectives of any kind.
+func (s *Stats) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := 0
+	for _, c := range s.counts {
+		t += c
+	}
+	return t
+}
+
+// barrier is a reusable sense-reversing barrier for a fixed number of
+// participants.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// commShared is the state shared by all member handles of a communicator.
+type commShared struct {
+	kind  CommKind
+	ranks []int // world ranks of the members, in communicator rank order
+	bar   *barrier
+	slots []any // exchange slots, one per member
+	stats *Stats
+
+	mu     sync.Mutex
+	splits map[int]map[int]*commShared // split generation -> color -> child
+	splitN int
+}
+
+// Comm is one member's handle of a communicator. Handles are per-goroutine
+// and must not be shared between goroutines.
+type Comm struct {
+	shared *commShared
+	rank   int
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.shared.ranks) }
+
+// WorldRank returns the caller's rank within the world.
+func (c *Comm) WorldRank() int { return c.shared.ranks[c.rank] }
+
+// Kind returns the communicator category.
+func (c *Comm) Kind() CommKind { return c.shared.kind }
+
+// count records a collective once (rank 0 reports).
+func (c *Comm) count(op Op) {
+	if c.rank == 0 && c.shared.stats != nil {
+		c.shared.stats.add(c.shared.kind, op)
+	}
+}
+
+// Barrier synchronises all members.
+func (c *Comm) Barrier() {
+	c.count(OpBarrier)
+	c.shared.bar.wait()
+}
+
+// Bcast broadcasts the root's slice to all members; every member returns
+// its own copy (the root returns the original slice).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	c.count(OpBcast)
+	if c.Size() == 1 {
+		return data
+	}
+	if c.rank == root {
+		c.shared.slots[root] = data
+	}
+	c.shared.bar.wait()
+	src := c.shared.slots[root].([]float64)
+	var out []float64
+	if c.rank == root {
+		out = data
+	} else {
+		out = make([]float64, len(src))
+		copy(out, src)
+	}
+	c.shared.bar.wait() // slot may be reused afterwards
+	return out
+}
+
+// Allgather concatenates every member's contribution in rank order; each
+// member returns its own copy of the result (the paper's multi-broadcast,
+// MPI_Allgather).
+func (c *Comm) Allgather(contrib []float64) []float64 {
+	return c.AllgatherAs(contrib, OpAllgather)
+}
+
+// AllgatherAs is Allgather recorded under a different operation category;
+// it implements the compiler-inserted data re-distributions (OpRedist),
+// which the paper accounts for separately from the collective operations.
+func (c *Comm) AllgatherAs(contrib []float64, op Op) []float64 {
+	c.count(op)
+	if c.Size() == 1 {
+		out := make([]float64, len(contrib))
+		copy(out, contrib)
+		return out
+	}
+	c.shared.slots[c.rank] = contrib
+	c.shared.bar.wait()
+	total := 0
+	for _, s := range c.shared.slots {
+		total += len(s.([]float64))
+	}
+	out := make([]float64, 0, total)
+	for _, s := range c.shared.slots {
+		out = append(out, s.([]float64)...)
+	}
+	c.shared.bar.wait()
+	return out
+}
+
+// ExchangeAny gathers one arbitrary value per member in rank order (an
+// allgather over opaque values); used by the dynamic task library for
+// control data such as error states. Counted as a barrier, not as one of
+// Table 1's data collectives.
+func (c *Comm) ExchangeAny(v any) []any {
+	c.count(OpBarrier)
+	if c.Size() == 1 {
+		return []any{v}
+	}
+	c.shared.slots[c.rank] = v
+	c.shared.bar.wait()
+	out := make([]any, c.Size())
+	copy(out, c.shared.slots)
+	c.shared.bar.wait()
+	return out
+}
+
+// AllreduceMax returns the maximum of the members' values.
+func (c *Comm) AllreduceMax(v float64) float64 {
+	c.count(OpReduce)
+	if c.Size() == 1 {
+		return v
+	}
+	c.shared.slots[c.rank] = v
+	c.shared.bar.wait()
+	max := v
+	for _, s := range c.shared.slots {
+		if x := s.(float64); x > max {
+			max = x
+		}
+	}
+	c.shared.bar.wait()
+	return max
+}
+
+// AllreduceSum returns the sum of the members' values.
+func (c *Comm) AllreduceSum(v float64) float64 {
+	c.count(OpReduce)
+	if c.Size() == 1 {
+		return v
+	}
+	c.shared.slots[c.rank] = v
+	c.shared.bar.wait()
+	sum := 0.0
+	for _, s := range c.shared.slots {
+		sum += s.(float64)
+	}
+	c.shared.bar.wait()
+	return sum
+}
+
+// Split partitions the communicator like MPI_Comm_split: members calling
+// with the same color form a new communicator of the given kind, ordered
+// by key (ties by current rank). All members must call Split.
+func (c *Comm) Split(color, key int, kind CommKind) *Comm {
+	type ck struct{ color, key, rank int }
+	c.shared.slots[c.rank] = ck{color: color, key: key, rank: c.rank}
+	c.shared.bar.wait()
+
+	// Deterministically compute the member lists of every color.
+	members := make([]ck, c.Size())
+	for i, s := range c.shared.slots {
+		members[i] = s.(ck)
+	}
+	var mine []ck
+	for _, m := range members {
+		if m.color == color {
+			mine = append(mine, m)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	myIdx := -1
+	worldRanks := make([]int, len(mine))
+	for i, m := range mine {
+		worldRanks[i] = c.shared.ranks[m.rank]
+		if m.rank == c.rank {
+			myIdx = i
+		}
+	}
+
+	// The lowest-ranked member of each color allocates the shared
+	// state; everyone retrieves it from the parent's split registry.
+	c.shared.mu.Lock()
+	if c.shared.splits == nil {
+		c.shared.splits = make(map[int]map[int]*commShared)
+	}
+	gen := c.shared.splitN
+	byColor, ok := c.shared.splits[gen]
+	if !ok {
+		byColor = make(map[int]*commShared)
+		c.shared.splits[gen] = byColor
+	}
+	child, ok := byColor[color]
+	if !ok {
+		child = &commShared{
+			kind:  kind,
+			ranks: worldRanks,
+			bar:   newBarrier(len(worldRanks)),
+			slots: make([]any, len(worldRanks)),
+			stats: c.shared.stats,
+		}
+		byColor[color] = child
+	}
+	c.shared.mu.Unlock()
+
+	// Second barrier: after it, bump the split generation exactly once
+	// so a later Split on the same parent uses a fresh registry slot.
+	c.shared.bar.wait()
+	if c.rank == 0 {
+		c.shared.mu.Lock()
+		c.shared.splitN++
+		delete(c.shared.splits, gen)
+		c.shared.mu.Unlock()
+	}
+	c.shared.bar.wait()
+	return &Comm{shared: child, rank: myIdx}
+}

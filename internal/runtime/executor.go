@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"mtask/internal/core"
+	"mtask/internal/graph"
+)
+
+// TaskCtx is the execution context handed to the SPMD body of an M-task:
+// the group communicator of the cores executing the task, the global
+// communicator (for orthogonal exchanges and data re-distribution between
+// cooperating M-tasks), and the task being executed.
+type TaskCtx struct {
+	// Group is the communicator of the cores executing this task.
+	Group *Comm
+	// Global is the caller's handle of the world communicator.
+	Global *Comm
+	// Task is the original (uncontracted) M-task.
+	Task *graph.Task
+	// Layer and GroupIndex locate the task in the schedule.
+	Layer      int
+	GroupIndex int
+}
+
+// TaskFunc is the SPMD body of a basic M-task: it is invoked once per
+// participating core, concurrently.
+type TaskFunc func(ctx *TaskCtx) error
+
+// Execute runs a layered schedule on the world: for every layer the world
+// is split into the schedule's core groups, every group executes its
+// assigned M-tasks one after another (contracted chains expand back to
+// their original member tasks), and layers are separated by a global
+// barrier (the group structure is reorganised between layers). The body
+// function maps each original task to its SPMD implementation; tasks
+// without a body are an error.
+func Execute(w *World, sched *core.Schedule, body func(t *graph.Task) TaskFunc) error {
+	if sched.P != w.P {
+		return fmt.Errorf("runtime: schedule needs %d cores, world has %d", sched.P, w.P)
+	}
+	errs := make([]error, w.P)
+	var once sync.Once
+	var firstErr error
+	w.Run(func(global *Comm) {
+		rank := global.Rank()
+		for li, ls := range sched.Layers {
+			// Locate this rank's group via the size prefix sums.
+			gi, off := 0, 0
+			for g, sz := range ls.Sizes {
+				if rank < off+sz {
+					gi = g
+					break
+				}
+				off += sz
+			}
+			groupComm := global.Split(gi, rank, Group)
+			for _, id := range ls.Groups[gi] {
+				if errs[rank] != nil {
+					break // keep collectives below, skip work
+				}
+				for _, src := range sched.SourceTasks(id) {
+					t := sched.Source.Task(src)
+					fn := body(t)
+					if fn == nil {
+						errs[rank] = fmt.Errorf("runtime: no body for task %q", t.Name)
+						break
+					}
+					ctx := &TaskCtx{
+						Group:      groupComm,
+						Global:     global,
+						Task:       t,
+						Layer:      li,
+						GroupIndex: gi,
+					}
+					if err := fn(ctx); err != nil {
+						errs[rank] = fmt.Errorf("runtime: task %q: %w", t.Name, err)
+						break
+					}
+				}
+				if errs[rank] != nil {
+					break
+				}
+			}
+			global.Barrier()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			once.Do(func() { firstErr = err })
+		}
+	}
+	return firstErr
+}
+
+// ExecuteHierarchical runs a hierarchical schedule: basic tasks execute
+// their bodies as in Execute; a composed task (e.g. a while loop) executes
+// its recursively scheduled body repeatedly on its group's cores. The
+// iterations function returns the trip count of a composed task and is
+// consulted before each repetition (return 0 to stop; it may inspect
+// shared state updated by the body, which is how data-dependent while
+// loops terminate).
+func ExecuteHierarchical(w *World, hs *core.HierarchicalSchedule, body func(t *graph.Task) TaskFunc,
+	iterations func(t *graph.Task, done int) bool) error {
+
+	wrapped := func(t *graph.Task) TaskFunc {
+		if t.Kind != graph.KindComposed {
+			return body(t)
+		}
+		return func(ctx *TaskCtx) error {
+			// Locate the composed node in the scheduled graph to
+			// find its sub-schedule.
+			var sub *core.HierarchicalSchedule
+			for id, s := range hs.Sub {
+				node := hs.Top.Graph.Task(id)
+				if node == t || (len(node.Members) == 1 && hs.Top.Source.Task(node.Members[0]) == t) {
+					sub = s
+					break
+				}
+			}
+			if sub == nil {
+				return fmt.Errorf("runtime: no sub-schedule for composed task %q", t.Name)
+			}
+			for done := 0; iterations == nil && done < 1 || iterations != nil && iterations(t, done); done++ {
+				if err := executeOn(ctx.Group, sub, body, iterations); err != nil {
+					return err
+				}
+				if iterations == nil {
+					break
+				}
+			}
+			return nil
+		}
+	}
+	return Execute(w, hs.Top, wrapped)
+}
+
+// executeOn runs a (hierarchical) schedule on an existing communicator:
+// the schedule's P must equal the communicator size. It mirrors Execute
+// but splits the given group instead of a world.
+func executeOn(comm *Comm, hs *core.HierarchicalSchedule, body func(t *graph.Task) TaskFunc,
+	iterations func(t *graph.Task, done int) bool) error {
+	sched := hs.Top
+	if sched.P != comm.Size() {
+		return fmt.Errorf("runtime: sub-schedule needs %d cores, group has %d", sched.P, comm.Size())
+	}
+	rank := comm.Rank()
+	var firstErr error
+	for li, ls := range sched.Layers {
+		gi, off := 0, 0
+		for g, sz := range ls.Sizes {
+			if rank < off+sz {
+				gi = g
+				break
+			}
+			off += sz
+		}
+		groupComm := comm.Split(gi, rank, Group)
+		for _, id := range ls.Groups[gi] {
+			if firstErr != nil {
+				break // keep the layer collectives, skip the work
+			}
+			node := sched.Graph.Task(id)
+			for _, src := range sched.SourceTasks(id) {
+				t := sched.Source.Task(src)
+				var fn TaskFunc
+				if t.Kind == graph.KindComposed {
+					sub := hs.Sub[node.ID]
+					if sub == nil {
+						firstErr = fmt.Errorf("runtime: no sub-schedule for %q", t.Name)
+						break
+					}
+					fn = func(ctx *TaskCtx) error {
+						for done := 0; iterations == nil && done < 1 || iterations != nil && iterations(t, done); done++ {
+							if err := executeOn(ctx.Group, sub, body, iterations); err != nil {
+								return err
+							}
+							if iterations == nil {
+								break
+							}
+						}
+						return nil
+					}
+				} else {
+					fn = body(t)
+				}
+				if fn == nil {
+					firstErr = fmt.Errorf("runtime: no body for task %q", t.Name)
+					break
+				}
+				ctx := &TaskCtx{Group: groupComm, Task: t, Layer: li, GroupIndex: gi}
+				if err := fn(ctx); err != nil {
+					firstErr = fmt.Errorf("runtime: task %q: %w", t.Name, err)
+					break
+				}
+			}
+			if firstErr != nil {
+				break
+			}
+		}
+		comm.Barrier()
+	}
+	return firstErr
+}

@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is a set of P symbolic cores realised as goroutines, with a global
+// communicator and shared operation statistics.
+type World struct {
+	P     int
+	Stats Stats
+}
+
+// NewWorld returns a world of p cores.
+func NewWorld(p int) (*World, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("runtime: world needs at least one core, got %d", p)
+	}
+	return &World{P: p}, nil
+}
+
+// Run executes fn on every core concurrently, passing each goroutine its
+// own handle of the global communicator, and waits for all cores to
+// finish. Run may be called repeatedly; statistics accumulate until Reset.
+func (w *World) Run(fn func(c *Comm)) {
+	shared := &commShared{
+		kind:  Global,
+		ranks: make([]int, w.P),
+		bar:   newBarrier(w.P),
+		slots: make([]any, w.P),
+		stats: &w.Stats,
+	}
+	for i := range shared.ranks {
+		shared.ranks[i] = i
+	}
+	var wg sync.WaitGroup
+	wg.Add(w.P)
+	for r := 0; r < w.P; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{shared: shared, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// BlockRange splits n items over size ranks in contiguous blocks and
+// returns the half-open range of the given rank. The first n%size ranks
+// receive one extra item.
+func BlockRange(n, size, rank int) (lo, hi int) {
+	base, rem := n/size, n%size
+	lo = rank*base + min(rank, rem)
+	cnt := base
+	if rank < rem {
+		cnt++
+	}
+	return lo, lo + cnt
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package spec
+
+import "fmt"
+
+// Access is a parameter access annotation.
+type Access int
+
+const (
+	// In parameters are read by the M-task.
+	In Access = iota
+	// Out parameters are produced by the M-task.
+	Out
+	// InOut parameters are read and updated.
+	InOut
+)
+
+func (a Access) String() string {
+	switch a {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("Access(%d)", int(a))
+}
+
+// Param is a declared parameter of an M-task or of the main module.
+type Param struct {
+	Name   string
+	Type   string // scalar, int, vector, vectors, ...
+	Access Access
+	Dist   string // replic, block, cyclic or empty
+}
+
+// TaskDecl declares a basic M-task: its parameter interface and its cost
+// annotations (sequential work in operations, internal collective payload
+// in bytes, output size in bytes, and an optional width bound).
+type TaskDecl struct {
+	Name     string
+	Params   []Param
+	Work     float64
+	Comm     int
+	Out      int
+	MaxWidth int
+}
+
+// ConstDecl is a named integer constant; Known is false for "..."
+// placeholders (such as Tend in the paper's Fig. 3), which may be used in
+// while conditions but not as loop bounds.
+type ConstDecl struct {
+	Name  string
+	Value float64
+	Known bool
+}
+
+// Expr is an argument expression of an activation: a variable, an indexed
+// variable V[i], or an integer literal.
+type Expr struct {
+	Name  string // variable name; empty for a literal
+	Index *Expr  // optional subscript
+	Num   float64
+	IsNum bool
+	Line  int
+}
+
+func (e *Expr) String() string {
+	if e.IsNum {
+		return fmt.Sprintf("%g", e.Num)
+	}
+	if e.Index != nil {
+		return fmt.Sprintf("%s[%s]", e.Name, e.Index)
+	}
+	return e.Name
+}
+
+// Stmt is a statement of the module expression.
+type Stmt interface{ stmt() }
+
+// CallStmt activates an M-task.
+type CallStmt struct {
+	Task string
+	Args []*Expr
+	Line int
+}
+
+// SeqStmt executes its children one after another.
+type SeqStmt struct{ Body []Stmt }
+
+// LoopStmt is a counting loop: parfor (independent iterations) or for
+// (iterations with input-output relations). Bounds are expressions
+// resolved at unroll time (constants or enclosing loop variables).
+type LoopStmt struct {
+	Var    string
+	Lo, Hi *Expr
+	Par    bool // parfor
+	Body   []Stmt
+	Line   int
+}
+
+// WhileStmt repeats its body while the (opaque) condition holds; it
+// compiles into a composed node whose Sub graph is the loop body.
+type WhileStmt struct {
+	CondVar  string // the variable steering the loop (e.g. t)
+	CondText string
+	Body     []Stmt
+	Line     int
+}
+
+func (*CallStmt) stmt()  {}
+func (*SeqStmt) stmt()   {}
+func (*LoopStmt) stmt()  {}
+func (*WhileStmt) stmt() {}
+
+// VarDecl declares module-local variables.
+type VarDecl struct {
+	Names []string
+	Type  string
+}
+
+// MainDecl is the cmmain module.
+type MainDecl struct {
+	Name   string
+	Params []Param
+	Vars   []VarDecl
+	Body   []Stmt
+}
+
+// Program is a parsed specification.
+type Program struct {
+	Consts map[string]*ConstDecl
+	Tasks  map[string]*TaskDecl
+	Main   *MainDecl
+}

@@ -1,0 +1,143 @@
+// Package spec implements a compiler front-end for a CM-task-style
+// coordination language (Section 2.2 of the paper, Fig. 3): constants,
+// M-task declarations with typed in/out/inout parameters and data
+// distributions, and a main module whose body composes M-task activations
+// with the operators seq, parfor, for and while. The compiler unrolls the
+// counting loops, performs data-dependence analysis on the unrolled
+// activations, and produces the hierarchical M-task graph (while loops
+// become composed nodes whose body is a lower-level graph, as in Fig. 4),
+// ready for the scheduling and mapping algorithms.
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single-character punctuation and operators
+	tokEllipsis
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenises a specification source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("spec:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := rune(l.src[l.pos])
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if !unicode.IsDigit(rune(c)) && c != '.' && c != 'e' && c != 'E' {
+				break
+			}
+			// "..." must not be eaten as part of a number.
+			if c == '.' && strings.HasPrefix(l.src[l.pos:], "...") {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokNumber, text: b.String(), line: line, col: col}, nil
+	case strings.HasPrefix(l.src[l.pos:], "..."):
+		l.advance()
+		l.advance()
+		l.advance()
+		return token{kind: tokEllipsis, text: "...", line: line, col: col}, nil
+	case strings.ContainsRune("(){}[]:;,=<>+-*/", rune(c)):
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", c)
+	}
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

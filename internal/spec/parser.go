@@ -1,0 +1,463 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a specification source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{
+		Consts: make(map[string]*ConstDecl),
+		Tasks:  make(map[string]*TaskDecl),
+	}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokIdent, "const"):
+			c, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Consts[c.Name]; dup {
+				return nil, p.errorf("constant %q redeclared", c.Name)
+			}
+			prog.Consts[c.Name] = c
+		case p.at(tokIdent, "task"):
+			t, err := p.taskDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Tasks[t.Name]; dup {
+				return nil, p.errorf("task %q redeclared", t.Name)
+			}
+			prog.Tasks[t.Name] = t
+		case p.at(tokIdent, "cmmain"):
+			if prog.Main != nil {
+				return nil, p.errorf("duplicate cmmain")
+			}
+			m, err := p.mainDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Main = m
+		default:
+			return nil, p.errorf("expected const, task or cmmain, found %s", p.cur())
+		}
+	}
+	if prog.Main == nil {
+		return nil, fmt.Errorf("spec: missing cmmain module")
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("spec:%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return t, p.errorf("expected %s, found %s", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errorf("malformed number %q", t.text)
+	}
+	return v, nil
+}
+
+// constDecl := "const" IDENT "=" (NUMBER | "...") ";"
+func (p *parser) constDecl() (*ConstDecl, error) {
+	p.pos++ // const
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	c := &ConstDecl{Name: name.text}
+	if p.accept(tokEllipsis, "") {
+		c.Known = false
+	} else {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		c.Value, c.Known = v, true
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// param := IDENT ":" IDENT ":" access (":" IDENT)?
+func (p *parser) param() (Param, error) {
+	var pr Param
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return pr, err
+	}
+	pr.Name = name.text
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return pr, err
+	}
+	typ, err := p.expect(tokIdent, "")
+	if err != nil {
+		return pr, err
+	}
+	pr.Type = typ.text
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return pr, err
+	}
+	acc, err := p.expect(tokIdent, "")
+	if err != nil {
+		return pr, err
+	}
+	switch acc.text {
+	case "in":
+		pr.Access = In
+	case "out":
+		pr.Access = Out
+	case "inout":
+		pr.Access = InOut
+	default:
+		return pr, p.errorf("unknown access %q (want in, out or inout)", acc.text)
+	}
+	if p.accept(tokPunct, ":") {
+		dist, err := p.expect(tokIdent, "")
+		if err != nil {
+			return pr, err
+		}
+		pr.Dist = dist.text
+	}
+	return pr, nil
+}
+
+func (p *parser) paramList() ([]Param, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if !p.at(tokPunct, ")") {
+		for {
+			pr, err := p.param()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pr)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// taskDecl := "task" IDENT params attrs ";"
+// attrs := ("work" NUMBER | "comm" NUMBER | "out" NUMBER | "maxwidth" NUMBER)*
+func (p *parser) taskDecl() (*TaskDecl, error) {
+	p.pos++ // task
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	t := &TaskDecl{Name: name.text, Params: params}
+	for p.at(tokIdent, "work") || p.at(tokIdent, "comm") || p.at(tokIdent, "out") || p.at(tokIdent, "maxwidth") {
+		attr := p.cur().text
+		p.pos++
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		switch attr {
+		case "work":
+			t.Work = v
+		case "comm":
+			t.Comm = int(v)
+		case "out":
+			t.Out = int(v)
+		case "maxwidth":
+			t.MaxWidth = int(v)
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// mainDecl := "cmmain" IDENT params block
+func (p *parser) mainDecl() (*MainDecl, error) {
+	p.pos++ // cmmain
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	m := &MainDecl{Name: name.text, Params: params}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for p.at(tokIdent, "var") {
+		vd, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		m.Vars = append(m.Vars, vd)
+	}
+	body, err := p.stmtList()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// varDecl := "var" IDENT ("," IDENT)* ":" IDENT ";"
+func (p *parser) varDecl() (VarDecl, error) {
+	var vd VarDecl
+	p.pos++ // var
+	for {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return vd, err
+		}
+		vd.Names = append(vd.Names, name.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return vd, err
+	}
+	typ, err := p.expect(tokIdent, "")
+	if err != nil {
+		return vd, err
+	}
+	vd.Type = typ.text
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return vd, err
+	}
+	return vd, nil
+}
+
+// stmtList parses statements until the closing brace (not consumed).
+func (p *parser) stmtList() ([]Stmt, error) {
+	var body []Stmt
+	for !p.at(tokPunct, "}") && !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return body, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(tokIdent, "seq"):
+		p.pos++
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &SeqStmt{Body: body}, nil
+	case p.at(tokIdent, "parfor"), p.at(tokIdent, "for"):
+		par := p.cur().text == "parfor"
+		line := p.cur().line
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &LoopStmt{Var: v.text, Lo: lo, Hi: hi, Par: par, Body: body, Line: line}, nil
+	case p.at(tokIdent, "while"):
+		line := p.cur().line
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		// The condition is opaque: collect tokens to the closing
+		// parenthesis, remembering the first identifier as the
+		// steering variable.
+		var condVar, condText string
+		depth := 1
+		for depth > 0 {
+			t := p.cur()
+			if t.kind == tokEOF {
+				return nil, p.errorf("unterminated while condition")
+			}
+			if t.kind == tokPunct && t.text == "(" {
+				depth++
+			}
+			if t.kind == tokPunct && t.text == ")" {
+				depth--
+				if depth == 0 {
+					p.pos++
+					break
+				}
+			}
+			if t.kind == tokIdent && condVar == "" {
+				condVar = t.text
+			}
+			condText += t.text + " "
+			p.pos++
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{CondVar: condVar, CondText: condText, Body: body, Line: line}, nil
+	case p.at(tokIdent, ""):
+		// M-task activation.
+		line := p.cur().line
+		name, _ := p.expect(tokIdent, "")
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var args []*Expr
+		if !p.at(tokPunct, ")") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, e)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Task: name.text, Args: args, Line: line}, nil
+	default:
+		return nil, p.errorf("expected statement, found %s", p.cur())
+	}
+}
+
+// expr := NUMBER | IDENT ("[" expr "]")?
+func (p *parser) expr() (*Expr, error) {
+	t := p.cur()
+	if t.kind == tokNumber {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{IsNum: true, Num: v, Line: t.line}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	e := &Expr{Name: name.text, Line: t.line}
+	if p.accept(tokPunct, "[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		e.Index = idx
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,355 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+)
+
+// epolSpec is the paper's Fig. 3 specification of the extrapolation
+// method, extended with the task declarations the paper omits.
+const epolSpec = `
+const R = 4;        // number of approximations
+const Tend = ...;   // end of integration interval
+
+task init_step(t:scalar:out, h:scalar:out) work 100;
+task step(j:int:in, i:int:in, t:scalar:in, h:scalar:in,
+          eta_k:vector:in:replic, v:vector:inout:block) work 28000 comm 8000;
+task combine(t:scalar:inout, h:scalar:inout, V:Rvectors:in, eta_k:vector:inout:replic)
+     work 50000 out 8000;
+
+cmmain EPOL(eta_k:vector:inout:replic) {
+  var t, h : scalar;
+  var V : Rvectors;
+  var i, j : int;
+  seq {
+    init_step(t, h);
+    while (t < Tend) {
+      seq {
+        parfor (i = 1:R) {
+          for (j = 1:i) {
+            step(j, i, t, h, eta_k, V[i]);
+          }
+        }
+        combine(t, h, V, eta_k);
+      }
+    }
+  }
+}
+`
+
+func TestCompileEPOLSpec(t *testing.T) {
+	u, err := Compile(epolSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := u.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Upper-level graph: init_step, the while node, start, stop.
+	if g.Len() != 4 {
+		t.Fatalf("upper graph has %d nodes, want 4:\n%v", g.Len(), names(g))
+	}
+	var while *graph.Task
+	for _, task := range g.Tasks() {
+		if task.Kind == graph.KindComposed {
+			while = task
+		}
+	}
+	if while == nil {
+		t.Fatal("no composed while node")
+	}
+	if while.Sub == nil {
+		t.Fatal("while node has no sub graph")
+	}
+	// Lower-level graph (Fig. 4): R(R+1)/2 = 10 micro steps + combine +
+	// start + stop = 13 nodes.
+	if while.Sub.Len() != 13 {
+		t.Fatalf("while body has %d nodes, want 13:\n%v", while.Sub.Len(), names(while.Sub))
+	}
+	// The while node depends on init_step (reads t, h).
+	deps := g.Pred(while.ID)
+	foundInit := false
+	for _, d := range deps {
+		if strings.HasPrefix(g.Task(d).Name, "init_step") {
+			foundInit = true
+		}
+	}
+	if !foundInit {
+		t.Fatal("while node does not depend on init_step")
+	}
+}
+
+func names(g *graph.Graph) []string {
+	var out []string
+	for _, t := range g.Tasks() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func TestCompiledBodyMatchesFig4(t *testing.T) {
+	u, err := Compile(epolSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub *graph.Graph
+	for _, task := range u.Graph.Tasks() {
+		if task.Kind == graph.KindComposed {
+			sub = task.Sub
+		}
+	}
+	// Chain contraction must find the R = 4 approximation chains, then
+	// layering gives 2 layers (chains, combine).
+	res := graph.ContractChains(sub)
+	if res.Graph.Len() != 4+1+2 {
+		t.Fatalf("contracted body has %d nodes, want 7", res.Graph.Len())
+	}
+	layers := graph.Layers(res.Graph)
+	if len(layers) != 2 || len(layers[0]) != 4 || len(layers[1]) != 1 {
+		t.Fatalf("layers %v, want [4 tasks][1 task]", layers)
+	}
+	// Micro steps within a chain are linked j -> j+1; micro steps of
+	// different chains are independent.
+	find := func(name string) graph.TaskID {
+		for _, task := range sub.Tasks() {
+			if task.Name == name {
+				return task.ID
+			}
+		}
+		t.Fatalf("task %q not found in %v", name, names(sub))
+		return graph.None
+	}
+	s21 := find("step(1,2,t,h,eta_k,V[2])")
+	s22 := find("step(2,2,t,h,eta_k,V[2])")
+	s31 := find("step(1,3,t,h,eta_k,V[3])")
+	if !sub.Reachable(s21, s22) {
+		t.Error("micro steps of chain 2 not ordered")
+	}
+	if !sub.Independent(s21, s31) {
+		t.Error("chains 2 and 3 not independent")
+	}
+	c := find("combine(t,h,V,eta_k)")
+	if !sub.Reachable(s22, c) || !sub.Reachable(s31, c) {
+		t.Error("combine does not depend on the chains")
+	}
+}
+
+func TestCompiledGraphSchedules(t *testing.T) {
+	u, err := Compile(epolSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub *graph.Graph
+	for _, task := range u.Graph.Tasks() {
+		if task.Kind == graph.KindComposed {
+			sub = task.Sub
+		}
+	}
+	mach := arch.CHiC().Subset(8)
+	model := &cost.Model{Machine: mach}
+	s, err := (&core.Scheduler{Model: model}).Schedule(sub, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Layers) != 2 {
+		t.Fatalf("schedule has %d layers, want 2", len(s.Layers))
+	}
+}
+
+func TestParforDependenceRejected(t *testing.T) {
+	src := `
+task t1(x:vector:inout) work 10;
+cmmain M(x:vector:inout:replic) {
+  var i : int;
+  parfor (i = 1:3) {
+    t1(x);
+  }
+}
+`
+	_, err := Compile(src)
+	if err == nil || !strings.Contains(err.Error(), "parfor") {
+		t.Fatalf("cross-iteration dependence not rejected: %v", err)
+	}
+	// The same loop as "for" is fine.
+	srcFor := strings.Replace(src, "parfor", "for", 1)
+	if _, err := Compile(srcFor); err != nil {
+		t.Fatalf("for loop rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing cmmain":     `const R = 4;`,
+		"undeclared task":    `cmmain M(x:vector:in) { foo(x); }`,
+		"bad access":         `task t(x:vector:frobnicate) work 1; cmmain M(x:vector:in) { t(x); }`,
+		"arg count":          `task t(x:vector:in, y:vector:in) work 1; cmmain M(x:vector:in) { t(x); }`,
+		"unknown const":      `task t(x:int:in) work 1; cmmain M(y:vector:in) { var i:int; for (i = 1:Q) { t(i); } }`,
+		"ellipsis bound":     `const Q = ...; task t(x:int:in) work 1; cmmain M(y:vector:in) { var i:int; for (i = 1:Q) { t(i); } }`,
+		"duplicate main":     `cmmain M(x:vector:in) { } cmmain N(x:vector:in) { }`,
+		"duplicate const":    `const R = 1; const R = 2; cmmain M(x:vector:in) { }`,
+		"shadowed loop var":  `task t(x:int:in) work 1; cmmain M(y:vector:in) { var i:int; for (i = 1:2) { for (i = 1:2) { t(i); } } }`,
+		"garbage":            `const @;`,
+		"unterminated while": `cmmain M(x:vector:in) { while (x < `,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compile succeeded unexpectedly", name)
+		}
+	}
+}
+
+func TestSeqOrderingViaData(t *testing.T) {
+	// Two writers of the same variable serialize; independent data
+	// stays parallel.
+	src := `
+task w(x:vector:out) work 10 out 100;
+task r(x:vector:in, y:vector:out) work 10 out 100;
+cmmain M(a:vector:inout:replic) {
+  var b, c, d : vector;
+  seq {
+    w(b);
+    r(b, c);
+    w(d);
+  }
+}
+`
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := u.Graph
+	find := func(prefix string) graph.TaskID {
+		for _, task := range g.Tasks() {
+			if strings.HasPrefix(task.Name, prefix) {
+				return task.ID
+			}
+		}
+		t.Fatalf("no task %q", prefix)
+		return graph.None
+	}
+	wb := find("w(b)")
+	rbc := find("r(b,c)")
+	wd := find("w(d)")
+	if !g.Reachable(wb, rbc) {
+		t.Error("reader does not depend on writer")
+	}
+	if !g.Independent(wb, wd) || !g.Independent(rbc, wd) {
+		t.Error("independent writers were serialized")
+	}
+	// Edge carries the producer's output size.
+	if got := g.EdgeBytes(wb, rbc); got != 100 {
+		t.Errorf("edge bytes = %d, want 100", got)
+	}
+}
+
+func TestOutputDependence(t *testing.T) {
+	// Consecutive writers of the same data are ordered (output
+	// dependence keeps "last writer" well defined); the intervening
+	// reader only depends on the first writer — the paper's M-task
+	// graphs contain input-output relations, not anti-dependences,
+	// because the generated program renames data instances.
+	src := `
+task w(x:vector:out) work 10;
+task r(x:vector:in) work 10;
+cmmain M(a:vector:inout:replic) {
+  var b : vector;
+  seq {
+    w(b);
+    r(b);
+    w(b);
+  }
+}
+`
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := u.Graph
+	// Tasks 0,1,2 are w, r, w in order.
+	if !g.Reachable(0, 1) {
+		t.Fatalf("flow dependence missing: edges %v", g.Edges())
+	}
+	if !g.Reachable(0, 2) {
+		t.Fatalf("output dependence missing: edges %v", g.Edges())
+	}
+}
+
+func TestIndexedInstances(t *testing.T) {
+	// Writing V[1] and V[2] independently, then reading whole V.
+	src := `
+task w(i:int:in, v:vector:out) work 10 out 50;
+task r(V:Rvectors:in) work 10;
+cmmain M(a:vector:in) {
+  var V : Rvectors;
+  var i : int;
+  seq {
+    parfor (i = 1:2) {
+      w(i, V[i]);
+    }
+    r(V);
+  }
+}
+`
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := u.Graph
+	// w(1,V[1]), w(2,V[2]) independent; r depends on both.
+	if !g.Independent(0, 1) {
+		t.Error("writers of different instances serialized")
+	}
+	if !g.Reachable(0, 2) || !g.Reachable(1, 2) {
+		t.Error("whole-array reader independent of instance writers")
+	}
+}
+
+func TestCompileCostAnnotations(t *testing.T) {
+	u, err := Compile(epolSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub *graph.Graph
+	for _, task := range u.Graph.Tasks() {
+		if task.Kind == graph.KindComposed {
+			sub = task.Sub
+		}
+	}
+	for _, task := range sub.Tasks() {
+		if strings.HasPrefix(task.Name, "step(") {
+			if task.Work != 28000 || task.CommBytes != 8000 || task.CommCount != 1 {
+				t.Fatalf("step task costs wrong: %+v", task)
+			}
+		}
+		if strings.HasPrefix(task.Name, "combine(") {
+			if task.OutBytes != 8000 {
+				t.Fatalf("combine out bytes = %d", task.OutBytes)
+			}
+		}
+	}
+}
+
+func TestLexerNumbersAndComments(t *testing.T) {
+	toks, err := lexAll("const X = 42; // answer\nconst Y = 1e3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tok := range toks {
+		if tok.kind == tokNumber {
+			nums = append(nums, tok.text)
+		}
+	}
+	if len(nums) != 2 || nums[0] != "42" || nums[1] != "1e3" {
+		t.Fatalf("numbers %v", nums)
+	}
+}

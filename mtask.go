@@ -1,0 +1,242 @@
+// Package mtask is a Go implementation of the M-task (multiprocessor-task)
+// programming model with combined scheduling and mapping for hierarchical
+// multi-core clusters, reproducing Dümmler, Rauber and Rünger: "Scalable
+// computing with parallel tasks" (SC/MTAGS 2009) and its journal version
+// "Combined scheduling and mapping for scalable computing with parallel
+// tasks" (Scientific Programming 20, 2012).
+//
+// An M-task is a parallel task executable by an arbitrary group of cores;
+// a program is a DAG of M-tasks connected by input-output relations. The
+// library provides:
+//
+//   - M-task graphs with linear-chain contraction and layer partitioning
+//     (Graph, Task);
+//   - the layer-based scheduling algorithm with group-count search, LPT
+//     assignment and group-size adjustment (Scheduler, Schedule), plus the
+//     CPA and CPR baselines in internal/baseline;
+//   - architecture descriptions of hierarchical clusters and the
+//     consecutive/scattered/mixed mapping strategies (Machine, Strategy,
+//     Map);
+//   - a communication cost model and a deterministic cluster simulator
+//     (CostModel, Simulate) that replace the paper's physical testbeds;
+//   - a goroutine-based runtime executing M-task programs in shared
+//     memory with instrumented group communicators (World, Execute);
+//   - a compiler front-end for a CM-task-style coordination language
+//     (CompileSpec);
+//   - the paper's workloads: five parallel ODE solvers (internal/ode) and
+//     an NPB-multi-zone-style benchmark (internal/nas), with experiment
+//     runners for every table and figure of the evaluation
+//     (RunExperiment).
+//
+// See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
+// record.
+package mtask
+
+import (
+	"fmt"
+
+	"mtask/internal/arch"
+	"mtask/internal/bench"
+	"mtask/internal/cluster"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/dynsched"
+	"mtask/internal/graph"
+	"mtask/internal/redist"
+	"mtask/internal/runtime"
+	"mtask/internal/spec"
+)
+
+// --- architecture ---
+
+// Machine describes a hierarchical multi-core cluster (nodes, processors
+// per node, cores per processor, per-level interconnect performance).
+type Machine = arch.Machine
+
+// CoreID identifies a physical core by node, processor and core index.
+type CoreID = arch.CoreID
+
+// CHiC returns the paper's Chemnitz High Performance Linux cluster preset.
+func CHiC() *Machine { return arch.CHiC() }
+
+// SGIAltix returns the paper's SGI Altix partition preset.
+func SGIAltix() *Machine { return arch.SGIAltix() }
+
+// JuRoPA returns the paper's JuRoPA cluster preset.
+func JuRoPA() *Machine { return arch.JuRoPA() }
+
+// --- graphs ---
+
+// Graph is an M-task graph: a DAG of M-tasks with input-output relations.
+type Graph = graph.Graph
+
+// Task is one M-task node of a Graph.
+type Task = graph.Task
+
+// TaskID identifies a task within a graph.
+type TaskID = graph.TaskID
+
+// NewGraph returns an empty named M-task graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// --- cost model, scheduling and mapping ---
+
+// CostModel evaluates computation and communication costs on a Machine.
+type CostModel = cost.Model
+
+// Scheduler runs the paper's layer-based scheduling algorithm.
+type Scheduler = core.Scheduler
+
+// Schedule is a layered schedule of an M-task graph on symbolic cores.
+type Schedule = core.Schedule
+
+// Strategy is a mapping strategy ordering the physical cores.
+type Strategy = core.Strategy
+
+// Consecutive maps cores of the same node to adjacent positions.
+type Consecutive = core.Consecutive
+
+// Scattered maps corresponding cores of different nodes to adjacent
+// positions.
+type Scattered = core.Scattered
+
+// Mixed maps blocks of D consecutive cores per node.
+type Mixed = core.Mixed
+
+// Mapping is the physical realization of a Schedule on a Machine.
+type Mapping = core.Mapping
+
+// Map assigns the symbolic cores of a schedule to physical cores.
+func Map(s *Schedule, m *Machine, strat Strategy) (*Mapping, error) {
+	return core.Map(s, m, strat)
+}
+
+// ScheduleAndMap is the one-call combined scheduling and mapping of the
+// paper: it schedules the graph on all cores of the machine with the
+// layer-based algorithm and maps the symbolic cores with the given
+// strategy.
+func ScheduleAndMap(g *Graph, m *Machine, strat Strategy) (*Mapping, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	model := &cost.Model{Machine: m}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, m.TotalCores())
+	if err != nil {
+		return nil, err
+	}
+	return core.Map(sched, m, strat)
+}
+
+// --- simulation ---
+
+// SimResult is the outcome of a cluster simulation.
+type SimResult = cluster.Result
+
+// Simulate executes the mapped schedule on the deterministic cluster
+// simulator and returns the predicted timing.
+func Simulate(mp *Mapping) (*SimResult, error) {
+	model := &cost.Model{Machine: mp.Machine}
+	prog, _ := cluster.FromMapping(model, mp)
+	return cluster.Simulate(model, prog)
+}
+
+// --- goroutine runtime ---
+
+// World is a set of symbolic cores realised as goroutines.
+type World = runtime.World
+
+// Comm is a communicator handle of one core.
+type Comm = runtime.Comm
+
+// TaskCtx is the execution context of an M-task body.
+type TaskCtx = runtime.TaskCtx
+
+// TaskFunc is the SPMD body of an M-task.
+type TaskFunc = runtime.TaskFunc
+
+// NewWorld returns a world of p goroutine cores.
+func NewWorld(p int) (*World, error) { return runtime.NewWorld(p) }
+
+// Execute runs a schedule on the world with real task bodies.
+func Execute(w *World, sched *Schedule, body func(t *Task) TaskFunc) error {
+	return runtime.Execute(w, sched, body)
+}
+
+// --- specification language ---
+
+// SpecUnit is a compiled CM-task specification.
+type SpecUnit = spec.Unit
+
+// CompileSpec compiles a CM-task-style specification source into its
+// hierarchical M-task graph.
+func CompileSpec(src string) (*SpecUnit, error) { return spec.Compile(src) }
+
+// --- experiments ---
+
+// ExperimentTable is one table/figure regenerated from the paper.
+type ExperimentTable = bench.Table
+
+// RunExperiment regenerates a paper artifact by id ("table1", "fig13" ...
+// "fig19", "ablation"); ExperimentIDs lists the valid ids.
+func RunExperiment(id string) ([]*ExperimentTable, error) { return bench.Run(id) }
+
+// ExperimentIDs returns the available experiment ids.
+func ExperimentIDs() []string { return bench.ExperimentIDs() }
+
+// --- hierarchical and dynamic scheduling ---
+
+// HierarchicalSchedule schedules hierarchical graphs (composed nodes with
+// body graphs) recursively.
+type HierarchicalSchedule = core.HierarchicalSchedule
+
+// DynTask is a dynamically created M-task (Tlib-style).
+type DynTask = dynsched.Task
+
+// DynCtx is the context of a dynamic M-task; DynCtx.SplitRun splits the
+// group recursively.
+type DynCtx = dynsched.Ctx
+
+// DynPool schedules M-tasks with core requirements dynamically onto free
+// cores.
+type DynPool = dynsched.Pool
+
+// RunDynamic executes a dynamic root task on all cores of the world.
+func RunDynamic(w *World, root DynTask) error { return dynsched.Run(w, root) }
+
+// NewDynPool returns a dynamic pool over p cores.
+func NewDynPool(p int) (*DynPool, error) { return dynsched.NewPool(p) }
+
+// --- re-distribution planning ---
+
+// RedistLayout describes a data distribution over a core group.
+type RedistLayout = redist.Layout
+
+// RedistPlan is the message set of one compiler-inserted re-distribution.
+type RedistPlan = redist.Plan
+
+// PlanRedistribution computes the point-to-point messages moving data from
+// one distribution to another (the paper's TRe operations).
+func PlanRedistribution(src, dst RedistLayout) (*RedistPlan, error) {
+	return redist.NewPlan(src, dst)
+}
+
+// RenderGantt renders a simulated mapping as a text Gantt chart.
+func RenderGantt(mp *Mapping, width int) (string, error) {
+	model := &cost.Model{Machine: mp.Machine}
+	prog, _ := cluster.FromMapping(model, mp)
+	res, err := cluster.Simulate(model, prog)
+	if err != nil {
+		return "", err
+	}
+	return cluster.RenderGantt(prog, res, width), nil
+}
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// Describe returns a one-line summary of a mapping for logs and examples.
+func Describe(mp *Mapping) string {
+	return fmt.Sprintf("%q on %s (%d cores, %d layers, %s mapping)",
+		mp.Schedule.Source.Name, mp.Machine.Name, mp.Schedule.P,
+		len(mp.Schedule.Layers), mp.Strategy.Name())
+}
