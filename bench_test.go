@@ -8,9 +8,11 @@ package mtask
 // regression in the model surfaces here.
 
 import (
+	"context"
 	"testing"
 
 	"mtask/internal/bench"
+	"mtask/internal/ode"
 )
 
 func runTables(b *testing.B, f func() ([]*bench.Table, error)) []*bench.Table {
@@ -141,6 +143,66 @@ func BenchmarkFig19(b *testing.B) {
 	full, _ := tables[0].Get("data-parallel", 64)
 	if !(full < one) {
 		b.Fatalf("shape: dp 1x%d %g not below %dx1 %g", 64, full, 64, one)
+	}
+}
+
+// planBenchWorkload is the fig13 PABM solver workload at paper scale:
+// 24 time steps of an 8-stage PABM method on 256 CHiC cores. Each time
+// step contributes one wide stage layer, so the group-count search has
+// plenty of independent (layer, candidate) work items.
+func planBenchWorkload() (*Graph, *Machine) {
+	return ode.BuildPABGraph(40000, 600, 8, 2, 24), CHiC().SubsetCores(256)
+}
+
+// benchmarkPlanCold measures a cold Plan call (no schedule-cache reuse
+// between iterations) at the given search parallelism.
+func benchmarkPlanCold(b *testing.B, workers int) {
+	b.Helper()
+	g, m := planBenchWorkload()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := Plan(ctx, g, m, WithParallelism(workers), WithoutCache())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mp.Schedule.Time <= 0 {
+			b.Fatal("zero makespan")
+		}
+	}
+}
+
+// BenchmarkPlanSequential is the single-worker reference path of the
+// group-count search.
+func BenchmarkPlanSequential(b *testing.B) { benchmarkPlanCold(b, 1) }
+
+// BenchmarkPlanParallel runs the same search on the full worker pool.
+func BenchmarkPlanParallel(b *testing.B) { benchmarkPlanCold(b, 0) }
+
+// BenchmarkPlanCached measures the schedule-cache hit path: the planner
+// is warmed once outside the timer, so every timed iteration is served
+// from the LRU by graph/machine fingerprint.
+func BenchmarkPlanCached(b *testing.B) {
+	g, m := planBenchWorkload()
+	ctx := context.Background()
+	p := NewPlanner()
+	if _, err := p.Plan(ctx, g, m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := p.Plan(ctx, g, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mp.Schedule.Time <= 0 {
+			b.Fatal("zero makespan")
+		}
+	}
+	b.StopTimer()
+	hits, misses := p.Cache().Stats()
+	if misses != 1 || hits < uint64(b.N) {
+		b.Fatalf("cache stats %d hits / %d misses for N=%d", hits, misses, b.N)
 	}
 }
 

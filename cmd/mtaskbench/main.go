@@ -1,27 +1,50 @@
 // Command mtaskbench regenerates the tables and figures of the paper's
-// evaluation.
+// evaluation, and exercises the Planner engine on the paper's solver
+// graphs.
 //
 // Usage:
 //
 //	mtaskbench -list
 //	mtaskbench -exp fig14
 //	mtaskbench -exp all
+//	mtaskbench -plan pabm -cores 256 -steps 16 -repeat 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"mtask"
 	"mtask/internal/bench"
+	"mtask/internal/graph"
+	"mtask/internal/ode"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
+	planSolver := flag.String("plan", "", "plan a solver graph (epol|irk|diirk|pab|pabm) through the Planner engine")
+	cores := flag.Int("cores", 256, "plan: cores of the CHiC partition")
+	n := flag.Int("n", 40000, "plan: ODE system size")
+	steps := flag.Int("steps", 8, "plan: time steps in the task graph")
+	strategy := flag.String("strategy", "consecutive", "plan: mapping strategy (consecutive|scattered|mixed:<d>)")
+	parallel := flag.Int("parallel", 0, "plan: search workers (0 = GOMAXPROCS, 1 = sequential)")
+	repeat := flag.Int("repeat", 3, "plan: repeated requests after the cold plan (cache hits)")
+	nocache := flag.Bool("nocache", false, "plan: bypass the schedule cache")
+	timeout := flag.Duration("timeout", 0, "plan: abort planning after this duration (0 = none)")
 	flag.Parse()
+
+	if *planSolver != "" {
+		if err := runPlan(*planSolver, *cores, *n, *steps, *strategy, *parallel, *repeat, *nocache, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "mtaskbench: plan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -67,4 +90,81 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// solverGraph builds the named solver's M-task graph at the given scale
+// (the fig13/fig15 workloads of the evaluation).
+func solverGraph(solver string, n, steps int) (*graph.Graph, error) {
+	const eval = 600
+	switch solver {
+	case "epol":
+		return ode.BuildEPOLGraph(n, eval, 8, steps), nil
+	case "irk":
+		return ode.BuildIRKGraph(n, eval, 4, 2, steps), nil
+	case "diirk":
+		return ode.BuildDIIRKGraph(n, eval, 4, 2, steps), nil
+	case "pab":
+		return ode.BuildPABGraph(n, eval, 8, 0, steps), nil
+	case "pabm":
+		return ode.BuildPABGraph(n, eval, 8, 2, steps), nil
+	}
+	return nil, fmt.Errorf("unknown solver %q (want epol|irk|diirk|pab|pabm)", solver)
+}
+
+// runPlan drives the Planner engine once cold and `repeat` times warm,
+// reporting per-request latency, the schedule shape and the simulated
+// makespan.
+func runPlan(solver string, cores, n, steps int, strategy string, parallel, repeat int, nocache bool, timeout time.Duration) error {
+	g, err := solverGraph(solver, n, steps)
+	if err != nil {
+		return err
+	}
+	strat, err := mtask.StrategyByName(strategy)
+	if err != nil {
+		return err
+	}
+	if cores < 1 || cores > mtask.CHiC().TotalCores() {
+		return fmt.Errorf("-cores %d out of range 1..%d", cores, mtask.CHiC().TotalCores())
+	}
+	machine := mtask.CHiC().SubsetCores(cores)
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	planner := mtask.NewPlanner(
+		mtask.WithStrategy(strat),
+		mtask.WithCores(cores),
+		mtask.WithParallelism(parallel),
+	)
+	opts := []mtask.PlanOption{}
+	if nocache {
+		opts = append(opts, mtask.WithoutCache())
+	}
+
+	var mp *mtask.Mapping
+	for i := 0; i <= repeat; i++ {
+		start := time.Now()
+		mp, err = planner.Plan(ctx, g, machine, opts...)
+		if err != nil {
+			return err
+		}
+		kind := "cold"
+		if i > 0 {
+			kind = "warm"
+		}
+		fmt.Printf("plan %d (%s): %v\n", i, kind, time.Since(start))
+	}
+	hits, misses := planner.Cache().Stats()
+	fmt.Printf("cache: %d hits / %d misses\n", hits, misses)
+
+	res, err := mtask.SimulateCtx(ctx, mp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\npredicted makespan: %.6gs\n", mtask.Describe(mp), res.Makespan)
+	return nil
 }

@@ -88,7 +88,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prog, _ := cluster.FromMapping(model, mp)
+		prog, _, err := cluster.FromMapping(model, mp)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := cluster.Simulate(model, prog)
 		if err != nil {
 			log.Fatal(err)

@@ -12,10 +12,15 @@
 package arch
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrInvalidMachine is the sentinel wrapped by every Machine.Validate
+// failure; test with errors.Is.
+var ErrInvalidMachine = errors.New("arch: invalid machine")
 
 // Level identifies the interconnect level used by a communication between
 // two cores, determined by their lowest common ancestor in the architecture
@@ -107,16 +112,16 @@ func (m *Machine) CoresPerNode() int { return m.ProcsPerNode * m.CoresPerProc }
 // Validate checks the machine description for consistency.
 func (m *Machine) Validate() error {
 	if m.Nodes <= 0 || m.ProcsPerNode <= 0 || m.CoresPerProc <= 0 {
-		return fmt.Errorf("arch: machine %q has non-positive shape %dx%dx%d",
-			m.Name, m.Nodes, m.ProcsPerNode, m.CoresPerProc)
+		return fmt.Errorf("%w: machine %q has non-positive shape %dx%dx%d",
+			ErrInvalidMachine, m.Name, m.Nodes, m.ProcsPerNode, m.CoresPerProc)
 	}
 	if m.CoreGFlops <= 0 {
-		return fmt.Errorf("arch: machine %q has non-positive core rate", m.Name)
+		return fmt.Errorf("%w: machine %q has non-positive core rate", ErrInvalidMachine, m.Name)
 	}
 	for l := LevelProcessor; l <= LevelNetwork; l++ {
 		lp := m.Links[l]
 		if lp.Latency < 0 || lp.Bandwidth <= 0 {
-			return fmt.Errorf("arch: machine %q has invalid link perf at level %s", m.Name, l)
+			return fmt.Errorf("%w: machine %q has invalid link perf at level %s", ErrInvalidMachine, m.Name, l)
 		}
 	}
 	return nil

@@ -1,0 +1,30 @@
+package arch
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestValidateWrapsErrInvalidMachine checks the errors.Is contract of
+// every Validate failure mode.
+func TestValidateWrapsErrInvalidMachine(t *testing.T) {
+	bad := []*Machine{
+		{Name: "no-shape"},
+		{Name: "no-nodes", ProcsPerNode: 2, CoresPerProc: 2, CoreGFlops: 1},
+		func() *Machine { m := CHiC(); m.CoreGFlops = 0; return m }(),
+		func() *Machine { m := CHiC(); m.Links[LevelNetwork].Bandwidth = 0; return m }(),
+		func() *Machine { m := CHiC(); m.Links[LevelNode].Latency = -1; return m }(),
+	}
+	for _, m := range bad {
+		err := m.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted invalid machine", m.Name)
+		}
+		if !errors.Is(err, ErrInvalidMachine) {
+			t.Fatalf("%s: Validate error %v does not wrap ErrInvalidMachine", m.Name, err)
+		}
+	}
+	if err := CHiC().Validate(); err != nil {
+		t.Fatalf("valid preset rejected: %v", err)
+	}
+}

@@ -34,7 +34,10 @@ func runScheduled(model *cost.Model, mach *arch.Machine, s *core.Scheduler, g *g
 	if err != nil {
 		return 0, err
 	}
-	prog, _ := cluster.FromMapping(model, mp)
+	prog, _, err := cluster.FromMapping(model, mp)
+	if err != nil {
+		return 0, err
+	}
 	res, err := cluster.Simulate(model, prog)
 	if err != nil {
 		return 0, err

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 
 	"mtask/internal/arch"
 	"mtask/internal/baseline"
@@ -35,7 +36,10 @@ func simulateSchedule(model *cost.Model, mach *arch.Machine, s *core.Schedule) (
 	if err != nil {
 		return 0, err
 	}
-	prog, _ := cluster.FromMapping(model, mp)
+	prog, _, err := cluster.FromMapping(model, mp)
+	if err != nil {
+		return 0, err
+	}
 	res, err := cluster.Simulate(model, prog)
 	if err != nil {
 		return 0, err
@@ -72,7 +76,7 @@ func schedulerComparison(id, title string, params Fig13Params, speedup bool,
 	g := build(params)
 	for _, p := range params.Cores {
 		mach := arch.CHiC().SubsetCores(p)
-		model := &cost.Model{Machine: mach}
+		model := (&cost.Model{Machine: mach}).WithMemo()
 		seqStep := model.CompTime(g.TotalWork(), 1) / float64(params.Steps)
 
 		record := func(label string, makespan float64, err error) error {
@@ -97,7 +101,7 @@ func schedulerComparison(id, title string, params Fig13Params, speedup bool,
 			return nil, err
 		}
 
-		tp, err := (&core.Scheduler{Model: model}).Schedule(g, p)
+		tp, err := (&core.Scheduler{Model: model, Parallel: runtime.GOMAXPROCS(0)}).Schedule(g, p)
 		if err != nil {
 			return nil, err
 		}

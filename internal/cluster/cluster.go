@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -135,6 +136,13 @@ func duration(m *cost.Model, t *TaskSpec) (comp, comm float64) {
 // ordered by explicit dependencies (the builders in this package take care
 // of both).
 func Simulate(m *cost.Model, p *Program) (*Result, error) {
+	return SimulateCtx(context.Background(), m, p)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the event loop
+// checks the context periodically and returns an error wrapping
+// core.ErrCanceled when it fires.
+func SimulateCtx(ctx context.Context, m *cost.Model, p *Program) (*Result, error) {
 	n := len(p.Tasks)
 	res := &Result{Start: make([]float64, n), Finish: make([]float64, n)}
 
@@ -164,6 +172,11 @@ func Simulate(m *cost.Model, p *Program) (*Result, error) {
 	}
 	done := 0
 	for len(queue) > 0 {
+		if done%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("simulating %q: %w (%v)", p.Name, core.ErrCanceled, err)
+			}
+		}
 		i := queue[0]
 		queue = queue[1:]
 		done++
@@ -222,9 +235,18 @@ func effectiveCores(t *TaskSpec) []arch.CoreID {
 // and consumer run on different core sets.
 //
 // The returned index map gives the program task index of every scheduled
-// graph task (or -1 for start/stop markers).
-func FromMapping(m *cost.Model, mp *core.Mapping) (*Program, []int) {
+// graph task (or -1 for start/stop markers). The schedule and mapping are
+// validated first; a malformed input (overlapping groups, sizes not
+// summing to P, cores outside the machine) is reported instead of being
+// silently simulated.
+func FromMapping(m *cost.Model, mp *core.Mapping) (*Program, []int, error) {
 	sched := mp.Schedule
+	if err := sched.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: invalid schedule: %w", err)
+	}
+	if err := mp.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: invalid mapping: %w", err)
+	}
 	g := sched.Graph
 	prog := &Program{Name: g.Name}
 	index := make([]int, g.Len())
@@ -288,7 +310,7 @@ func FromMapping(m *cost.Model, mp *core.Mapping) (*Program, []int) {
 		})
 		prevBarrier = barrier
 	}
-	return prog, index
+	return prog, index, nil
 }
 
 // SpeedupOver returns the speedup of this result over a sequential time.

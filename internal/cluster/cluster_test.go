@@ -177,7 +177,10 @@ func TestFromMappingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, index := FromMapping(m, mp)
+	prog, index, err := FromMapping(m, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Simulate(m, prog)
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +228,10 @@ func TestMappingChangesSimulatedTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prog, _ := FromMapping(m, mp)
+		prog, _, err := FromMapping(m, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := Simulate(m, prog)
 		if err != nil {
 			t.Fatal(err)
@@ -256,7 +262,10 @@ func TestLayerBarrierOrdersLayers(t *testing.T) {
 		t.Fatal(err)
 	}
 	mp, _ := core.Map(sched, m.Machine, core.Consecutive{})
-	prog, index := FromMapping(m, mp)
+	prog, index, err := FromMapping(m, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Simulate(m, prog)
 	if err != nil {
 		t.Fatal(err)

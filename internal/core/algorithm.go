@@ -2,9 +2,12 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mtask/internal/cost"
 	"mtask/internal/graph"
@@ -24,6 +27,18 @@ type Scheduler struct {
 	// all group counts as in Algorithm 1.
 	ForceGroups int
 
+	// MinGroups and MaxGroups bound the group-count search (0 = no
+	// bound). Unlike ForceGroups the search still runs; the bounds are
+	// clamped to the feasible range of each layer.
+	MinGroups, MaxGroups int
+
+	// Parallel is the number of workers evaluating group-count
+	// candidates concurrently across all layers. 0 or 1 searches
+	// sequentially. The result is bit-identical either way: every
+	// candidate is evaluated independently and ties are broken towards
+	// the smallest group count, exactly as the sequential loop does.
+	Parallel int
+
 	// DisableChainContraction skips scheduling step 1.
 	DisableChainContraction bool
 
@@ -37,8 +52,15 @@ type Scheduler struct {
 
 // Schedule computes a layered schedule of g on P symbolic cores.
 func (s *Scheduler) Schedule(g *graph.Graph, P int) (*Schedule, error) {
+	return s.ScheduleCtx(context.Background(), g, P)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: if ctx is canceled
+// before the schedule is complete, the search stops and an error wrapping
+// ErrCanceled is returned.
+func (s *Scheduler) ScheduleCtx(ctx context.Context, g *graph.Graph, P int) (*Schedule, error) {
 	if P < 1 {
-		return nil, fmt.Errorf("core: cannot schedule on %d cores", P)
+		return nil, fmt.Errorf("cannot schedule %q on %d cores: %w", g.Name, P, ErrNoCores)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -58,12 +80,98 @@ func (s *Scheduler) Schedule(g *graph.Graph, P int) (*Schedule, error) {
 	}
 
 	layers := graph.Layers(sched.Graph)
-	for _, layer := range layers {
-		ls := s.scheduleLayer(sched.Graph, layer, P)
-		sched.Layers = append(sched.Layers, ls)
+	var err error
+	if s.Parallel > 1 {
+		sched.Layers, err = s.scheduleLayersParallel(ctx, sched.Graph, layers, P)
+	} else {
+		sched.Layers, err = s.scheduleLayersSequential(ctx, sched.Graph, layers, P)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, ls := range sched.Layers {
 		sched.Time += ls.Time
 	}
 	return sched, nil
+}
+
+// scheduleLayersSequential is the paper's strictly sequential search, with
+// a cancellation check between layers.
+func (s *Scheduler) scheduleLayersSequential(ctx context.Context, g *graph.Graph, layers []graph.Layer, P int) ([]*LayerSchedule, error) {
+	out := make([]*LayerSchedule, len(layers))
+	for li, layer := range layers {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("scheduling %q: %w (%v)", g.Name, ErrCanceled, err)
+		}
+		out[li] = s.scheduleLayer(g, layer, P)
+	}
+	return out, nil
+}
+
+// searchItem is one unit of the parallel search: evaluate group count g for
+// layer li.
+type searchItem struct {
+	li, g int
+}
+
+// scheduleLayersParallel evaluates every (layer, group count) candidate of
+// Algorithm 1 on a bounded worker pool. Layers are mutually independent in
+// the layer-based algorithm and candidates within a layer are independent
+// by construction, so the search is embarrassingly parallel; the per-layer
+// reduction afterwards replays the sequential loop's tie-breaking (strictly
+// smaller time wins, ties keep the smaller group count) so the result is
+// bit-identical to the sequential path.
+func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, layers []graph.Layer, P int) ([]*LayerSchedule, error) {
+	lo := make([]int, len(layers))
+	candidates := make([][]*LayerSchedule, len(layers))
+	var items []searchItem
+	for li, layer := range layers {
+		l, h := s.groupBounds(layer, P)
+		lo[li] = l
+		candidates[li] = make([]*LayerSchedule, h-l+1)
+		for gc := l; gc <= h; gc++ {
+			items = append(items, searchItem{li: li, g: gc})
+		}
+	}
+
+	workers := s.Parallel
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := items[i]
+				candidates[it.li][it.g-lo[it.li]] = s.assign(g, layers[it.li], P, it.g)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scheduling %q: %w (%v)", g.Name, ErrCanceled, err)
+	}
+
+	out := make([]*LayerSchedule, len(layers))
+	for li := range layers {
+		best := math.Inf(1)
+		var bestLS *LayerSchedule
+		for _, ls := range candidates[li] {
+			if ls.Time < best {
+				best = ls.Time
+				bestLS = ls
+			}
+		}
+		out[li] = s.adjusted(g, bestLS, P)
+	}
+	return out, nil
 }
 
 // groupHeap orders group indices by accumulated execution time (then by
@@ -93,24 +201,39 @@ func (h *groupHeap) Pop() interface{} {
 	return x
 }
 
-// scheduleLayer implements Algorithm 1 for a single layer.
-func (s *Scheduler) scheduleLayer(g *graph.Graph, layer graph.Layer, P int) *LayerSchedule {
-	// Candidate group counts: all g in 1..P (a group count above the
-	// layer width leaves groups idle and can never win, so the search
-	// is clamped, which is equivalent to the paper's 1..P loop).
+// groupBounds returns the candidate group-count range [lo, hi] of a layer:
+// all g in 1..P clamped to the layer width (a group count above the width
+// leaves groups idle and can never win, so the clamp is equivalent to the
+// paper's 1..P loop), further narrowed by ForceGroups or the
+// MinGroups/MaxGroups search bounds.
+func (s *Scheduler) groupBounds(layer graph.Layer, P int) (lo, hi int) {
 	maxG := P
 	if len(layer) < maxG {
 		maxG = len(layer)
 	}
-	lo, hi := 1, maxG
+	lo, hi = 1, maxG
 	if s.ForceGroups > 0 {
 		fg := s.ForceGroups
 		if fg > maxG {
 			fg = maxG
 		}
-		lo, hi = fg, fg
+		return fg, fg
 	}
+	if s.MaxGroups > 0 && hi > s.MaxGroups {
+		hi = s.MaxGroups
+	}
+	if s.MinGroups > 0 && lo < s.MinGroups {
+		lo = s.MinGroups
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
 
+// scheduleLayer implements Algorithm 1 for a single layer.
+func (s *Scheduler) scheduleLayer(g *graph.Graph, layer graph.Layer, P int) *LayerSchedule {
+	lo, hi := s.groupBounds(layer, P)
 	best := math.Inf(1)
 	var bestLS *LayerSchedule
 	for gCount := lo; gCount <= hi; gCount++ {
@@ -120,7 +243,12 @@ func (s *Scheduler) scheduleLayer(g *graph.Graph, layer graph.Layer, P int) *Lay
 			bestLS = ls
 		}
 	}
+	return s.adjusted(g, bestLS, P)
+}
 
+// adjusted applies the group size adjustment step to the winning candidate
+// of a layer's search (shared by the sequential and parallel paths).
+func (s *Scheduler) adjusted(g *graph.Graph, bestLS *LayerSchedule, P int) *LayerSchedule {
 	if !s.DisableAdjustment && bestLS.NumGroups() > 1 {
 		adj := s.adjust(g, bestLS, P)
 		if adj.Time <= bestLS.Time {

@@ -1,0 +1,15 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the scheduling and mapping layer; test with errors.Is.
+var (
+	// ErrNoCores is wrapped when a schedule or mapping is requested on
+	// fewer cores than it needs (non-positive P, or a machine smaller
+	// than the schedule).
+	ErrNoCores = errors.New("core: no cores available")
+
+	// ErrCanceled is wrapped when scheduling, mapping or simulation is
+	// abandoned because the caller's context was canceled or timed out.
+	ErrCanceled = errors.New("core: planning canceled")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mtask/internal/arch"
@@ -123,9 +124,18 @@ type Mapping struct {
 // machine must provide exactly the schedule's P cores (use arch.Machine
 // Subset/SubsetCores to carve out a partition first).
 func Map(s *Schedule, m *arch.Machine, strat Strategy) (*Mapping, error) {
+	return MapCtx(context.Background(), s, m, strat)
+}
+
+// MapCtx is Map with cooperative cancellation: a canceled context returns
+// an error wrapping ErrCanceled without touching the schedule.
+func MapCtx(ctx context.Context, s *Schedule, m *arch.Machine, strat Strategy) (*Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapping %q: %w (%v)", s.Source.Name, ErrCanceled, err)
+	}
 	if m.TotalCores() < s.P {
-		return nil, fmt.Errorf("core: schedule needs %d cores, machine %q has %d",
-			s.P, m.Name, m.TotalCores())
+		return nil, fmt.Errorf("schedule needs %d cores, machine %q has %d: %w",
+			s.P, m.Name, m.TotalCores(), ErrNoCores)
 	}
 	seq := strat.Sequence(m)
 	mp := &Mapping{Schedule: s, Machine: m, Strategy: strat}

@@ -40,6 +40,9 @@ type Model struct {
 	// ThreadsPerRank is the number of cores joined into one hybrid
 	// rank; 0 means all cores of a node. Ignored unless Hybrid is set.
 	ThreadsPerRank int
+
+	// memo, when non-nil, caches the model's evaluations; see WithMemo.
+	memo *memoTable
 }
 
 // CompTime converts a task's sequential work (in floating-point operations)
@@ -143,8 +146,25 @@ func (m *Model) AllgatherIn(idx int, groups [][]arch.CoreID, bytesPerCore int) f
 }
 
 // allgatherTimes computes the per-group ring times under mutual
-// contention; empty groups yield zero entries.
+// contention; empty groups yield zero entries. Memoized results are shared
+// slices and must not be modified by callers (Allgather and AllgatherIn
+// only read them).
 func (m *Model) allgatherTimes(groups [][]arch.CoreID, bytesPerCore int) []float64 {
+	var key collKey
+	if m.memo != nil {
+		key = collKey{groups: hashGroups(groups), bytes: bytesPerCore}
+		if v, ok := m.memo.gatherGet(key); ok {
+			return v
+		}
+	}
+	out := m.allgatherTimesUncached(groups, bytesPerCore)
+	if m.memo != nil {
+		m.memo.gatherPut(key, out)
+	}
+	return out
+}
+
+func (m *Model) allgatherTimesUncached(groups [][]arch.CoreID, bytesPerCore int) []float64 {
 	out := make([]float64, len(groups))
 	// Reduce to hybrid ranks and scale block sizes: each rank
 	// contributes the combined data of its threads.
@@ -287,6 +307,21 @@ func (m *Model) recursiveDoubling(reps []arch.CoreID, block int, nodeRanks map[i
 // then within the nodes (node/processor-level rounds). A mapping that
 // packs the group onto few nodes therefore needs fewer expensive rounds.
 func (m *Model) Broadcast(cores []arch.CoreID, bytes int) float64 {
+	var key collKey
+	if m.memo != nil {
+		key = collKey{groups: hashCores(fnvOffset, cores), bytes: bytes}
+		if v, ok := m.memo.bcastGet(key); ok {
+			return v
+		}
+	}
+	v := m.broadcastUncached(cores, bytes)
+	if m.memo != nil {
+		m.memo.bcastPut(key, v)
+	}
+	return v
+}
+
+func (m *Model) broadcastUncached(cores []arch.CoreID, bytes int) float64 {
 	reps, _, span := m.ranks(cores)
 	q := len(reps)
 	if q <= 1 {
@@ -330,6 +365,25 @@ func (m *Model) Redistribute(src, dst []arch.CoreID, totalBytes int) float64 {
 	if totalBytes <= 0 || len(src) == 0 || len(dst) == 0 {
 		return 0
 	}
+	var key redistKey
+	if m.memo != nil {
+		key = redistKey{
+			src:   hashCores(fnvOffset, src),
+			dst:   hashCores(fnvOffset, dst),
+			bytes: totalBytes,
+		}
+		if v, ok := m.memo.redistGet(key); ok {
+			return v
+		}
+	}
+	v := m.redistributeUncached(src, dst, totalBytes)
+	if m.memo != nil {
+		m.memo.redistPut(key, v)
+	}
+	return v
+}
+
+func (m *Model) redistributeUncached(src, dst []arch.CoreID, totalBytes int) float64 {
 	if sameCores(src, dst) {
 		return 0
 	}
@@ -394,6 +448,21 @@ func maxCoresPerNode(cores []arch.CoreID) int {
 // collectives (CommCount ring multi-broadcasts of CommBytes total payload,
 // i.e. CommBytes/q contributed per core).
 func (m *Model) TaskTime(t *graph.Task, cores []arch.CoreID) float64 {
+	var key taskKey
+	if m.memo != nil {
+		key = taskKey{symb: taskSymbKey(t, 0), cores: hashCores(fnvOffset, cores)}
+		if v, ok := m.memo.taskGet(key); ok {
+			return v
+		}
+	}
+	v := m.taskTimeUncached(t, cores)
+	if m.memo != nil {
+		m.memo.taskPut(key, v)
+	}
+	return v
+}
+
+func (m *Model) taskTimeUncached(t *graph.Task, cores []arch.CoreID) float64 {
 	q := len(cores)
 	if q == 0 {
 		return math.Inf(1)
@@ -424,6 +493,19 @@ func (m *Model) TaskTime(t *graph.Task, cores []arch.CoreID) float64 {
 // communication hop. It is an upper bound of the physical execution time
 // and is what the scheduling algorithm optimises before mapping.
 func (m *Model) SymbolicTaskTime(t *graph.Task, p int) float64 {
+	if m.memo == nil {
+		return m.symbolicTaskTimeUncached(t, p)
+	}
+	key := taskSymbKey(t, p)
+	if v, ok := m.memo.symbGet(key); ok {
+		return v
+	}
+	v := m.symbolicTaskTimeUncached(t, p)
+	m.memo.symbPut(key, v)
+	return v
+}
+
+func (m *Model) symbolicTaskTimeUncached(t *graph.Task, p int) float64 {
 	if p < 1 {
 		return math.Inf(1)
 	}

@@ -1,0 +1,226 @@
+package cost
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+)
+
+// This file implements the optional thread-safe memoization of the model's
+// hot evaluations: the symbolic task times Tsymb(M, p) driving the
+// group-count search, the physical task times T(M, q, mp), the concurrent
+// collective timings (Tcomm) and the re-distribution costs (TRe).
+//
+// Keys are derived from the *values* a result depends on, never from task
+// identity: two tasks with equal cost-relevant fields share one entry, so
+// the solver graphs of the evaluation — whose layers repeat identical
+// stage tasks across time steps — collapse to a handful of evaluations.
+// All memoized functions are pure given a fixed Model configuration, so a
+// hit is bit-identical to a recomputation. Configure the model (Hybrid,
+// ThreadsPerRank, Machine) before enabling the memo; reconfiguring a
+// memoized model is not supported.
+
+// symbKey identifies a SymbolicTaskTime evaluation by the task fields the
+// result depends on plus the symbolic core count p.
+type symbKey struct {
+	work                   float64
+	commBytes, commCount   int
+	bcastBytes, bcastCount int
+	maxWidth               int
+	p                      int
+}
+
+// taskKey identifies a physical TaskTime evaluation: the symbolic fields
+// (p unused, zero) plus an order-sensitive hash of the core list.
+type taskKey struct {
+	symb  symbKey
+	cores uint64
+}
+
+// collKey identifies a collective evaluation over one or more core groups.
+type collKey struct {
+	groups uint64
+	bytes  int
+}
+
+// redistKey identifies a Redistribute evaluation.
+type redistKey struct {
+	src, dst uint64
+	bytes    int
+}
+
+// memoTable is the shared, mutex-guarded store behind a memoized Model.
+type memoTable struct {
+	mu     sync.RWMutex
+	symb   map[symbKey]float64
+	task   map[taskKey]float64
+	gather map[collKey][]float64
+	bcast  map[collKey]float64
+	redist map[redistKey]float64
+
+	hits, misses atomic.Uint64
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{
+		symb:   make(map[symbKey]float64),
+		task:   make(map[taskKey]float64),
+		gather: make(map[collKey][]float64),
+		bcast:  make(map[collKey]float64),
+		redist: make(map[redistKey]float64),
+	}
+}
+
+// WithMemo returns a model identical to m with memoization enabled. If m is
+// already memoized m itself is returned; otherwise the returned model is a
+// shallow copy sharing m's machine, so m itself is untouched and remains
+// memo-free. The memoized model is safe for concurrent use.
+func (m *Model) WithMemo() *Model {
+	if m.memo != nil {
+		return m
+	}
+	c := *m
+	c.memo = newMemoTable()
+	return &c
+}
+
+// Memoized reports whether the model caches its evaluations.
+func (m *Model) Memoized() bool { return m.memo != nil }
+
+// MemoStats returns the accumulated hit and miss counts of the memo table
+// (both zero for a memo-free model).
+func (m *Model) MemoStats() (hits, misses uint64) {
+	if m.memo == nil {
+		return 0, 0
+	}
+	return m.memo.hits.Load(), m.memo.misses.Load()
+}
+
+func taskSymbKey(t *graph.Task, p int) symbKey {
+	return symbKey{
+		work:       t.Work,
+		commBytes:  t.CommBytes,
+		commCount:  t.CommCount,
+		bcastBytes: t.BcastBytes,
+		bcastCount: t.BcastCount,
+		maxWidth:   t.MaxWidth,
+		p:          p,
+	}
+}
+
+// --- FNV-1a hashing of core lists (order-sensitive: rank order matters
+// for ring neighbourhoods) ---
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func hashCores(h uint64, cores []arch.CoreID) uint64 {
+	h = fnvMix(h, uint64(len(cores)))
+	for _, c := range cores {
+		h = fnvMix(h, uint64(c.Node))
+		h = fnvMix(h, uint64(c.Proc)<<1|uint64(c.Core)<<24)
+	}
+	return h
+}
+
+func hashGroups(groups [][]arch.CoreID) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(len(groups)))
+	for _, g := range groups {
+		h = hashCores(h, g)
+	}
+	return h
+}
+
+// --- typed lookups; each returns (value, true) on a hit ---
+
+func (mt *memoTable) symbGet(k symbKey) (float64, bool) {
+	mt.mu.RLock()
+	v, ok := mt.symb[k]
+	mt.mu.RUnlock()
+	mt.count(ok)
+	return v, ok
+}
+
+func (mt *memoTable) symbPut(k symbKey, v float64) {
+	mt.mu.Lock()
+	mt.symb[k] = v
+	mt.mu.Unlock()
+}
+
+func (mt *memoTable) taskGet(k taskKey) (float64, bool) {
+	mt.mu.RLock()
+	v, ok := mt.task[k]
+	mt.mu.RUnlock()
+	mt.count(ok)
+	return v, ok
+}
+
+func (mt *memoTable) taskPut(k taskKey, v float64) {
+	mt.mu.Lock()
+	mt.task[k] = v
+	mt.mu.Unlock()
+}
+
+func (mt *memoTable) gatherGet(k collKey) ([]float64, bool) {
+	mt.mu.RLock()
+	v, ok := mt.gather[k]
+	mt.mu.RUnlock()
+	mt.count(ok)
+	return v, ok
+}
+
+func (mt *memoTable) gatherPut(k collKey, v []float64) {
+	mt.mu.Lock()
+	mt.gather[k] = v
+	mt.mu.Unlock()
+}
+
+func (mt *memoTable) bcastGet(k collKey) (float64, bool) {
+	mt.mu.RLock()
+	v, ok := mt.bcast[k]
+	mt.mu.RUnlock()
+	mt.count(ok)
+	return v, ok
+}
+
+func (mt *memoTable) bcastPut(k collKey, v float64) {
+	mt.mu.Lock()
+	mt.bcast[k] = v
+	mt.mu.Unlock()
+}
+
+func (mt *memoTable) redistGet(k redistKey) (float64, bool) {
+	mt.mu.RLock()
+	v, ok := mt.redist[k]
+	mt.mu.RUnlock()
+	mt.count(ok)
+	return v, ok
+}
+
+func (mt *memoTable) redistPut(k redistKey, v float64) {
+	mt.mu.Lock()
+	mt.redist[k] = v
+	mt.mu.Unlock()
+}
+
+func (mt *memoTable) count(hit bool) {
+	if hit {
+		mt.hits.Add(1)
+	} else {
+		mt.misses.Add(1)
+	}
+}

@@ -1,0 +1,119 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+)
+
+// TestMemoBitIdentical checks that every memoized evaluation returns
+// exactly the value of the memo-free model, on hits as well as misses.
+func TestMemoBitIdentical(t *testing.T) {
+	mach := arch.CHiC().Subset(4)
+	plain := &Model{Machine: mach}
+	memo := (&Model{Machine: mach}).WithMemo()
+	if plain.Memoized() || !memo.Memoized() {
+		t.Fatal("Memoized() flags wrong")
+	}
+
+	tasks := []*graph.Task{
+		{Work: 1e9},
+		{Work: 2e9, CommBytes: 1 << 20, CommCount: 4},
+		{Work: 5e8, CommBytes: 1 << 12, CommCount: 2, BcastBytes: 4096, BcastCount: 3},
+		{Work: 3e9, MaxWidth: 5},
+	}
+	cores := mach.AllCores()
+	groups := [][]arch.CoreID{cores[:8], cores[8:16], cores[16:]}
+
+	for round := 0; round < 2; round++ { // second round hits the memo
+		for _, task := range tasks {
+			for _, p := range []int{1, 3, 8, 16} {
+				if got, want := memo.SymbolicTaskTime(task, p), plain.SymbolicTaskTime(task, p); got != want {
+					t.Fatalf("SymbolicTaskTime(%+v, %d) = %v, want %v", task, p, got, want)
+				}
+			}
+			if got, want := memo.TaskTime(task, cores[:12]), plain.TaskTime(task, cores[:12]); got != want {
+				t.Fatalf("TaskTime = %v, want %v", got, want)
+			}
+		}
+		if got, want := memo.Allgather(groups, 4096), plain.Allgather(groups, 4096); got != want {
+			t.Fatalf("Allgather = %v, want %v", got, want)
+		}
+		for i := range groups {
+			if got, want := memo.AllgatherIn(i, groups, 4096), plain.AllgatherIn(i, groups, 4096); got != want {
+				t.Fatalf("AllgatherIn(%d) = %v, want %v", i, got, want)
+			}
+		}
+		if got, want := memo.Broadcast(cores[:10], 1<<16), plain.Broadcast(cores[:10], 1<<16); got != want {
+			t.Fatalf("Broadcast = %v, want %v", got, want)
+		}
+		if got, want := memo.Redistribute(cores[:8], cores[8:16], 1<<20), plain.Redistribute(cores[:8], cores[8:16], 1<<20); got != want {
+			t.Fatalf("Redistribute = %v, want %v", got, want)
+		}
+	}
+	hits, misses := memo.MemoStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("memo stats %d hits / %d misses: expected both", hits, misses)
+	}
+	if h, m := plain.MemoStats(); h != 0 || m != 0 {
+		t.Fatalf("memo-free model reports stats %d/%d", h, m)
+	}
+}
+
+// TestMemoValueKeyed checks that two distinct task objects with equal
+// cost-relevant fields share one memo entry — the solver-graph case where
+// every time step repeats identical stage tasks.
+func TestMemoValueKeyed(t *testing.T) {
+	m := (&Model{Machine: arch.CHiC().Subset(2)}).WithMemo()
+	a := &graph.Task{Work: 1e9, CommBytes: 1 << 16, CommCount: 2}
+	b := &graph.Task{Name: "other-object", Work: 1e9, CommBytes: 1 << 16, CommCount: 2}
+	va := m.SymbolicTaskTime(a, 8)
+	hits0, _ := m.MemoStats()
+	vb := m.SymbolicTaskTime(b, 8)
+	hits1, _ := m.MemoStats()
+	if va != vb {
+		t.Fatalf("equal tasks valued differently: %v vs %v", va, vb)
+	}
+	if hits1 != hits0+1 {
+		t.Fatalf("second task did not hit the shared entry (hits %d -> %d)", hits0, hits1)
+	}
+}
+
+// TestMemoConcurrent exercises the memo table from many goroutines; run
+// under -race.
+func TestMemoConcurrent(t *testing.T) {
+	mach := arch.CHiC().Subset(4)
+	m := (&Model{Machine: mach}).WithMemo()
+	task := &graph.Task{Work: 1e9, CommBytes: 1 << 18, CommCount: 3}
+	want := (&Model{Machine: mach}).SymbolicTaskTime(task, 7)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 64; j++ {
+				m.SymbolicTaskTime(task, 1+j%16)
+			}
+			if got := m.SymbolicTaskTime(task, 7); got != want {
+				t.Errorf("concurrent SymbolicTaskTime = %v, want %v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWithMemoDoesNotMutate checks that WithMemo leaves the receiver
+// memo-free and that a memoized model returns itself.
+func TestWithMemoDoesNotMutate(t *testing.T) {
+	plain := &Model{Machine: arch.CHiC().Subset(2)}
+	memo := plain.WithMemo()
+	if plain.Memoized() {
+		t.Fatal("WithMemo mutated the receiver")
+	}
+	if memo.WithMemo() != memo {
+		t.Fatal("WithMemo on a memoized model should return itself")
+	}
+}

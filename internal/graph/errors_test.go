@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCycleWrapsErrCyclicGraph checks that TopoOrder and Validate report
+// cycles through the sentinel.
+func TestCycleWrapsErrCyclicGraph(t *testing.T) {
+	g := New("cycle")
+	a := g.AddBasic("a", 1)
+	b := g.AddBasic("b", 1)
+	c := g.AddBasic("c", 1)
+	g.MustEdge(a, b, 0)
+	g.MustEdge(b, c, 0)
+	g.MustEdge(c, a, 0)
+
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCyclicGraph) {
+		t.Fatalf("TopoOrder = %v, want ErrCyclicGraph", err)
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCyclicGraph) {
+		t.Fatalf("Validate = %v, want ErrCyclicGraph", err)
+	}
+
+	acyclic := New("ok")
+	x := acyclic.AddBasic("x", 1)
+	y := acyclic.AddBasic("y", 1)
+	acyclic.MustEdge(x, y, 0)
+	if err := acyclic.Validate(); err != nil {
+		t.Fatalf("acyclic graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+
+	"mtask/internal/core"
+)
+
+// Key identifies a planning request in the schedule cache: the graph and
+// machine fingerprints plus every knob that changes the resulting mapping.
+type Key struct {
+	Graph    uint64
+	Machine  uint64
+	Strategy string
+	P        int
+
+	// Cost model configuration (the model's machine may differ from the
+	// mapping machine when a caller overrides it).
+	ModelMachine   uint64
+	Hybrid         bool
+	ThreadsPerRank int
+
+	// Scheduler knobs.
+	ForceGroups          int
+	MinGroups, MaxGroups int
+	NoChainContraction   bool
+	NoAdjustment         bool
+	RoundRobin           bool
+}
+
+// Cache is a thread-safe LRU cache of finished mappings, keyed by the full
+// planning request. Heavy traffic repeatedly planning the same program on
+// the same partition — the production case — is served from here without
+// re-running the group-count search.
+//
+// Cached mappings are shared between callers and must be treated as
+// immutable (every consumer in this repository only reads them).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[Key]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key Key
+	mp  *core.Mapping
+}
+
+// DefaultCacheSize is the schedule cache capacity used when none is given.
+const DefaultCacheSize = 256
+
+// NewCache returns an LRU schedule cache holding up to capacity mappings
+// (capacity < 1 falls back to DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached mapping for the key, marking it most recently
+// used.
+func (c *Cache) Get(k Key) (*core.Mapping, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).mp, true
+}
+
+// Add inserts a mapping, evicting the least recently used entry when the
+// cache is full.
+func (c *Cache) Add(k Key, mp *core.Mapping) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).mp = mp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, mp: mp})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached mappings.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the accumulated hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache (counters are kept).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[Key]*list.Element)
+}

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"math"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+)
+
+// Fingerprints identify a planning request for the schedule cache. They
+// hash every input the combined scheduling and mapping result depends on:
+// the complete graph structure (tasks with all cost-relevant fields,
+// edges with payloads, recursively including composed bodies) and the
+// complete machine description (shape, core rate, link performance,
+// hybrid parameters). FNV-1a over 64 bits keeps the collision probability
+// negligible for realistic cache sizes, and a collision can only ever
+// serve a structurally valid schedule of a different request — never
+// corrupt one.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	h = mix(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func mixFloat(h uint64, f float64) uint64 {
+	return mix(h, math.Float64bits(f))
+}
+
+// GraphFingerprint returns a 64-bit fingerprint of an M-task graph
+// covering its name, every task's cost-relevant fields (including the
+// bodies of composed nodes, recursively) and every edge.
+func GraphFingerprint(g *graph.Graph) uint64 {
+	return graphFP(fnvOffset, g)
+}
+
+func graphFP(h uint64, g *graph.Graph) uint64 {
+	h = mixString(h, g.Name)
+	h = mix(h, uint64(g.Len()))
+	for _, t := range g.Tasks() {
+		h = mix(h, uint64(t.Kind))
+		h = mixFloat(h, t.Work)
+		h = mix(h, uint64(t.CommBytes)<<16|uint64(t.CommCount))
+		h = mix(h, uint64(t.BcastBytes)<<16|uint64(t.BcastCount))
+		h = mix(h, uint64(t.OutBytes))
+		h = mix(h, uint64(t.MaxWidth))
+		if t.Sub != nil {
+			h = graphFP(h, t.Sub)
+		}
+	}
+	for _, e := range g.Edges() {
+		h = mix(h, uint64(e.From)<<32|uint64(e.To))
+		h = mix(h, uint64(e.Bytes))
+	}
+	return h
+}
+
+// MachineFingerprint returns a 64-bit fingerprint of a machine
+// description covering its name, shape, core rate, per-level link
+// performance and hybrid execution parameters.
+func MachineFingerprint(m *arch.Machine) uint64 {
+	h := uint64(fnvOffset)
+	h = mixString(h, m.Name)
+	h = mix(h, uint64(m.Nodes))
+	h = mix(h, uint64(m.ProcsPerNode)<<32|uint64(m.CoresPerProc))
+	h = mixFloat(h, m.CoreGFlops)
+	for l := arch.LevelProcessor; l <= arch.LevelNetwork; l++ {
+		h = mixFloat(h, m.Links[l].Latency)
+		h = mixFloat(h, m.Links[l].Bandwidth)
+	}
+	h = mixFloat(h, m.HybridForkJoin)
+	if m.SharedMemoryThreads {
+		h = mix(h, 1)
+	}
+	return h
+}

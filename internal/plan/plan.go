@@ -1,0 +1,203 @@
+// Package plan implements the concurrent, cache-backed planning engine on
+// top of the paper's combined scheduling and mapping (internal/core): a
+// Planner turns an M-task graph and a machine description into a physical
+// mapping, searching the per-layer group counts of Algorithm 1 on a
+// bounded worker pool, memoizing the cost model evaluations, and serving
+// repeated requests from an LRU schedule cache keyed by graph and machine
+// fingerprints.
+//
+// The engine is deliberately deterministic: the parallel search breaks
+// ties exactly like the sequential loop (smallest group count wins), so a
+// Planner produces bit-identical schedules regardless of its parallelism,
+// and a cache hit returns the same mapping a cold plan would compute.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+)
+
+// Options collects the resolved knobs of one planning request. The zero
+// value is completed by Defaults; callers normally use Option functions.
+type Options struct {
+	// Strategy is the mapping strategy (default core.Consecutive).
+	Strategy core.Strategy
+
+	// Cores is the number of symbolic cores to schedule on; 0 means all
+	// cores of the machine.
+	Cores int
+
+	// Model overrides the cost model (default: a plain model of the
+	// target machine). The model is not mutated; when memoization is on
+	// the planner works on a memoized copy.
+	Model *cost.Model
+
+	// Parallelism is the worker count of the group-count search; 0
+	// means GOMAXPROCS, 1 forces the sequential search.
+	Parallelism int
+
+	// MinGroups/MaxGroups bound the per-layer group-count search
+	// (0 = unbounded); ForceGroups pins it (see core.Scheduler).
+	MinGroups, MaxGroups, ForceGroups int
+
+	// DisableCache bypasses the planner's schedule cache.
+	DisableCache bool
+
+	// DisableMemo turns off cost-model memoization.
+	DisableMemo bool
+}
+
+// Option mutates one planning option.
+type Option func(*Options)
+
+// WithStrategy selects the mapping strategy.
+func WithStrategy(s core.Strategy) Option { return func(o *Options) { o.Strategy = s } }
+
+// WithCores schedules on p symbolic cores instead of the whole machine.
+func WithCores(p int) Option { return func(o *Options) { o.Cores = p } }
+
+// WithModel overrides the cost model (e.g. for hybrid MPI+OpenMP planning).
+func WithModel(m *cost.Model) Option { return func(o *Options) { o.Model = m } }
+
+// WithParallelism sets the worker count of the group-count search;
+// WithParallelism(1) forces the sequential reference path.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithGroupBounds bounds the per-layer group-count search to [min, max]
+// (0 = unbounded on that side).
+func WithGroupBounds(min, max int) Option {
+	return func(o *Options) { o.MinGroups, o.MaxGroups = min, max }
+}
+
+// WithForceGroups pins the group count of every layer: 1 yields the
+// data-parallel schedule, a large value the maximally task-parallel one.
+func WithForceGroups(g int) Option { return func(o *Options) { o.ForceGroups = g } }
+
+// WithoutCache bypasses the schedule cache for this request.
+func WithoutCache() Option { return func(o *Options) { o.DisableCache = true } }
+
+// WithoutMemo disables cost-model memoization for this request.
+func WithoutMemo() Option { return func(o *Options) { o.DisableMemo = true } }
+
+// Defaults returns the planner's default options.
+func Defaults() Options {
+	return Options{Strategy: core.Consecutive{}}
+}
+
+// Planner is a concurrent, cache-backed scheduling engine. A Planner is
+// safe for concurrent use; all requests share its schedule cache.
+type Planner struct {
+	base  Options
+	cache *Cache
+}
+
+// New returns a Planner whose per-request defaults are Defaults()
+// overridden by the given options, with a schedule cache of
+// DefaultCacheSize mappings.
+func New(opts ...Option) *Planner {
+	o := Defaults()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Planner{base: o, cache: NewCache(DefaultCacheSize)}
+}
+
+// NewWithCache returns a Planner using the given schedule cache (e.g. a
+// larger one, or one shared between planners).
+func NewWithCache(c *Cache, opts ...Option) *Planner {
+	p := New(opts...)
+	if c != nil {
+		p.cache = c
+	}
+	return p
+}
+
+// Cache returns the planner's schedule cache (for stats and purging).
+func (p *Planner) Cache() *Cache { return p.cache }
+
+// Plan schedules the graph on the machine and maps it with the configured
+// strategy. It validates both inputs (errors wrap arch.ErrInvalidMachine /
+// graph.ErrCyclicGraph), honours ctx cancellation throughout the search
+// (errors wrap core.ErrCanceled), and serves repeated requests from the
+// schedule cache. The returned mapping may be shared with other callers
+// and must be treated as read-only.
+func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opts ...Option) (*core.Mapping, error) {
+	o := p.base
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// The graph is validated by ScheduleCtx on the cold path; a cache hit
+	// skips the O(V+E) revalidation, since only valid graphs are cached
+	// and the fingerprint identifies the graph structurally.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("planning %q: %w (%v)", g.Name, core.ErrCanceled, err)
+	}
+
+	P := o.Cores
+	if P == 0 {
+		P = m.TotalCores()
+	}
+	if P < 1 {
+		return nil, fmt.Errorf("planning %q on %d cores: %w", g.Name, P, core.ErrNoCores)
+	}
+
+	model := o.Model
+	if model == nil {
+		model = &cost.Model{Machine: m}
+	}
+
+	var key Key
+	useCache := !o.DisableCache && p.cache != nil
+	if useCache {
+		key = Key{
+			Graph:          GraphFingerprint(g),
+			Machine:        MachineFingerprint(m),
+			Strategy:       o.Strategy.Name(),
+			P:              P,
+			ModelMachine:   MachineFingerprint(model.Machine),
+			Hybrid:         model.Hybrid,
+			ThreadsPerRank: model.ThreadsPerRank,
+			ForceGroups:    o.ForceGroups,
+			MinGroups:      o.MinGroups,
+			MaxGroups:      o.MaxGroups,
+		}
+		if mp, ok := p.cache.Get(key); ok {
+			return mp, nil
+		}
+	}
+
+	if !o.DisableMemo {
+		model = model.WithMemo()
+	}
+	workers := o.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sched, err := (&core.Scheduler{
+		Model:       model,
+		ForceGroups: o.ForceGroups,
+		MinGroups:   o.MinGroups,
+		MaxGroups:   o.MaxGroups,
+		Parallel:    workers,
+	}).ScheduleCtx(ctx, g, P)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := core.MapCtx(ctx, sched, m, o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if useCache {
+		p.cache.Add(key, mp)
+	}
+	return mp, nil
+}

@@ -7,7 +7,25 @@
 //
 // An M-task is a parallel task executable by an arbitrary group of cores;
 // a program is a DAG of M-tasks connected by input-output relations. The
-// library provides:
+// primary entry point is the Planner engine:
+//
+//	mp, err := mtask.Plan(ctx, g, machine)                  // defaults
+//	mp, err := mtask.Plan(ctx, g, machine,
+//	    mtask.WithStrategy(mtask.Scattered{}),
+//	    mtask.WithCores(64),
+//	    mtask.WithParallelism(8))
+//
+// Plan runs the paper's combined scheduling and mapping — the layer-based
+// group-count search of Algorithm 1 followed by the architecture-aware
+// mapping step — concurrently on a bounded worker pool, memoizes the cost
+// model evaluations, and serves repeated requests from an LRU schedule
+// cache, while staying bit-identical to the sequential reference path.
+// Cancellation and deadlines of ctx are honoured throughout scheduling,
+// mapping and simulation. Failures wrap the sentinel errors
+// ErrInvalidMachine, ErrCyclicGraph, ErrNoCores and ErrCanceled for
+// errors.Is dispatch.
+//
+// The library further provides:
 //
 //   - M-task graphs with linear-chain contraction and layer partitioning
 //     (Graph, Task);
@@ -28,11 +46,15 @@
 //     runners for every table and figure of the evaluation
 //     (RunExperiment).
 //
+// Deprecated entry point: ScheduleAndMap is the pre-Planner one-call API;
+// it forwards to Plan with default options and remains for compatibility.
+//
 // See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
 // record.
 package mtask
 
 import (
+	"context"
 	"fmt"
 
 	"mtask/internal/arch"
@@ -42,9 +64,27 @@ import (
 	"mtask/internal/cost"
 	"mtask/internal/dynsched"
 	"mtask/internal/graph"
+	"mtask/internal/plan"
 	"mtask/internal/redist"
 	"mtask/internal/runtime"
 	"mtask/internal/spec"
+)
+
+// --- sentinel errors ---
+
+// Sentinel errors returned (wrapped) by the planning pipeline; test with
+// errors.Is.
+var (
+	// ErrInvalidMachine reports a malformed machine description.
+	ErrInvalidMachine = arch.ErrInvalidMachine
+	// ErrCyclicGraph reports a cyclic M-task graph.
+	ErrCyclicGraph = graph.ErrCyclicGraph
+	// ErrNoCores reports a schedule or mapping requested on fewer cores
+	// than it needs.
+	ErrNoCores = core.ErrNoCores
+	// ErrCanceled reports that planning or simulation was abandoned
+	// because the context was canceled or timed out.
+	ErrCanceled = core.ErrCanceled
 )
 
 // --- architecture ---
@@ -106,25 +146,85 @@ type Mixed = core.Mixed
 // Mapping is the physical realization of a Schedule on a Machine.
 type Mapping = core.Mapping
 
+// StrategyByName returns the named mapping strategy: "consecutive",
+// "scattered" or "mixed:<d>".
+func StrategyByName(name string) (Strategy, error) { return core.StrategyByName(name) }
+
 // Map assigns the symbolic cores of a schedule to physical cores.
 func Map(s *Schedule, m *Machine, strat Strategy) (*Mapping, error) {
 	return core.Map(s, m, strat)
+}
+
+// --- planning (the primary API) ---
+
+// Planner is a concurrent, cache-backed scheduling engine; see Plan.
+type Planner = plan.Planner
+
+// PlanOption configures one Plan request (or a Planner's defaults).
+type PlanOption = plan.Option
+
+// WithStrategy selects the mapping strategy (default Consecutive).
+func WithStrategy(s Strategy) PlanOption { return plan.WithStrategy(s) }
+
+// WithCores schedules on p symbolic cores instead of the whole machine.
+func WithCores(p int) PlanOption { return plan.WithCores(p) }
+
+// WithCostModel overrides the cost model (e.g. hybrid MPI+OpenMP).
+func WithCostModel(m *CostModel) PlanOption { return plan.WithModel(m) }
+
+// WithParallelism sets the worker count of the group-count search;
+// WithParallelism(1) forces the sequential reference path and 0 (the
+// default) uses GOMAXPROCS workers.
+func WithParallelism(n int) PlanOption { return plan.WithParallelism(n) }
+
+// WithGroupBounds bounds the per-layer group-count search to [min, max]
+// (0 = unbounded on that side).
+func WithGroupBounds(min, max int) PlanOption { return plan.WithGroupBounds(min, max) }
+
+// WithForceGroups pins the group count of every layer: 1 yields the
+// data-parallel schedule, a large value the maximally task-parallel one.
+func WithForceGroups(g int) PlanOption { return plan.WithForceGroups(g) }
+
+// WithoutCache bypasses the schedule cache for this request.
+func WithoutCache() PlanOption { return plan.WithoutCache() }
+
+// WithoutMemo disables cost-model memoization for this request.
+func WithoutMemo() PlanOption { return plan.WithoutMemo() }
+
+// NewPlanner returns a dedicated Planner whose defaults are the given
+// options and whose schedule cache is private. Use it when request streams
+// should not share the process-wide default cache.
+func NewPlanner(opts ...PlanOption) *Planner { return plan.New(opts...) }
+
+// defaultPlanner serves mtask.Plan; all Plan calls of a process share its
+// schedule cache, which is what makes repeated identical requests cheap.
+var defaultPlanner = plan.New()
+
+// Plan is the combined scheduling and mapping of the paper behind a
+// context-aware engine: it schedules the graph with the layer-based
+// algorithm (the per-layer group-count search runs on a worker pool, with
+// memoized cost evaluations and deterministic tie-breaking, so the result
+// is bit-identical to the sequential path), maps the symbolic cores with
+// the configured strategy, and caches the finished mapping keyed by graph
+// and machine fingerprints. Canceling ctx aborts the search with an error
+// wrapping ErrCanceled.
+//
+// The returned mapping may be served from the cache and shared with other
+// callers; treat it as read-only.
+func Plan(ctx context.Context, g *Graph, m *Machine, opts ...PlanOption) (*Mapping, error) {
+	return defaultPlanner.Plan(ctx, g, m, opts...)
 }
 
 // ScheduleAndMap is the one-call combined scheduling and mapping of the
 // paper: it schedules the graph on all cores of the machine with the
 // layer-based algorithm and maps the symbolic cores with the given
 // strategy.
+//
+// Deprecated: use Plan, which adds context cancellation, concurrent
+// search, caching and per-request options. ScheduleAndMap forwards to
+// Plan with default options.
 func ScheduleAndMap(g *Graph, m *Machine, strat Strategy) (*Mapping, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	model := &cost.Model{Machine: m}
-	sched, err := (&core.Scheduler{Model: model}).Schedule(g, m.TotalCores())
-	if err != nil {
-		return nil, err
-	}
-	return core.Map(sched, m, strat)
+	return Plan(context.Background(), g, m, WithStrategy(strat))
 }
 
 // --- simulation ---
@@ -135,9 +235,18 @@ type SimResult = cluster.Result
 // Simulate executes the mapped schedule on the deterministic cluster
 // simulator and returns the predicted timing.
 func Simulate(mp *Mapping) (*SimResult, error) {
-	model := &cost.Model{Machine: mp.Machine}
-	prog, _ := cluster.FromMapping(model, mp)
-	return cluster.Simulate(model, prog)
+	return SimulateCtx(context.Background(), mp)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation (errors wrap
+// ErrCanceled).
+func SimulateCtx(ctx context.Context, mp *Mapping) (*SimResult, error) {
+	model := (&cost.Model{Machine: mp.Machine}).WithMemo()
+	prog, _, err := cluster.FromMapping(model, mp)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.SimulateCtx(ctx, model, prog)
 }
 
 // --- goroutine runtime ---
@@ -222,8 +331,11 @@ func PlanRedistribution(src, dst RedistLayout) (*RedistPlan, error) {
 
 // RenderGantt renders a simulated mapping as a text Gantt chart.
 func RenderGantt(mp *Mapping, width int) (string, error) {
-	model := &cost.Model{Machine: mp.Machine}
-	prog, _ := cluster.FromMapping(model, mp)
+	model := (&cost.Model{Machine: mp.Machine}).WithMemo()
+	prog, _, err := cluster.FromMapping(model, mp)
+	if err != nil {
+		return "", err
+	}
 	res, err := cluster.Simulate(model, prog)
 	if err != nil {
 		return "", err

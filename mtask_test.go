@@ -1,6 +1,8 @@
 package mtask
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -52,8 +54,90 @@ func TestScheduleAndMapEndToEnd(t *testing.T) {
 func TestScheduleAndMapInvalidMachine(t *testing.T) {
 	g := buildDemoGraph()
 	bad := &Machine{Name: "bad"}
-	if _, err := ScheduleAndMap(g, bad, Consecutive{}); err == nil {
-		t.Fatal("invalid machine accepted")
+	if _, err := ScheduleAndMap(g, bad, Consecutive{}); !errors.Is(err, ErrInvalidMachine) {
+		t.Fatalf("invalid machine: got %v, want ErrInvalidMachine", err)
+	}
+}
+
+// TestPlanEndToEnd drives the primary Plan API: options, cache behaviour,
+// equality with the deprecated ScheduleAndMap wrapper, and simulation.
+func TestPlanEndToEnd(t *testing.T) {
+	g := buildDemoGraph()
+	m := CHiC().Subset(16)
+	ctx := context.Background()
+
+	mp, err := Plan(ctx, g, m, WithStrategy(Scattered{}), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Strategy.Name() != "scattered" {
+		t.Fatalf("strategy = %s, want scattered", mp.Strategy.Name())
+	}
+	res, err := SimulateCtx(ctx, mp)
+	if err != nil || res.Makespan <= 0 {
+		t.Fatalf("simulate: err=%v makespan=%v", err, res.Makespan)
+	}
+
+	// The deprecated wrapper and the new API agree.
+	old, err := ScheduleAndMap(g, m, Consecutive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Plan(ctx, g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Schedule.Time != nw.Schedule.Time {
+		t.Fatalf("ScheduleAndMap %v != Plan %v", old.Schedule.Time, nw.Schedule.Time)
+	}
+
+	// Core-count and group-count options shape the schedule.
+	dp, err := Plan(ctx, g, m, WithCores(8), WithForceGroups(1), WithoutCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Schedule.P != 8 || dp.Schedule.MaxGroups() != 1 {
+		t.Fatalf("options ignored: P=%d groups=%d", dp.Schedule.P, dp.Schedule.MaxGroups())
+	}
+}
+
+// TestPlanSentinelsTopLevel checks the re-exported errors.Is contract.
+func TestPlanSentinelsTopLevel(t *testing.T) {
+	g := buildDemoGraph()
+	m := CHiC().Subset(2)
+	ctx := context.Background()
+
+	if _, err := Plan(ctx, g, &Machine{Name: "bad"}); !errors.Is(err, ErrInvalidMachine) {
+		t.Fatalf("got %v, want ErrInvalidMachine", err)
+	}
+
+	cyc := NewGraph("cyclic")
+	a := cyc.AddBasic("a", 1)
+	b := cyc.AddBasic("b", 1)
+	cyc.MustEdge(a, b, 0)
+	cyc.MustEdge(b, a, 0)
+	if _, err := Plan(ctx, cyc, m); !errors.Is(err, ErrCyclicGraph) {
+		t.Fatalf("got %v, want ErrCyclicGraph", err)
+	}
+
+	if _, err := Plan(ctx, g, m, WithCores(-3)); !errors.Is(err, ErrNoCores) {
+		t.Fatalf("got %v, want ErrNoCores", err)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := Plan(canceled, g, m, WithoutCache()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	mp, err := Plan(ctx, g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateCtx(canceled, mp); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SimulateCtx: got %v, want ErrCanceled", err)
 	}
 }
 

@@ -83,7 +83,10 @@ func TestFullPipelineSpecToExecution(t *testing.T) {
 		if err := mp.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		prog, _ := cluster.FromMapping(model, mp)
+		prog, _, err := cluster.FromMapping(model, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := cluster.Simulate(model, prog)
 		if err != nil {
 			t.Fatal(err)
