@@ -8,6 +8,7 @@
 //	mtaskbench -exp fig14
 //	mtaskbench -exp all
 //	mtaskbench -plan pabm -cores 256 -steps 16 -repeat 5
+//	mtaskbench -faults -fault-solver pab -kill 'stage[1](0)@1' -seed 7
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mtask"
@@ -36,7 +39,25 @@ func main() {
 	repeat := flag.Int("repeat", 3, "plan: repeated requests after the cold plan (cache hits)")
 	nocache := flag.Bool("nocache", false, "plan: bypass the schedule cache")
 	timeout := flag.Duration("timeout", 0, "plan: abort planning after this duration (0 = none)")
+	faults := flag.Bool("faults", false, "run a solver graph under injected failures and verify the results")
+	faultSolver := flag.String("fault-solver", "pab", "faults: solver graph (epol|irk|diirk|pab|pabm)")
+	faultCores := flag.Int("fault-cores", 8, "faults: symbolic cores of the run")
+	faultN := flag.Int("fault-n", 64, "faults: ODE system size")
+	faultSteps := flag.Int("fault-steps", 4, "faults: time steps in the task graph")
+	seed := flag.Int64("seed", 1, "faults: injector seed")
+	perr := flag.Float64("perr", 0, "faults: per-(task,rank) probability of an injected error")
+	ppanic := flag.Float64("ppanic", 0, "faults: per-(task,rank) probability of an injected panic")
+	pdelay := flag.Float64("pdelay", 0, "faults: per-(task,rank) probability of an injected delay")
+	kill := flag.String("kill", "", "faults: scripted core loss 'task@attempt' (e.g. 'stage[1](0)@1')")
 	flag.Parse()
+
+	if *faults {
+		if err := runFaults(*faultSolver, *faultCores, *faultN, *faultSteps, *seed, *perr, *ppanic, *pdelay, *kill); err != nil {
+			fmt.Fprintf(os.Stderr, "mtaskbench: faults: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *planSolver != "" {
 		if err := runPlan(*planSolver, *cores, *n, *steps, *strategy, *parallel, *repeat, *nocache, *timeout); err != nil {
@@ -109,6 +130,84 @@ func solverGraph(solver string, n, steps int) (*graph.Graph, error) {
 		return ode.BuildPABGraph(n, eval, 8, 2, steps), nil
 	}
 	return nil, fmt.Errorf("unknown solver %q (want epol|irk|diirk|pab|pabm)", solver)
+}
+
+// runFaults executes a solver graph on the goroutine runtime under
+// injected failures (probabilistic error/panic/delay faults and an
+// optional scripted core loss), with retries and degrade-and-replan
+// enabled, and verifies that the computed trajectory is bitwise identical
+// to the failure-free sequential reference. It exits non-zero on any
+// divergence — the acceptance check of the fault-tolerance layer.
+func runFaults(solver string, cores, n, steps int, seed int64, perr, ppanic, pdelay float64, kill string) error {
+	g, err := solverGraph(solver, n, steps)
+	if err != nil {
+		return err
+	}
+	if cores < 1 {
+		return fmt.Errorf("-fault-cores %d out of range", cores)
+	}
+	machine := mtask.CHiC().SubsetCores(cores)
+	planner := mtask.NewPlanner(mtask.WithCores(cores))
+	ctx := context.Background()
+	mp, err := planner.Plan(ctx, g, machine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", mtask.Describe(mp))
+
+	inj := &mtask.FaultInjector{
+		Seed: seed, PError: perr, PPanic: ppanic, PDelay: pdelay,
+		Delay: 200 * time.Microsecond,
+	}
+	if kill != "" {
+		task, attempt, err := parseKill(kill)
+		if err != nil {
+			return err
+		}
+		inj.Script = append(inj.Script, mtask.FaultScript{
+			Task: task, Attempt: attempt, Rank: 0, Kind: mtask.FaultCoreLoss,
+		})
+		fmt.Printf("scripted core loss: task %q, attempt %d\n", task, attempt)
+	}
+	pol := mtask.DefaultFaultPolicy()
+	pol.MaxRetries = 6
+	pol.BaseBackoff = 100 * time.Microsecond
+	pol.DegradeAndReplan = true
+
+	w, err := mtask.NewWorld(cores)
+	if err != nil {
+		return err
+	}
+	want := ode.Reference(g, n)
+	st := ode.NewExecState(g, n)
+	rep, err := mtask.ExecuteCtx(ctx, w, mp.Schedule, st.Body,
+		mtask.WithFaultPolicy(pol),
+		mtask.WithFaultInjector(inj),
+		mtask.WithReplanner(mtask.ReplannerFor(planner, g, machine)))
+	fmt.Print(rep)
+	if err != nil {
+		return fmt.Errorf("execution failed: %w", err)
+	}
+	if err := ode.CompareOutputs(want, st.Outputs()); err != nil {
+		return fmt.Errorf("results diverged from the failure-free reference: %w", err)
+	}
+	fmt.Printf("results bitwise identical to the failure-free reference (%d tasks verified)\n", len(want))
+	return nil
+}
+
+// parseKill parses a 'task@attempt' scripted core-loss spec; the task name
+// may itself contain parentheses and brackets, so the attempt is split off
+// at the last '@'.
+func parseKill(s string) (task string, attempt int, err error) {
+	i := strings.LastIndex(s, "@")
+	if i <= 0 || i == len(s)-1 {
+		return "", 0, fmt.Errorf("malformed -kill %q (want 'task@attempt')", s)
+	}
+	attempt, err = strconv.Atoi(s[i+1:])
+	if err != nil || attempt < 1 {
+		return "", 0, fmt.Errorf("malformed -kill attempt in %q", s)
+	}
+	return s[:i], attempt, nil
 }
 
 // runPlan drives the Planner engine once cold and `repeat` times warm,

@@ -286,3 +286,29 @@ func (m *Machine) SubsetCores(p int) *Machine {
 	nodes := (p + cpn - 1) / cpn
 	return m.Subset(nodes)
 }
+
+// WithoutCores returns a Machine shrunk by n cores, rounded up to whole
+// nodes (the machine model is homogeneous per node, so degradation removes
+// the smallest number of nodes covering the lost cores). It is the
+// machine-side half of degrade-and-replan: after a core group is lost, the
+// planner reschedules on m.WithoutCores(lost). The returned machine's name
+// is annotated with the shrink. An error wrapping ErrInvalidMachine is
+// returned when no whole node survives.
+func (m *Machine) WithoutCores(n int) (*Machine, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: cannot remove %d cores from %q", ErrInvalidMachine, n, m.Name)
+	}
+	if n == 0 {
+		return m, nil
+	}
+	cpn := m.CoresPerNode()
+	lostNodes := (n + cpn - 1) / cpn
+	if lostNodes >= m.Nodes {
+		return nil, fmt.Errorf("%w: removing %d cores (%d nodes) leaves no node of %q (%d nodes)",
+			ErrInvalidMachine, n, lostNodes, m.Name, m.Nodes)
+	}
+	s := *m
+	s.Nodes = m.Nodes - lostNodes
+	s.Name = fmt.Sprintf("%s[-%d cores]", m.Name, n)
+	return &s, nil
+}

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -241,6 +242,44 @@ func TestCommLevelProperty(t *testing.T) {
 			if got, want := SlowestLevel([]CoreID{a, b}), CommLevel(a, b); got != want {
 				t.Fatalf("SlowestLevel pair %v %v = %v, want %v", a, b, got, want)
 			}
+		}
+	}
+}
+
+func TestWithoutCores(t *testing.T) {
+	m := testMachine() // 4 nodes x 4 cores = 16
+
+	same, err := m.WithoutCores(0)
+	if err != nil || same != m {
+		t.Fatalf("WithoutCores(0) = %v, %v; want the machine unchanged", same, err)
+	}
+
+	// Losing 1..4 cores costs one whole node; 5 cores cost two.
+	for _, tc := range []struct{ lost, nodes int }{{1, 3}, {4, 3}, {5, 2}, {8, 2}, {11, 1}} {
+		s, err := m.WithoutCores(tc.lost)
+		if err != nil {
+			t.Fatalf("WithoutCores(%d): %v", tc.lost, err)
+		}
+		if s.Nodes != tc.nodes {
+			t.Fatalf("WithoutCores(%d).Nodes = %d, want %d", tc.lost, s.Nodes, tc.nodes)
+		}
+		if s.Links != m.Links || s.CoreGFlops != m.CoreGFlops || s.CoresPerNode() != m.CoresPerNode() {
+			t.Fatalf("WithoutCores(%d) changed performance parameters", tc.lost)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("WithoutCores(%d) invalid: %v", tc.lost, err)
+		}
+	}
+	if m.Nodes != 4 {
+		t.Fatal("WithoutCores mutated the receiver")
+	}
+
+	// Losing everything (or a negative count) is an error, not a panic.
+	for _, lost := range []int{13, 16, 100, -1} {
+		if _, err := m.WithoutCores(lost); err == nil {
+			t.Fatalf("WithoutCores(%d) accepted", lost)
+		} else if !errors.Is(err, ErrInvalidMachine) {
+			t.Fatalf("WithoutCores(%d) = %v, want ErrInvalidMachine", lost, err)
 		}
 	}
 }

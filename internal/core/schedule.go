@@ -46,6 +46,31 @@ type LayerSchedule struct {
 // NumGroups returns the number of core groups of the layer.
 func (ls *LayerSchedule) NumGroups() int { return len(ls.Groups) }
 
+// GroupOfRank returns the group owning the given symbolic core rank via
+// the size prefix sums, or -1 if the rank is out of range.
+func (ls *LayerSchedule) GroupOfRank(rank int) GroupID {
+	off := 0
+	for g, sz := range ls.Sizes {
+		if rank < off+sz {
+			return GroupID(g)
+		}
+		off += sz
+	}
+	return -1
+}
+
+// RankRange returns the half-open symbolic core range [lo, hi) occupied by
+// group gi (groups occupy consecutive rank blocks in group order).
+func (ls *LayerSchedule) RankRange(gi GroupID) (lo, hi int) {
+	for g, sz := range ls.Sizes {
+		if GroupID(g) == gi {
+			return lo, lo + sz
+		}
+		lo += sz
+	}
+	return lo, lo
+}
+
 // GroupOf returns the group index executing the given task, or -1.
 func (ls *LayerSchedule) GroupOf(id graph.TaskID) GroupID {
 	for gi, tasks := range ls.Groups {
@@ -174,4 +199,37 @@ func (s *Schedule) SourceTasks(id graph.TaskID) []graph.TaskID {
 		return []graph.TaskID{id}
 	}
 	return t.Members
+}
+
+// SameLayering verifies that b partitions the same source tasks into the
+// same layers as a. This is the checkpoint-compatibility invariant of
+// degrade-and-replan: layer barriers are the recovery checkpoints, so a
+// schedule replanned on fewer cores must keep the layer partition (which
+// depends only on the graph structure) while group counts and sizes may
+// change freely.
+func SameLayering(a, b *Schedule) error {
+	if len(a.Layers) != len(b.Layers) {
+		return fmt.Errorf("core: replanned schedule has %d layers, want %d", len(b.Layers), len(a.Layers))
+	}
+	sourceSet := func(s *Schedule, li int) map[graph.TaskID]bool {
+		set := make(map[graph.TaskID]bool)
+		for _, id := range s.Layers[li].Layer {
+			for _, src := range s.SourceTasks(id) {
+				set[src] = true
+			}
+		}
+		return set
+	}
+	for li := range a.Layers {
+		sa, sb := sourceSet(a, li), sourceSet(b, li)
+		if len(sa) != len(sb) {
+			return fmt.Errorf("core: replanned layer %d has %d source tasks, want %d", li, len(sb), len(sa))
+		}
+		for id := range sa {
+			if !sb[id] {
+				return fmt.Errorf("core: replanned layer %d is missing source task %d", li, id)
+			}
+		}
+	}
+	return nil
 }

@@ -17,6 +17,7 @@
 package dynsched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,20 +35,26 @@ type Ctx struct {
 	Comm *runtime.Comm
 	// Depth is the recursive split depth (0 for the root task).
 	Depth int
+	// Context carries the cancellation of RunCtx / RunAllCtx
+	// (context.Background() under the plain entry points).
+	Context context.Context
 }
 
-// Run executes the root task on all cores of the world.
+// Run executes the root task on all cores of the world. It is equivalent
+// to RunCtx with a background context.
 func Run(w *runtime.World, root Task) error {
-	errs := make([]error, w.P)
-	w.Run(func(c *runtime.Comm) {
-		errs[c.Rank()] = root(&Ctx{Comm: c})
+	return RunCtx(context.Background(), w, root)
+}
+
+// RunCtx executes the root task on all cores of the world with
+// cancellation and panic isolation: canceling ctx aborts the world
+// communicator (collectives unblock and fail), a panicking body becomes a
+// *runtime.PanicError instead of crashing the process, and per-rank errors
+// are aggregated with errors.Join.
+func RunCtx(ctx context.Context, w *runtime.World, root Task) error {
+	return w.RunCtx(ctx, func(c *runtime.Comm) error {
+		return root(&Ctx{Comm: c, Context: ctx})
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // SplitSizes computes the subgroup sizes for q cores and the given
@@ -138,7 +145,7 @@ func (c *Ctx) SplitRun(weights []float64, tasks []Task) error {
 		off += sz
 	}
 	sub := c.Comm.Split(color, rank, runtime.Group)
-	taskErr := tasks[color](&Ctx{Comm: sub, Depth: c.Depth + 1})
+	taskErr := tasks[color](&Ctx{Comm: sub, Depth: c.Depth + 1, Context: c.Context})
 	// Propagate errors: exchange error strings over the parent group.
 	var mine any
 	if taskErr != nil {
@@ -187,11 +194,39 @@ func NewPool(p int) (*Pool, error) {
 
 // RunAll executes the tasks, each on its own goroutine group, never using
 // more than P cores at once. Tasks requiring more than P cores are
-// clamped to P (the paper's schedulers do the same via MaxWidth).
+// clamped to P (the paper's schedulers do the same via MaxWidth). It is
+// equivalent to RunAllCtx with a background context.
 func (p *Pool) RunAll(tasks []PoolTask) error {
+	return p.RunAllCtx(context.Background(), tasks)
+}
+
+// RunAllCtx executes the tasks like RunAll with cancellation and panic
+// isolation: canceling ctx stops launching queued tasks (the cancellation
+// is also delivered to running task worlds, unblocking their collectives)
+// and RunAllCtx returns ctx's error after the already-running tasks
+// settle. A panicking task body is recovered into a *runtime.PanicError
+// and reported as that task's failure instead of crashing the process.
+func (p *Pool) RunAllCtx(ctx context.Context, tasks []PoolTask) error {
 	ordered := append([]PoolTask(nil), tasks...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Cores > ordered[j].Cores })
+
+	// Wake the admission loop when ctx is canceled.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
+	canceled := false
 	for _, t := range ordered {
 		need := t.Cores
 		if need < 1 {
@@ -201,8 +236,13 @@ func (p *Pool) RunAll(tasks []PoolTask) error {
 			need = p.P
 		}
 		p.mu.Lock()
-		for p.free < need {
+		for p.free < need && ctx.Err() == nil {
 			p.cond.Wait()
+		}
+		if ctx.Err() != nil {
+			p.mu.Unlock()
+			canceled = true
+			break
 		}
 		p.free -= need
 		p.mu.Unlock()
@@ -212,16 +252,7 @@ func (p *Pool) RunAll(tasks []PoolTask) error {
 			defer wg.Done()
 			w, err := runtime.NewWorld(need)
 			if err == nil {
-				errs := make([]error, need)
-				w.Run(func(c *runtime.Comm) {
-					errs[c.Rank()] = t.Body(c)
-				})
-				for _, e := range errs {
-					if e != nil {
-						err = e
-						break
-					}
-				}
+				err = w.RunCtx(ctx, t.Body)
 			}
 			p.mu.Lock()
 			if err != nil && p.first == nil {
@@ -235,5 +266,8 @@ func (p *Pool) RunAll(tasks []PoolTask) error {
 	wg.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if canceled && p.first == nil {
+		return fmt.Errorf("dynsched: pool canceled: %w", ctx.Err())
+	}
 	return p.first
 }

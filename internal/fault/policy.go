@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy tells the fault-tolerant executor how to react to task failures.
+// The zero value retries nothing and times nothing out; DefaultPolicy
+// returns sensible production-ish defaults.
+type Policy struct {
+	// MaxRetries is the per-task retry budget: a task body may run up
+	// to MaxRetries+1 times before the failure is escalated.
+	MaxRetries int
+
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff (0 = no cap). A zero
+	// BaseBackoff retries immediately.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Jitter randomises each backoff into [(1-Jitter)*d, d]
+	// deterministically from Seed, task name and retry number, so two
+	// groups that failed simultaneously do not retry in lockstep while
+	// runs remain reproducible. Must be in [0, 1].
+	Jitter float64
+
+	// Seed selects the deterministic jitter pattern.
+	Seed int64
+
+	// TaskTimeout bounds one attempt of one task (0 = unbounded). A
+	// timed-out attempt has its group communicator aborted so blocked
+	// peers cannot deadlock at a collective, and counts as a retryable
+	// failure.
+	TaskTimeout time.Duration
+
+	// LayerTimeout bounds the execution of one whole layer
+	// (0 = unbounded). A layer timeout fails the run; it is not
+	// retried and not escalated to degrade-and-replan.
+	LayerTimeout time.Duration
+
+	// DegradeAndReplan escalates exhausted failures by marking the
+	// failing group's cores as lost and rescheduling the remaining
+	// layers on the surviving cores (requires a Replanner; see
+	// runtime.WithReplanner). Execution resumes from the last
+	// completed layer barrier.
+	DegradeAndReplan bool
+
+	// MaxReplans bounds the number of degrade-and-replan escalations
+	// (0 = unbounded; the shrinking core count bounds it naturally).
+	MaxReplans int
+
+	// OnExhausted, if set, is called once per task whose retry budget
+	// is exhausted (or whose failure is not retryable), before the
+	// failure is escalated or returned.
+	OnExhausted func(task string, attempts int, err error)
+}
+
+// DefaultPolicy returns a policy with a modest retry budget and exponential
+// backoff: 3 retries starting at 1ms (capped at 100ms, 50% jitter) and a
+// 30s per-attempt timeout.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		Jitter:      0.5,
+		TaskTimeout: 30 * time.Second,
+	}
+}
+
+// Backoff returns the delay before the given retry (1-based) of the named
+// task: exponential growth from BaseBackoff with the policy's
+// deterministic jitter.
+func (p *Policy) Backoff(task string, retry int) time.Duration {
+	if p.BaseBackoff <= 0 || retry < 1 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		u := unit(p.Seed, "jitter", task, retry, 0)
+		d = time.Duration(float64(d) * (1 - j*u))
+	}
+	return d
+}
+
+// Retryable reports whether a failed attempt should be retried: core-loss
+// failures and caller cancellations are final, everything else (errors,
+// recovered panics, attempt timeouts) is retryable within the budget.
+func (p *Policy) Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrCoreLost) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}

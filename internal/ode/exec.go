@@ -1,0 +1,164 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mtask/internal/graph"
+	"mtask/internal/runtime"
+)
+
+// ExecState executes a solver M-task graph with deterministic synthetic
+// SPMD bodies, for validating the fault-tolerant executor: every task
+// reads the stored output vectors of its graph predecessors, computes a
+// vector that depends only on those inputs and the task's identity, and
+// stores it. The computed trajectory is therefore a pure function of the
+// graph — independent of group sizes, schedules, retries and replans —
+// so a run under injected failures must reproduce the failure-free
+// Reference exactly (bitwise), which is the acceptance check of
+// degrade-and-replan.
+//
+// Bodies are idempotent by construction: re-running a task (a retry, or
+// the re-execution of a partially completed layer after a replan)
+// recomputes the identical vector from the completed predecessor layers
+// and overwrites the stored copy with the same values.
+type ExecState struct {
+	G *graph.Graph
+	N int // vector length
+
+	mu  sync.Mutex
+	out map[graph.TaskID][]float64
+}
+
+// NewExecState returns an execution state for the graph with vectors of
+// length n.
+func NewExecState(g *graph.Graph, n int) *ExecState {
+	return &ExecState{G: g, N: n, out: make(map[graph.TaskID][]float64)}
+}
+
+// input assembles the task's input vector: the elementwise sum of the
+// stored predecessor outputs, or the initial vector for source tasks.
+// Start/stop markers and predecessors without stored output (never the
+// case in a layer-ordered execution) contribute nothing.
+func (st *ExecState) input(t *graph.Task) []float64 {
+	in := make([]float64, st.N)
+	any := false
+	st.mu.Lock()
+	preds := append([]graph.TaskID(nil), st.G.Pred(t.ID)...)
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	for _, p := range preds {
+		if v, ok := st.out[p]; ok {
+			any = true
+			for i := range in {
+				in[i] += v[i]
+			}
+		}
+	}
+	st.mu.Unlock()
+	if !any {
+		for i := range in {
+			in[i] = 1 + 0.001*float64(i%13)
+		}
+	}
+	return in
+}
+
+// taskValue is the synthetic per-element computation: bounded (tanh keeps
+// the trajectory finite over many steps), dependent on the input value,
+// the task identity and the element index, and bitwise deterministic.
+func taskValue(base float64, id graph.TaskID, i int) float64 {
+	return math.Tanh(0.3*base+0.05*float64(id+1)) + 0.001*float64(i%7)
+}
+
+// Body returns the SPMD body of the task: each rank computes its block of
+// the output vector, the group assembles the full vector with Allgather,
+// an AllreduceMax models the solver's step-control reduction, and rank 0
+// stores the result. Start/stop markers get a no-op body.
+func (st *ExecState) Body(t *graph.Task) runtime.TaskFunc {
+	if t.Kind != graph.KindBasic {
+		return func(tc *runtime.TaskCtx) error { return nil }
+	}
+	return func(tc *runtime.TaskCtx) error {
+		in := st.input(t)
+		size, rank := tc.Group.Size(), tc.Group.Rank()
+		lo, hi := runtime.BlockRange(st.N, size, rank)
+		block := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			block[i-lo] = taskValue(in[i], t.ID, i)
+		}
+		full := tc.Group.Allgather(block)
+		if len(full) != st.N {
+			return fmt.Errorf("ode: task %q assembled %d of %d elements", t.Name, len(full), st.N)
+		}
+		norm := 0.0
+		for _, v := range block {
+			if a := math.Abs(v); a > norm {
+				norm = a
+			}
+		}
+		tc.Group.AllreduceMax(norm) // step-control reduction (value unused)
+		if rank == 0 {
+			st.mu.Lock()
+			st.out[t.ID] = full
+			st.mu.Unlock()
+		}
+		tc.Group.Barrier()
+		return nil
+	}
+}
+
+// Reference computes the trajectory sequentially (topological order,
+// single core) and returns the outputs. It is the failure-free oracle for
+// comparing fault-tolerant runs.
+func Reference(g *graph.Graph, n int) map[graph.TaskID][]float64 {
+	st := NewExecState(g, n)
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(fmt.Sprintf("ode: reference on invalid graph: %v", err))
+	}
+	for _, id := range order {
+		t := g.Task(id)
+		if t.Kind != graph.KindBasic {
+			continue
+		}
+		in := st.input(t)
+		full := make([]float64, n)
+		for i := 0; i < n; i++ {
+			full[i] = taskValue(in[i], t.ID, i)
+		}
+		st.out[t.ID] = full
+	}
+	return st.out
+}
+
+// Outputs returns the stored output vectors (the live map; callers must
+// not mutate it and must not call it while an execution is running).
+func (st *ExecState) Outputs() map[graph.TaskID][]float64 { return st.out }
+
+// CompareOutputs verifies that got reproduces want bitwise on every task
+// present in want; it returns the first difference found (sorted by task
+// id for determinism), or nil.
+func CompareOutputs(want, got map[graph.TaskID][]float64) error {
+	ids := make([]graph.TaskID, 0, len(want))
+	for id := range want {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w, g := want[id], got[id]
+		if g == nil {
+			return fmt.Errorf("ode: task %d has no output", id)
+		}
+		if len(w) != len(g) {
+			return fmt.Errorf("ode: task %d output length %d, want %d", id, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				return fmt.Errorf("ode: task %d element %d = %v, want %v", id, i, g[i], w[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package ode
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/fault"
+	"mtask/internal/graph"
+	"mtask/internal/runtime"
+)
+
+func pabSchedule(t *testing.T, g *graph.Graph, P int) *core.Schedule {
+	t.Helper()
+	model := &cost.Model{Machine: arch.CHiC().SubsetCores(P)}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func TestExecStateMatchesReference(t *testing.T) {
+	// The parallel execution of the synthetic bodies must reproduce the
+	// sequential reference bitwise, for several solver graphs and core
+	// counts (group sizes vary, the trajectory must not).
+	const n = 64
+	graphs := map[string]*graph.Graph{
+		"pab":  BuildPABGraph(n, 10, 4, 0, 3),
+		"irk":  BuildIRKGraph(n, 10, 4, 2, 2),
+		"epol": BuildEPOLGraph(n, 10, 4, 2),
+	}
+	for name, g := range graphs {
+		want := Reference(g, n)
+		for _, P := range []int{4, 8} {
+			sched := pabSchedule(t, g, P)
+			w, _ := runtime.NewWorld(P)
+			st := NewExecState(g, n)
+			if err := runtime.Execute(w, sched, st.Body); err != nil {
+				t.Fatalf("%s on %d cores: %v", name, P, err)
+			}
+			if err := CompareOutputs(want, st.Outputs()); err != nil {
+				t.Fatalf("%s on %d cores: %v", name, P, err)
+			}
+		}
+	}
+}
+
+func TestExecStateIdenticalUnderInjectedFaults(t *testing.T) {
+	// The acceptance property of the fault-tolerance layer: probabilistic
+	// error/panic/delay injection with retries must leave the trajectory
+	// byte-identical to the failure-free reference.
+	const n = 64
+	g := BuildPABGraph(n, 10, 4, 0, 4)
+	want := Reference(g, n)
+	sched := pabSchedule(t, g, 8)
+	w, _ := runtime.NewWorld(8)
+
+	pol := fault.DefaultPolicy()
+	pol.MaxRetries = 6
+	pol.BaseBackoff = 50 * time.Microsecond
+	for seed := int64(1); seed <= 3; seed++ {
+		inj := &fault.Injector{Seed: seed, PError: 0.10, PPanic: 0.05, PDelay: 0.05, Delay: 100 * time.Microsecond}
+		st := NewExecState(g, n)
+		rep, err := runtime.ExecuteCtx(context.Background(), w, sched, st.Body,
+			runtime.WithPolicy(pol), runtime.WithInjector(inj))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, rep)
+		}
+		if err := CompareOutputs(want, st.Outputs()); err != nil {
+			t.Fatalf("seed %d: results diverged: %v\n%s", seed, err, rep)
+		}
+	}
+}
+
+func TestExecStateIdenticalAfterCoreLossReplan(t *testing.T) {
+	// Killing one core group mid-run must complete via degrade-and-replan
+	// with results identical to the failure-free run — the headline
+	// acceptance check of the issue.
+	const n = 64
+	g := BuildPABGraph(n, 10, 4, 0, 4)
+	want := Reference(g, n)
+	machine := arch.CHiC().SubsetCores(8)
+	model := &cost.Model{Machine: machine}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := runtime.NewWorld(8)
+
+	// Kill stage[1](0) on its first attempt: a mid-run core loss.
+	inj := &fault.Injector{Script: []fault.Script{
+		{Task: "stage[1](0)", Attempt: 1, Rank: 0, Kind: fault.CoreLoss},
+	}}
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 50 * time.Microsecond
+	pol.DegradeAndReplan = true
+	replan := func(ctx context.Context, survivors int) (*core.Schedule, error) {
+		return (&core.Scheduler{Model: model}).Schedule(g, survivors)
+	}
+	st := NewExecState(g, n)
+	rep, err := runtime.ExecuteCtx(context.Background(), w, sched, st.Body,
+		runtime.WithPolicy(pol), runtime.WithInjector(inj), runtime.WithReplanner(replan))
+	if err != nil {
+		t.Fatalf("degrade-and-replan failed: %v\n%s", err, rep)
+	}
+	if rep.Replans != 1 {
+		t.Fatalf("replans = %d, want 1\n%s", rep.Replans, rep)
+	}
+	if err := CompareOutputs(want, st.Outputs()); err != nil {
+		t.Fatalf("results diverged after replan: %v\n%s", err, rep)
+	}
+}

@@ -1,0 +1,52 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/graph"
+)
+
+// Replan produces a degraded schedule of the graph after cores were lost:
+// the machine is shrunk to the survivors (whole-node granularity, see
+// arch.Machine.WithoutCores) and the full graph is replanned on them with
+// the same options. The layer-based algorithm partitions layers from the
+// graph structure alone, so the replanned schedule keeps the layer
+// partition of the original (the fault-tolerant executor verifies this
+// with core.SameLayering) while group counts and sizes adapt to the
+// smaller core count — which is what makes resuming at a layer barrier
+// sound.
+//
+// survivors is the number of symbolic cores still available. Because the
+// machine shrinks in whole nodes, the schedule may use fewer cores than
+// survivors (the whole-node floor); it never uses more. Replan shares the
+// planner's schedule cache, so repeated degradations to the same size are
+// served from cache.
+func (p *Planner) Replan(ctx context.Context, g *graph.Graph, m *arch.Machine, survivors int,
+	opts ...Option) (*core.Mapping, error) {
+
+	if survivors < 1 {
+		return nil, fmt.Errorf("replanning %q on %d cores: %w", g.Name, survivors, core.ErrNoCores)
+	}
+	lost := m.TotalCores() - survivors
+	if lost < 0 {
+		return nil, fmt.Errorf("replanning %q: %d survivors exceed the %d cores of %q: %w",
+			g.Name, survivors, m.TotalCores(), m.Name, core.ErrNoCores)
+	}
+	dm := m
+	if lost > 0 {
+		var err error
+		dm, err = m.WithoutCores(lost)
+		if err != nil {
+			return nil, fmt.Errorf("replanning %q: %w", g.Name, err)
+		}
+	}
+	P := survivors
+	if t := dm.TotalCores(); t < P {
+		P = t // whole-node shrink removed more cores than were lost
+	}
+	opts = append(append([]Option(nil), opts...), WithCores(P))
+	return p.Plan(ctx, g, dm, opts...)
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/ode"
+)
+
+func TestReplanKeepsLayering(t *testing.T) {
+	// Degrading from 32 to 24 cores must keep the layer partition (the
+	// checkpoint-compatibility invariant of degrade-and-replan) while the
+	// schedule shrinks to the surviving cores.
+	machine := arch.CHiC().SubsetCores(32) // 8 nodes x 4 cores
+	g := ode.BuildPABGraph(40000, 20, 8, 0, 4)
+	p := New()
+	ctx := context.Background()
+
+	full, err := p.Plan(ctx, g, machine, WithCores(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := p.Replan(ctx, g, machine, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Schedule.P != 24 {
+		t.Fatalf("degraded P = %d, want 24", degraded.Schedule.P)
+	}
+	if err := core.SameLayering(full.Schedule, degraded.Schedule); err != nil {
+		t.Fatalf("replanned schedule broke the layer partition: %v", err)
+	}
+	if degraded.Machine.TotalCores() != 24 {
+		t.Fatalf("degraded machine has %d cores, want 24", degraded.Machine.TotalCores())
+	}
+}
+
+func TestReplanWholeNodeFloor(t *testing.T) {
+	// Losing 2 of 32 cores removes a whole node, so the 30 survivors are
+	// scheduled on the 28-core whole-node floor.
+	machine := arch.CHiC().SubsetCores(32)
+	g := ode.BuildPABGraph(40000, 20, 8, 0, 4)
+	mp, err := New().Replan(context.Background(), g, machine, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Schedule.P != 28 {
+		t.Fatalf("P = %d, want the 28-core whole-node floor", mp.Schedule.P)
+	}
+}
+
+func TestReplanErrors(t *testing.T) {
+	machine := arch.CHiC().SubsetCores(8) // 2 nodes
+	g := ode.BuildPABGraph(40000, 20, 8, 0, 4)
+	ctx := context.Background()
+	p := New()
+	if _, err := p.Replan(ctx, g, machine, 0); !errors.Is(err, core.ErrNoCores) {
+		t.Fatalf("0 survivors: got %v, want ErrNoCores", err)
+	}
+	if _, err := p.Replan(ctx, g, machine, 100); !errors.Is(err, core.ErrNoCores) {
+		t.Fatalf("more survivors than cores: got %v, want ErrNoCores", err)
+	}
+	// 3 survivors of 8 would need removing both nodes' worth rounded up:
+	// 5 lost -> 2 nodes -> nothing left.
+	if _, err := p.Replan(ctx, g, machine, 3); !errors.Is(err, arch.ErrInvalidMachine) {
+		t.Fatalf("no node survives: got %v, want ErrInvalidMachine", err)
+	}
+}

@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mustFinish fails the test if fn does not return within the deadline —
+// the deadlock detector of the abort tests.
+func mustFinish(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("deadlocked: goroutines still blocked in a collective")
+	}
+}
+
+func TestAbortReleasesBarrier(t *testing.T) {
+	// One rank returns early with an error while its peers sit in a
+	// barrier: the abort must release them with an *AbortError instead of
+	// deadlocking.
+	w, _ := NewWorld(8)
+	cause := errors.New("rank 3 gave up")
+	mustFinish(t, 10*time.Second, func() {
+		err := w.RunCtx(context.Background(), func(c *Comm) error {
+			if c.Rank() == 3 {
+				return cause
+			}
+			c.Barrier() // would deadlock without abort poisoning
+			return nil
+		})
+		if !errors.Is(err, cause) {
+			t.Errorf("cause lost: %v", err)
+		}
+		if !errors.Is(err, ErrCommAborted) {
+			t.Errorf("abort sentinel lost: %v", err)
+		}
+	})
+}
+
+func TestAbortReleasesDataCollectives(t *testing.T) {
+	// Early-returning participants must unblock peers in every collective
+	// (Bcast, Allgather, AllreduceSum, ExchangeAny), not just Barrier.
+	for _, op := range []struct {
+		name string
+		call func(c *Comm)
+	}{
+		{"bcast", func(c *Comm) { c.Bcast(0, []float64{1}) }},
+		{"allgather", func(c *Comm) { c.Allgather([]float64{float64(c.Rank())}) }},
+		{"allreduce", func(c *Comm) { c.AllreduceSum(1) }},
+		{"exchange", func(c *Comm) { c.ExchangeAny(c.Rank()) }},
+	} {
+		t.Run(op.name, func(t *testing.T) {
+			w, _ := NewWorld(6)
+			mustFinish(t, 10*time.Second, func() {
+				err := w.RunCtx(context.Background(), func(c *Comm) error {
+					if c.Rank() == 5 {
+						return fmt.Errorf("deserter")
+					}
+					op.call(c)
+					return nil
+				})
+				if err == nil {
+					t.Error("error swallowed")
+				}
+			})
+		})
+	}
+}
+
+func TestAbortCascadesToSplitChildren(t *testing.T) {
+	// A rank fails while peers are blocked in collectives of a CHILD
+	// communicator (created by Split): the abort of the parent must
+	// cascade to the children.
+	w, _ := NewWorld(8)
+	mustFinish(t, 10*time.Second, func() {
+		err := w.RunCtx(context.Background(), func(c *Comm) error {
+			sub := c.Split(c.Rank()/4, c.Rank(), Group)
+			if c.Rank() == 0 {
+				return fmt.Errorf("parent rank 0 failed")
+			}
+			sub.Barrier() // must be released by the cascaded abort
+			return nil
+		})
+		if err == nil {
+			t.Error("error swallowed")
+		}
+	})
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	// Canceling the context aborts the world communicator: ranks blocked
+	// in a barrier fail instead of hanging.
+	w, _ := NewWorld(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var entered atomic.Int64
+	go func() {
+		for entered.Load() < 4 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	mustFinish(t, 10*time.Second, func() {
+		err := w.RunCtx(ctx, func(c *Comm) error {
+			entered.Add(1)
+			for i := 0; i < 1_000_000; i++ {
+				c.Barrier()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("got %v, want context.Canceled", err)
+		}
+	})
+}
+
+func TestRunIsolatesPanicOntoCaller(t *testing.T) {
+	// World.Run re-raises a body panic as *PanicError on the caller
+	// goroutine (where it can be recovered), instead of crashing the
+	// process from an anonymous goroutine; blocked peers are released.
+	w, _ := NewWorld(4)
+	mustFinish(t, 10*time.Second, func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Error("panic not re-raised")
+				return
+			}
+			pe, ok := p.(*PanicError)
+			if !ok {
+				t.Errorf("recovered %T, want *PanicError", p)
+				return
+			}
+			if fmt.Sprint(pe.Value) != "boom" || len(pe.Stack) == 0 {
+				t.Errorf("panic value/stack lost: %v", pe.Value)
+			}
+		}()
+		w.Run(func(c *Comm) {
+			if c.Rank() == 2 {
+				panic("boom")
+			}
+			c.Barrier()
+		})
+	})
+}
+
+func TestAbortErrorIs(t *testing.T) {
+	cause := errors.New("root cause")
+	err := fmt.Errorf("wrapped: %w", &AbortError{Cause: cause})
+	if !errors.Is(err, ErrCommAborted) {
+		t.Error("AbortError does not match ErrCommAborted")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("AbortError does not unwrap to its cause")
+	}
+}
+
+func TestCommAbortPublic(t *testing.T) {
+	// The public Comm.Abort fails the communicator for all members.
+	w, _ := NewWorld(4)
+	cause := errors.New("external abort")
+	mustFinish(t, 10*time.Second, func() {
+		err := w.RunCtx(context.Background(), func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Abort(cause)
+				return nil
+			}
+			c.Barrier()
+			return nil
+		})
+		if !errors.Is(err, cause) {
+			t.Errorf("cause lost: %v", err)
+		}
+	})
+}

@@ -12,6 +12,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -119,14 +120,42 @@ func (s *Stats) Total() int {
 	return t
 }
 
+// AbortError is the panic value thrown by every collective call on an
+// aborted communicator. The fault-tolerant executor (ExecuteCtx) recovers
+// it and converts it to an error wrapping ErrCommAborted; code running
+// outside the executor can recover it explicitly. Cause is the abort
+// reason handed to Comm.Abort.
+type AbortError struct {
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	if e.Cause == nil {
+		return "runtime: communicator aborted"
+	}
+	return fmt.Sprintf("runtime: communicator aborted: %v", e.Cause)
+}
+
+// Unwrap exposes the abort cause to errors.Is/errors.As.
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrCommAborted) match any AbortError.
+func (e *AbortError) Is(target error) bool { return target == ErrCommAborted }
+
+// ErrCommAborted is matched (via errors.Is) by every AbortError.
+var ErrCommAborted = errors.New("runtime: communicator aborted")
+
 // barrier is a reusable sense-reversing barrier for a fixed number of
-// participants.
+// participants. An aborted barrier wakes all waiters and makes every
+// current and future wait panic with *AbortError, so that a failed or
+// timed-out participant cannot deadlock its peers at a collective.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	n     int
 	count int
 	gen   int
+	err   error // abort cause; nil while healthy
 }
 
 func newBarrier(n int) *barrier {
@@ -135,8 +164,27 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
+// abort poisons the barrier with the given cause (the first cause wins)
+// and wakes every waiter.
+func (b *barrier) abort(err error) {
+	if err == nil {
+		err = ErrCommAborted
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
 func (b *barrier) wait() {
 	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		panic(&AbortError{Cause: err})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -146,8 +194,13 @@ func (b *barrier) wait() {
 		b.mu.Unlock()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && b.err == nil {
 		b.cond.Wait()
+	}
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		panic(&AbortError{Cause: err})
 	}
 	b.mu.Unlock()
 }
@@ -160,9 +213,37 @@ type commShared struct {
 	slots []any // exchange slots, one per member
 	stats *Stats
 
-	mu     sync.Mutex
-	splits map[int]map[int]*commShared // split generation -> color -> child
-	splitN int
+	mu       sync.Mutex
+	splits   map[int]map[int]*commShared // split generation -> color -> child
+	splitN   int
+	children []*commShared // communicators split off this one, for abort cascade
+}
+
+// newCommShared builds the shared state of a communicator over the given
+// world ranks. Used by World.Run and by the fault-tolerant executor, which
+// constructs group communicators directly from the schedule (a fresh one
+// per attempt) instead of through collective Split calls.
+func newCommShared(kind CommKind, worldRanks []int, stats *Stats) *commShared {
+	return &commShared{
+		kind:  kind,
+		ranks: worldRanks,
+		bar:   newBarrier(len(worldRanks)),
+		slots: make([]any, len(worldRanks)),
+		stats: stats,
+	}
+}
+
+// abort poisons the communicator and, recursively, every communicator that
+// was split off it, so a task blocked in a nested group collective is
+// released as well.
+func (s *commShared) abort(err error) {
+	s.bar.abort(err)
+	s.mu.Lock()
+	kids := append([]*commShared(nil), s.children...)
+	s.mu.Unlock()
+	for _, k := range kids {
+		k.abort(err)
+	}
 }
 
 // Comm is one member's handle of a communicator. Handles are per-goroutine
@@ -189,6 +270,16 @@ func (c *Comm) count(op Op) {
 	if c.rank == 0 && c.shared.stats != nil {
 		c.shared.stats.add(c.shared.kind, op)
 	}
+}
+
+// Abort poisons the communicator and every communicator split off it:
+// all members currently blocked in a collective are woken, and every
+// current and future collective call panics with an *AbortError wrapping
+// the given cause. The fault-tolerant executor uses Abort so a failed,
+// panicked or timed-out task cannot deadlock its peers at a barrier; task
+// bodies may also call it to broadcast an unrecoverable local failure.
+func (c *Comm) Abort(cause error) {
+	c.shared.abort(cause)
 }
 
 // Barrier synchronises all members.
@@ -350,14 +441,9 @@ func (c *Comm) Split(color, key int, kind CommKind) *Comm {
 	}
 	child, ok := byColor[color]
 	if !ok {
-		child = &commShared{
-			kind:  kind,
-			ranks: worldRanks,
-			bar:   newBarrier(len(worldRanks)),
-			slots: make([]any, len(worldRanks)),
-			stats: c.shared.stats,
-		}
+		child = newCommShared(kind, worldRanks, c.shared.stats)
 		byColor[color] = child
+		c.shared.children = append(c.shared.children, child)
 	}
 	c.shared.mu.Unlock()
 

@@ -1,0 +1,479 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtask/internal/core"
+	"mtask/internal/fault"
+	"mtask/internal/graph"
+)
+
+// Replanner reschedules the executed graph for the given number of
+// surviving symbolic cores; the fault-tolerant executor calls it when a
+// core group is lost and the policy enables DegradeAndReplan. The returned
+// schedule must preserve the layer partition of the failed one (verified
+// with core.SameLayering) — the layer-based algorithm does this naturally
+// because layers depend only on the graph structure, not on the core
+// count. See plan.Planner.Replan for the standard implementation.
+type Replanner func(ctx context.Context, survivors int) (*core.Schedule, error)
+
+// HierarchicalReplanner is the Replanner of ExecuteHierarchicalCtx: it
+// reschedules the whole hierarchy (sub-schedules are recomputed for the
+// new group sizes).
+type HierarchicalReplanner func(ctx context.Context, survivors int) (*core.HierarchicalSchedule, error)
+
+// execConfig collects the resolved fault-tolerance knobs of one execution.
+type execConfig struct {
+	policy   fault.Policy
+	injector *fault.Injector
+	replan   Replanner
+	hreplan  HierarchicalReplanner
+	grace    time.Duration
+}
+
+// ExecOption configures ExecuteCtx / ExecuteHierarchicalCtx.
+type ExecOption func(*execConfig)
+
+// WithPolicy sets the retry/timeout/escalation policy (default: no
+// retries, no timeouts, no degrade-and-replan).
+func WithPolicy(p fault.Policy) ExecOption { return func(c *execConfig) { c.policy = p } }
+
+// WithInjector installs a failure injector (for tests and chaos runs).
+func WithInjector(in *fault.Injector) ExecOption { return func(c *execConfig) { c.injector = in } }
+
+// WithReplanner installs the degrade-and-replan callback of ExecuteCtx.
+func WithReplanner(r Replanner) ExecOption { return func(c *execConfig) { c.replan = r } }
+
+// WithHierarchicalReplanner installs the degrade-and-replan callback of
+// ExecuteHierarchicalCtx.
+func WithHierarchicalReplanner(r HierarchicalReplanner) ExecOption {
+	return func(c *execConfig) { c.hreplan = r }
+}
+
+// WithAbandonGrace sets how long the executor waits, after aborting a
+// timed-out attempt's communicator, for the attempt's goroutines to settle
+// before abandoning them (default 1s). Bodies blocked in collectives wake
+// immediately; only a body hung in pure computation runs into the grace
+// period (and is then leaked — Go provides no way to kill it).
+func WithAbandonGrace(d time.Duration) ExecOption {
+	return func(c *execConfig) {
+		if d > 0 {
+			c.grace = d
+		}
+	}
+}
+
+const defaultAbandonGrace = time.Second
+
+// errLayerDone is the abort cause used to release stragglers of abandoned
+// attempts when their layer finishes.
+var errLayerDone = errors.New("runtime: layer execution finished")
+
+// ExecuteCtx is the fault-tolerant variant of Execute. Beyond running the
+// layered schedule it:
+//
+//   - recovers panics in task bodies into errors with stack capture
+//     (a panicking body never crashes the process);
+//   - aborts the group communicator of a failed, panicked or timed-out
+//     task so its peers cannot deadlock at a collective — every attempt
+//     runs on a fresh group communicator;
+//   - enforces the policy's per-attempt and per-layer timeouts and the
+//     caller's ctx throughout;
+//   - aggregates per-rank errors with errors.Join;
+//   - retries failed tasks per the policy (exponential backoff with
+//     deterministic jitter), re-running the whole group attempt;
+//   - on exhausted retries with DegradeAndReplan enabled, marks the
+//     failing group's cores as lost, asks the Replanner for a schedule on
+//     the surviving cores, and resumes from the last completed layer
+//     barrier (layer boundaries are the natural checkpoints: only
+//     completed-layer outputs need to survive).
+//
+// Task bodies must be idempotent: a body can run more than once (retry,
+// or re-execution of a partially completed layer after a replan) and must
+// produce the same outputs given the same completed predecessor layers.
+// Bodies that communicate through TaskCtx.Global are only safe when no
+// retries occur in their layer (group collectives are always safe).
+//
+// The returned Report is valid (and populated) even when the execution
+// fails. The schedule may use at most w.P cores; replanned schedules use
+// fewer as cores are lost.
+func ExecuteCtx(ctx context.Context, w *World, sched *core.Schedule, body func(t *graph.Task) TaskFunc,
+	opts ...ExecOption) (*Report, error) {
+
+	cfg := newExecConfig(opts)
+	rep := NewReport()
+	start := time.Now()
+	err := runLayered(ctx, w, sched, body, cfg, rep, func(rctx context.Context, survivors int) (*core.Schedule, error) {
+		if cfg.replan == nil {
+			return nil, nil
+		}
+		return cfg.replan(rctx, survivors)
+	})
+	rep.mu.Lock()
+	rep.Wall = time.Since(start)
+	rep.mu.Unlock()
+	return rep, err
+}
+
+// ExecuteHierarchicalCtx is the fault-tolerant variant of
+// ExecuteHierarchical: leaf tasks and composed tasks (each composed body
+// runs as one unit on its group) get the panic isolation, timeouts and
+// retries of ExecuteCtx. Degrade-and-replan uses the
+// HierarchicalReplanner, which recomputes the sub-schedules for the new
+// group sizes.
+func ExecuteHierarchicalCtx(ctx context.Context, w *World, hs *core.HierarchicalSchedule,
+	body func(t *graph.Task) TaskFunc, iterations func(t *graph.Task, done int) bool,
+	opts ...ExecOption) (*Report, error) {
+
+	cfg := newExecConfig(opts)
+	rep := NewReport()
+
+	type hierState struct {
+		hs  *core.HierarchicalSchedule
+		sub map[*graph.Task]*core.HierarchicalSchedule
+	}
+	var cur atomic.Pointer[hierState]
+	cur.Store(&hierState{hs: hs, sub: subScheduleIndex(hs)})
+
+	wrapped := func(t *graph.Task) TaskFunc {
+		if t.Kind != graph.KindComposed {
+			return body(t)
+		}
+		return func(tc *TaskCtx) error {
+			sub, ok := cur.Load().sub[t]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoSubSchedule, t.Name)
+			}
+			return runComposed(tc, t, sub, body, iterations)
+		}
+	}
+	resched := func(rctx context.Context, survivors int) (*core.Schedule, error) {
+		if cfg.hreplan == nil {
+			return nil, nil
+		}
+		nhs, err := cfg.hreplan(rctx, survivors)
+		if err != nil {
+			return nil, err
+		}
+		cur.Store(&hierState{hs: nhs, sub: subScheduleIndex(nhs)})
+		return nhs.Top, nil
+	}
+
+	start := time.Now()
+	err := runLayered(ctx, w, hs.Top, wrapped, cfg, rep, resched)
+	rep.mu.Lock()
+	rep.Wall = time.Since(start)
+	rep.mu.Unlock()
+	return rep, err
+}
+
+func newExecConfig(opts []ExecOption) *execConfig {
+	cfg := &execConfig{grace: defaultAbandonGrace}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	return cfg
+}
+
+// runLayered drives the layer loop with degrade-and-replan: layers advance
+// only after completing, so the layer index is the checkpoint that
+// survives a replan.
+func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t *graph.Task) TaskFunc,
+	cfg *execConfig, rep *Report, resched Replanner) error {
+
+	if sched == nil || body == nil {
+		return fmt.Errorf("runtime: nil schedule or body")
+	}
+	if sched.P > w.P {
+		return fmt.Errorf("runtime: schedule needs %d cores, world has %d", sched.P, w.P)
+	}
+	cur := sched
+	lost := 0
+	li := 0
+	for li < len(cur.Layers) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("runtime: execution canceled before layer %d: %w", li, err)
+		}
+		layerErr, failedCores := runLayer(ctx, w, cur, li, body, cfg, rep)
+		if layerErr == nil {
+			rep.layerDone()
+			li++
+			continue
+		}
+		if !cfg.policy.DegradeAndReplan || failedCores == 0 || ctx.Err() != nil {
+			return layerErr
+		}
+		if cfg.policy.MaxReplans > 0 && rep.Replans >= cfg.policy.MaxReplans {
+			return fmt.Errorf("runtime: replan budget (%d) exhausted: %w", cfg.policy.MaxReplans, layerErr)
+		}
+		lost += failedCores
+		survivors := sched.P - lost
+		if survivors < 1 {
+			return errors.Join(layerErr,
+				fmt.Errorf("runtime: all %d cores lost: %w", sched.P, core.ErrNoCores))
+		}
+		ns, rerr := resched(ctx, survivors)
+		if rerr != nil {
+			return errors.Join(layerErr, fmt.Errorf("runtime: replanning on %d cores: %w", survivors, rerr))
+		}
+		if ns == nil {
+			return layerErr // no replanner configured
+		}
+		if serr := core.SameLayering(cur, ns); serr != nil {
+			return errors.Join(layerErr, serr)
+		}
+		rep.replanned(lost)
+		cur = ns // resume from the last completed layer barrier
+	}
+	return nil
+}
+
+// runLayer executes one layer: each core group runs on its own
+// coordinator goroutine, and joining them is the layer barrier (which,
+// unlike a communicator barrier, cannot deadlock on a lost group). It
+// returns the joined group errors and the number of symbolic cores owned
+// by groups whose failures exhausted their retry budget.
+func runLayer(ctx context.Context, w *World, sched *core.Schedule, li int, body func(t *graph.Task) TaskFunc,
+	cfg *execConfig, rep *Report) (error, int) {
+
+	ls := sched.Layers[li]
+	lctx := ctx
+	if cfg.policy.LayerTimeout > 0 {
+		var cancel context.CancelFunc
+		lctx, cancel = context.WithTimeout(ctx, cfg.policy.LayerTimeout)
+		defer cancel()
+	}
+	// A fresh per-layer global communicator for orthogonal exchanges;
+	// aborted once the layer is done so stragglers of abandoned attempts
+	// blocked in a global collective are released.
+	global := newCommShared(Global, identityRanks(sched.P), &w.Stats)
+	defer global.abort(errLayerDone)
+
+	ng := len(ls.Groups)
+	groupErrs := make([]error, ng)
+	exhausted := make([]bool, ng)
+	var wg sync.WaitGroup
+	for gi := 0; gi < ng; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			groupErrs[gi], exhausted[gi] = runGroup(lctx, w, sched, li, core.GroupID(gi), global, body, cfg, rep)
+		}(gi)
+	}
+	wg.Wait()
+	failedCores := 0
+	for gi, ex := range exhausted {
+		if ex {
+			lo, hi := ls.RankRange(core.GroupID(gi))
+			failedCores += hi - lo
+		}
+	}
+	joined := make([]error, 0, ng)
+	for gi, err := range groupErrs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("layer %d group %d: %w", li, gi, err))
+		}
+	}
+	return errors.Join(joined...), failedCores
+}
+
+// runGroup executes one group's task queue, retrying failed attempts per
+// the policy. The second result reports whether the group's failure
+// exhausted its budget (the degrade-and-replan trigger, which costs the
+// group its cores).
+func runGroup(ctx context.Context, w *World, sched *core.Schedule, li int, gi core.GroupID,
+	global *commShared, body func(t *graph.Task) TaskFunc, cfg *execConfig, rep *Report) (error, bool) {
+
+	ls := sched.Layers[li]
+	lo, hi := ls.RankRange(gi)
+	for _, id := range ls.Groups[gi] {
+		for _, src := range sched.SourceTasks(id) {
+			t := sched.Source.Task(src)
+			fn := body(t)
+			if fn == nil {
+				return fmt.Errorf("runtime: no body for task %q", t.Name), false
+			}
+			retries := 0
+			for {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("runtime: task %q: %w", t.Name, err), false
+				}
+				attempt := rep.startAttempt(t.Name)
+				aerr := runAttempt(ctx, w, t, fn, attempt, li, gi, lo, hi, global, cfg, rep)
+				if aerr == nil {
+					break
+				}
+				rep.failed(t.Name)
+				if ctx.Err() != nil {
+					// Layer timeout or caller cancellation: not a core
+					// failure, do not escalate to degrade-and-replan.
+					return fmt.Errorf("runtime: task %q: %w", t.Name, aerr), false
+				}
+				if !cfg.policy.Retryable(aerr) || retries >= cfg.policy.MaxRetries {
+					if cfg.policy.OnExhausted != nil {
+						cfg.policy.OnExhausted(t.Name, attempt, aerr)
+					}
+					return fmt.Errorf("runtime: task %q failed after %d attempt(s): %w", t.Name, attempt, aerr), true
+				}
+				retries++
+				rep.retried(t.Name)
+				if d := cfg.policy.Backoff(t.Name, retries); d > 0 {
+					timer := time.NewTimer(d)
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						timer.Stop()
+					}
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// runAttempt executes one attempt of one task on a fresh group
+// communicator: the SPMD body runs once per group rank, panics are
+// recovered into *PanicError, a failing rank aborts the group communicator
+// (releasing peers blocked in collectives), and a watchdog enforces the
+// per-attempt deadline. On timeout the communicator is aborted and, if the
+// attempt still does not settle within the abandon grace, its goroutines
+// are abandoned (their errors are no longer read — no data race).
+func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, attempt, li int,
+	gi core.GroupID, lo, hi int, global *commShared, cfg *execConfig, rep *Report) error {
+
+	size := hi - lo
+	ranks := make([]int, size)
+	for i := range ranks {
+		ranks[i] = lo + i
+	}
+	gsh := newCommShared(Group, ranks, &w.Stats)
+
+	actx := parent
+	var cancel context.CancelFunc
+	if cfg.policy.TaskTimeout > 0 {
+		actx, cancel = context.WithTimeout(parent, cfg.policy.TaskTimeout)
+	} else {
+		actx, cancel = context.WithCancel(parent)
+	}
+	defer cancel()
+
+	errs := make([]error, size)
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						if ae, ok := p.(*AbortError); ok {
+							errs[r] = ae
+						} else {
+							errs[r] = &PanicError{Value: p, Stack: debug.Stack()}
+						}
+					}
+					if errs[r] != nil {
+						gsh.abort(errs[r]) // release peers blocked in group collectives
+					}
+				}()
+				if f := cfg.injector.Decide(t.Name, attempt, r); f != nil {
+					switch f.Kind {
+					case fault.Delay:
+						timer := time.NewTimer(f.Delay)
+						select {
+						case <-timer.C:
+						case <-actx.Done():
+							timer.Stop()
+							errs[r] = fmt.Errorf("injected delay interrupted: %w", actx.Err())
+							return
+						}
+					case fault.Error, fault.CoreLoss:
+						errs[r] = f.Err
+						return
+					case fault.Panic:
+						panic(fmt.Sprintf("fault: injected panic in task %q (attempt %d, rank %d)", t.Name, attempt, r))
+					}
+				}
+				errs[r] = fn(&TaskCtx{
+					Group:      &Comm{shared: gsh, rank: r},
+					Global:     &Comm{shared: global, rank: lo + r},
+					Task:       t,
+					Layer:      li,
+					GroupIndex: int(gi),
+					Ctx:        actx,
+				})
+			}(r)
+		}
+		wg.Wait()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+		return settleAttempt(t, rep, errs, actx)
+	case <-actx.Done():
+		cause := actx.Err()
+		gsh.abort(fmt.Errorf("task %q attempt %d: %w", t.Name, attempt, cause))
+		timer := time.NewTimer(cfg.grace)
+		defer timer.Stop()
+		select {
+		case <-done:
+			_ = settleAttempt(t, rep, errs, actx) // count panics; timeout is the primary error
+			return fmt.Errorf("task %q attempt %d: %w", t.Name, attempt, cause)
+		case <-timer.C:
+			// Abandoned: the attempt's goroutines may still be running, so
+			// errs must not be read. Bodies blocked in collectives have
+			// been released by the abort; only pure computation can hang.
+			return fmt.Errorf("task %q attempt %d abandoned after %v grace: %w", t.Name, attempt, cfg.grace, cause)
+		}
+	}
+}
+
+// settleAttempt classifies the per-rank results of a finished attempt:
+// recovered panics are counted, communicator aborts are secondary (they
+// are the echo of the originating failure) and all real errors are joined
+// in rank order.
+func settleAttempt(t *graph.Task, rep *Report, errs []error, actx context.Context) error {
+	var real, aborts []error
+	panics := 0
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		// An abort is the echo of the originating failure on another rank
+		// (its cause may be that rank's panic) — classify it before the
+		// panic check so echoes are not double-counted as panics.
+		var ae *AbortError
+		if errors.As(err, &ae) {
+			aborts = append(aborts, fmt.Errorf("rank %d: %w", r, err))
+			continue
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panics++
+			real = append(real, fmt.Errorf("rank %d: %w", r, err))
+			continue
+		}
+		real = append(real, fmt.Errorf("rank %d: %w", r, err))
+	}
+	rep.addPanics(t.Name, panics)
+	if len(real) > 0 {
+		return errors.Join(real...)
+	}
+	if len(aborts) > 0 {
+		// Aborted without a local originating error (e.g. the watchdog
+		// fired between completion and the select): surface the aborts.
+		return errors.Join(aborts...)
+	}
+	if err := actx.Err(); err != nil && panics == 0 && len(errs) == 0 {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/fault"
+	"mtask/internal/graph"
+)
+
+// diamondSchedule builds the diamond test graph and schedules it on P
+// symbolic cores of a CHiC subset.
+func diamondSchedule(t *testing.T, P int) (*graph.Graph, *core.Schedule) {
+	t.Helper()
+	g := graph.New("diamond")
+	a := g.AddTask(&graph.Task{Name: "a", Kind: graph.KindBasic, Work: 1e6})
+	b := g.AddTask(&graph.Task{Name: "b", Kind: graph.KindBasic, Work: 1e6, CommBytes: 1 << 22, CommCount: 16})
+	c := g.AddTask(&graph.Task{Name: "c", Kind: graph.KindBasic, Work: 1e6, CommBytes: 1 << 22, CommCount: 16})
+	d := g.AddTask(&graph.Task{Name: "d", Kind: graph.KindBasic, Work: 1e6})
+	g.MustEdge(a, b, 8)
+	g.MustEdge(a, c, 8)
+	g.MustEdge(b, d, 8)
+	g.MustEdge(c, d, 8)
+	model := &cost.Model{Machine: arch.CHiC().Subset(2)}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sched
+}
+
+// diamondReplanner reschedules the diamond graph on the surviving cores.
+func diamondReplanner(t *testing.T, g *graph.Graph) Replanner {
+	t.Helper()
+	model := &cost.Model{Machine: arch.CHiC().Subset(2)}
+	return func(ctx context.Context, survivors int) (*core.Schedule, error) {
+		return (&core.Scheduler{Model: model}).Schedule(g, survivors)
+	}
+}
+
+func TestExecuteCtxPlain(t *testing.T) {
+	// Without faults or options ExecuteCtx behaves like Execute and the
+	// report counts one attempt per task and all layers.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	var ran [4]atomic.Int64
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if tc.Group.Rank() == 0 {
+				ran[task.ID].Add(1)
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		if got := ran[id].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", id, got)
+		}
+	}
+	if rep.Layers != len(sched.Layers) || rep.Retries != 0 || rep.Panics != 0 || rep.Replans != 0 {
+		t.Fatalf("unexpected report: %s", rep)
+	}
+	if got := rep.Task("a").Attempts; got != 1 {
+		t.Fatalf("task a attempts = %d, want 1", got)
+	}
+}
+
+func TestExecuteCtxPanicIsolation(t *testing.T) {
+	// A panicking body must not crash the process: the panic becomes a
+	// *PanicError with a captured stack, peers blocked in a collective
+	// are released via the communicator abort, and the report counts it.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if task.Name == "b" && tc.Group.Rank() == 0 {
+				panic("kaboom")
+			}
+			tc.Group.Barrier() // peers must be released, not deadlock
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error does not carry *PanicError: %v", err)
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "kaboom") {
+		t.Fatalf("panic value lost: %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	if rep.Panics == 0 || rep.Task("b").Panics == 0 {
+		t.Fatalf("panic not reported: %s", rep)
+	}
+}
+
+func TestExecuteCtxRetrySucceeds(t *testing.T) {
+	// A task that fails on its first two attempts and then succeeds must
+	// be retried to success per the policy, and the report must show the
+	// attempts and retries.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	var bAttempts atomic.Int64
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 100 * time.Microsecond
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if task.Name == "b" {
+				n := int64(0)
+				if tc.Group.Rank() == 0 {
+					n = bAttempts.Add(1)
+				}
+				n = int64(tc.Group.AllreduceMax(float64(n)))
+				if n <= 2 {
+					if tc.Group.Rank() == 0 {
+						return fmt.Errorf("transient flake %d", n)
+					}
+					tc.Group.Barrier() // released by the failing rank's abort
+					return nil
+				}
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithPolicy(pol))
+	if err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	tr := rep.Task("b")
+	if tr.Attempts != 3 || tr.Retries != 2 || tr.Failures != 2 {
+		t.Fatalf("task b report = %+v, want 3 attempts / 2 retries / 2 failures", tr)
+	}
+	if rep.Retries != 2 {
+		t.Fatalf("total retries = %d, want 2", rep.Retries)
+	}
+}
+
+func TestExecuteCtxRetriesExhausted(t *testing.T) {
+	// Persistent failure exhausts the budget: MaxRetries+1 attempts, then
+	// the error surfaces (wrapped with the attempt count) and OnExhausted
+	// fires.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	pol := fault.DefaultPolicy()
+	pol.MaxRetries = 2
+	pol.BaseBackoff = 100 * time.Microsecond
+	var exhaustedTask string
+	var exhaustedAttempts int
+	pol.OnExhausted = func(task string, attempts int, err error) {
+		exhaustedTask, exhaustedAttempts = task, attempts
+	}
+	sentinel := errors.New("hard failure")
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if task.Name == "c" && tc.Group.Rank() == 0 {
+				return sentinel
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithPolicy(pol))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("sentinel lost: %v", err)
+	}
+	if got := rep.Task("c").Attempts; got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if exhaustedTask != "c" || exhaustedAttempts != 3 {
+		t.Fatalf("OnExhausted(%q, %d), want (c, 3)", exhaustedTask, exhaustedAttempts)
+	}
+}
+
+func TestExecuteCtxTaskTimeoutUnblocksBarrier(t *testing.T) {
+	// One rank of a group sleeps past the per-attempt deadline while its
+	// peers wait at a group barrier. The watchdog must abort the group
+	// communicator so nothing deadlocks, and the attempt must fail with
+	// context.DeadlineExceeded.
+	g := graph.New("one")
+	g.AddTask(&graph.Task{Name: "slow", Kind: graph.KindBasic, Work: 1})
+	model := &cost.Model{Machine: arch.CHiC().Subset(1)}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWorld(4)
+	pol := fault.Policy{TaskTimeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err = ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if tc.Group.Rank() == 0 {
+				select { // hang, but respect the attempt context
+				case <-tc.Ctx.Done():
+					return tc.Ctx.Err()
+				case <-time.After(10 * time.Second):
+				}
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithPolicy(pol))
+	if err == nil {
+		t.Fatal("timeout not reported")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap DeadlineExceeded: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("barrier deadlocked for %v", elapsed)
+	}
+}
+
+func TestExecuteCtxLayerTimeout(t *testing.T) {
+	// The layer timeout bounds a whole layer; its expiry cancels the
+	// attempts but is not a core failure, so no replan happens.
+	g := graph.New("one")
+	g.AddTask(&graph.Task{Name: "slow", Kind: graph.KindBasic, Work: 1})
+	model := &cost.Model{Machine: arch.CHiC().Subset(1)}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWorld(2)
+	pol := fault.Policy{LayerTimeout: 50 * time.Millisecond, MaxRetries: 3, DegradeAndReplan: true}
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			select {
+			case <-tc.Ctx.Done():
+				return tc.Ctx.Err()
+			case <-time.After(10 * time.Second):
+			}
+			return nil
+		}
+	}, WithPolicy(pol))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("layer timeout lost: %v", err)
+	}
+	if rep.Replans != 0 {
+		t.Fatalf("layer timeout escalated to replan: %s", rep)
+	}
+	_ = rep
+}
+
+func TestExecuteCtxInjectedRetry(t *testing.T) {
+	// A scripted transient error on attempt 1 is retried and succeeds on
+	// attempt 2 without the body ever observing the failure.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	inj := &fault.Injector{Script: []fault.Script{{Task: "b", Attempt: 1, Rank: 0, Kind: fault.Error}}}
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 100 * time.Microsecond
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithPolicy(pol), WithInjector(inj))
+	if err != nil {
+		t.Fatalf("injected transient error not recovered: %v", err)
+	}
+	if !errors.Is(errors.Join(fault.ErrInjected), fault.ErrInjected) {
+		t.Fatal("sanity")
+	}
+	if got := rep.Task("b"); got.Attempts != 2 || got.Retries != 1 {
+		t.Fatalf("task b report = %+v, want 2 attempts / 1 retry", got)
+	}
+}
+
+func TestExecuteCtxCoreLossReplans(t *testing.T) {
+	// A scripted core loss kills task b's group on attempt 1. Core loss
+	// is not retryable, so the executor must degrade: replan the graph on
+	// the surviving cores and resume from the last completed layer. The
+	// computation must still complete, with every task having run.
+	g, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	inj := &fault.Injector{Script: []fault.Script{{Task: "b", Attempt: 1, Rank: 0, Kind: fault.CoreLoss}}}
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 100 * time.Microsecond
+	pol.DegradeAndReplan = true
+
+	var mu sync.Mutex
+	ran := map[string]int{}
+	rep, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if tc.Group.Rank() == 0 {
+				mu.Lock()
+				ran[task.Name]++
+				mu.Unlock()
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithPolicy(pol), WithInjector(inj), WithReplanner(diamondReplanner(t, g)))
+	if err != nil {
+		t.Fatalf("degrade-and-replan did not recover: %v\n%s", err, rep)
+	}
+	if rep.Replans != 1 {
+		t.Fatalf("replans = %d, want 1: %s", rep.Replans, rep)
+	}
+	if rep.LostCores == 0 || rep.LostCores >= 8 {
+		t.Fatalf("lost cores = %d, want in (0, 8)", rep.LostCores)
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if ran[name] == 0 {
+			t.Fatalf("task %q never completed: %v", name, ran)
+		}
+	}
+	// b failed on attempt 1, so its re-execution is attempt 2 — the
+	// script (keyed on attempt 1) must not re-fire.
+	if got := rep.Task("b").Attempts; got != 2 {
+		t.Fatalf("task b attempts = %d, want 2", got)
+	}
+}
+
+func TestExecuteCtxReplanWithoutReplanner(t *testing.T) {
+	// Core loss with DegradeAndReplan but no replanner: the original
+	// error surfaces instead of a nil-deref or silent success.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	inj := &fault.Injector{Script: []fault.Script{{Task: "b", Attempt: 1, Rank: 0, Kind: fault.CoreLoss}}}
+	pol := fault.DefaultPolicy()
+	pol.DegradeAndReplan = true
+	_, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { tc.Group.Barrier(); return nil }
+	}, WithPolicy(pol), WithInjector(inj))
+	if !errors.Is(err, fault.ErrCoreLost) {
+		t.Fatalf("core loss lost: %v", err)
+	}
+}
+
+func TestExecuteCtxReplanBudget(t *testing.T) {
+	// MaxReplans bounds the escalations: losing cores more often than the
+	// budget allows must fail with the budget error.
+	g, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	inj := &fault.Injector{Script: []fault.Script{
+		{Task: "b", Attempt: 1, Rank: 0, Kind: fault.CoreLoss},
+		{Task: "b", Attempt: 2, Rank: 0, Kind: fault.CoreLoss},
+	}}
+	pol := fault.DefaultPolicy()
+	pol.DegradeAndReplan = true
+	pol.MaxReplans = 1
+	_, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { tc.Group.Barrier(); return nil }
+	}, WithPolicy(pol), WithInjector(inj), WithReplanner(diamondReplanner(t, g)))
+	if err == nil || !strings.Contains(err.Error(), "replan budget") {
+		t.Fatalf("replan budget not enforced: %v", err)
+	}
+}
+
+func TestExecuteCtxCancellation(t *testing.T) {
+	// Canceling the caller's context stops the execution promptly, fails
+	// with context.Canceled, and never triggers retries or replans.
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	pol := fault.DefaultPolicy()
+	pol.DegradeAndReplan = true
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	var rep *Report
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = ExecuteCtx(ctx, w, sched, func(task *graph.Task) TaskFunc {
+			return func(tc *TaskCtx) error {
+				once.Do(func() { close(started) })
+				select {
+				case <-tc.Ctx.Done():
+					return tc.Ctx.Err()
+				case <-time.After(10 * time.Second):
+				}
+				tc.Group.Barrier()
+				return nil
+			}
+		}, WithPolicy(pol))
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not stop the execution")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if rep.Replans != 0 || rep.Retries != 0 {
+		t.Fatalf("cancellation escalated: %s", rep)
+	}
+}
+
+func TestExecuteCtxWorldTooSmall(t *testing.T) {
+	_, sched := diamondSchedule(t, 8)
+	w, _ := NewWorld(4)
+	if _, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { return nil }
+	}); err == nil {
+		t.Fatal("oversized schedule accepted")
+	}
+}
+
+func TestExecuteHierarchicalCtx(t *testing.T) {
+	// A composed loop task under the fault-tolerant executor: the body
+	// runs the scheduled sub-graph the requested number of times, with a
+	// scripted transient failure on the composed task's first attempt.
+	inner := graph.New("body")
+	inner.AddTask(&graph.Task{Name: "step", Kind: graph.KindBasic, Work: 1e5})
+	inner.AddStartStop()
+	top := graph.New("loop")
+	top.AddTask(&graph.Task{Name: "iter", Kind: graph.KindComposed, Sub: inner, Work: 1e5})
+	top.AddStartStop()
+	model := &cost.Model{Machine: arch.CHiC().Subset(1)}
+	hs, err := (&core.Scheduler{Model: model}).ScheduleHierarchical(top, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWorld(4)
+	inj := &fault.Injector{Script: []fault.Script{{Task: "iter", Attempt: 1, Rank: 0, Kind: fault.Error}}}
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 100 * time.Microsecond
+	var steps atomic.Int64
+	const trips = 3
+	rep, err := ExecuteHierarchicalCtx(context.Background(), w, hs, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if tc.Group.Rank() == 0 {
+				steps.Add(1)
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, func(task *graph.Task, done int) bool { return done < trips }, WithPolicy(pol), WithInjector(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Task("iter"); got.Attempts != 2 || got.Retries != 1 {
+		t.Fatalf("iter report = %+v, want 2 attempts / 1 retry", got)
+	}
+	if got := steps.Load(); got != trips {
+		t.Fatalf("step ran %d times in the successful attempt, want %d", got, trips)
+	}
+}

@@ -1,12 +1,17 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"sync"
 
 	"mtask/internal/core"
 	"mtask/internal/graph"
 )
+
+// ErrNoSubSchedule reports a composed task whose hierarchical schedule has
+// no entry for it; test with errors.Is.
+var ErrNoSubSchedule = errors.New("runtime: no sub-schedule for composed task")
 
 // TaskCtx is the execution context handed to the SPMD body of an M-task:
 // the group communicator of the cores executing the task, the global
@@ -22,6 +27,10 @@ type TaskCtx struct {
 	// Layer and GroupIndex locate the task in the schedule.
 	Layer      int
 	GroupIndex int
+	// Ctx is the attempt context of the fault-tolerant executor: it is
+	// canceled when the attempt times out or the execution is canceled
+	// (nil under the plain Execute/ExecuteHierarchical entry points).
+	Ctx context.Context
 }
 
 // TaskFunc is the SPMD body of a basic M-task: it is invoked once per
@@ -35,25 +44,20 @@ type TaskFunc func(ctx *TaskCtx) error
 // barrier (the group structure is reorganised between layers). The body
 // function maps each original task to its SPMD implementation; tasks
 // without a body are an error.
+//
+// Per-rank failures are aggregated with errors.Join in rank order: every
+// rank that failed contributes its error to the result instead of all but
+// one being dropped. For retries, timeouts and panic isolation use
+// ExecuteCtx.
 func Execute(w *World, sched *core.Schedule, body func(t *graph.Task) TaskFunc) error {
 	if sched.P != w.P {
 		return fmt.Errorf("runtime: schedule needs %d cores, world has %d", sched.P, w.P)
 	}
 	errs := make([]error, w.P)
-	var once sync.Once
-	var firstErr error
 	w.Run(func(global *Comm) {
 		rank := global.Rank()
 		for li, ls := range sched.Layers {
-			// Locate this rank's group via the size prefix sums.
-			gi, off := 0, 0
-			for g, sz := range ls.Sizes {
-				if rank < off+sz {
-					gi = g
-					break
-				}
-				off += sz
-			}
+			gi := int(ls.GroupOfRank(rank))
 			groupComm := global.Split(gi, rank, Group)
 			for _, id := range ls.Groups[gi] {
 				if errs[rank] != nil {
@@ -85,12 +89,36 @@ func Execute(w *World, sched *core.Schedule, body func(t *graph.Task) TaskFunc) 
 			global.Barrier()
 		}
 	})
-	for _, err := range errs {
+	return joinRankErrors(errs)
+}
+
+// joinRankErrors aggregates per-rank errors with errors.Join, annotating
+// each with its rank. Returns nil when every rank succeeded.
+func joinRankErrors(errs []error) error {
+	joined := make([]error, 0, len(errs))
+	for rank, err := range errs {
 		if err != nil {
-			once.Do(func() { firstErr = err })
+			joined = append(joined, fmt.Errorf("rank %d: %w", rank, err))
 		}
 	}
-	return firstErr
+	return errors.Join(joined...)
+}
+
+// subScheduleIndex maps every composed source task of a hierarchical
+// schedule to the schedule of its body, resolving the contraction
+// indirection (a composed node may appear as the single member of a
+// contracted node) once instead of scanning hs.Sub per execution.
+func subScheduleIndex(hs *core.HierarchicalSchedule) map[*graph.Task]*core.HierarchicalSchedule {
+	idx := make(map[*graph.Task]*core.HierarchicalSchedule, len(hs.Sub))
+	for id, sub := range hs.Sub {
+		node := hs.Top.Graph.Task(id)
+		src := node
+		if len(node.Members) == 1 {
+			src = hs.Top.Source.Task(node.Members[0])
+		}
+		idx[src] = sub
+	}
+	return idx
 }
 
 // ExecuteHierarchical runs a hierarchical schedule: basic tasks execute
@@ -103,36 +131,35 @@ func Execute(w *World, sched *core.Schedule, body func(t *graph.Task) TaskFunc) 
 func ExecuteHierarchical(w *World, hs *core.HierarchicalSchedule, body func(t *graph.Task) TaskFunc,
 	iterations func(t *graph.Task, done int) bool) error {
 
+	subOf := subScheduleIndex(hs)
 	wrapped := func(t *graph.Task) TaskFunc {
 		if t.Kind != graph.KindComposed {
 			return body(t)
 		}
 		return func(ctx *TaskCtx) error {
-			// Locate the composed node in the scheduled graph to
-			// find its sub-schedule.
-			var sub *core.HierarchicalSchedule
-			for id, s := range hs.Sub {
-				node := hs.Top.Graph.Task(id)
-				if node == t || (len(node.Members) == 1 && hs.Top.Source.Task(node.Members[0]) == t) {
-					sub = s
-					break
-				}
+			sub, ok := subOf[t]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoSubSchedule, t.Name)
 			}
-			if sub == nil {
-				return fmt.Errorf("runtime: no sub-schedule for composed task %q", t.Name)
-			}
-			for done := 0; iterations == nil && done < 1 || iterations != nil && iterations(t, done); done++ {
-				if err := executeOn(ctx.Group, sub, body, iterations); err != nil {
-					return err
-				}
-				if iterations == nil {
-					break
-				}
-			}
-			return nil
+			return runComposed(ctx, t, sub, body, iterations)
 		}
 	}
 	return Execute(w, hs.Top, wrapped)
+}
+
+// runComposed repeats a composed task's scheduled body on the group that
+// executes it, consulting iterations before every trip.
+func runComposed(ctx *TaskCtx, t *graph.Task, sub *core.HierarchicalSchedule,
+	body func(t *graph.Task) TaskFunc, iterations func(t *graph.Task, done int) bool) error {
+	for done := 0; iterations == nil && done < 1 || iterations != nil && iterations(t, done); done++ {
+		if err := executeOn(ctx.Group, sub, body, iterations); err != nil {
+			return err
+		}
+		if iterations == nil {
+			break
+		}
+	}
+	return nil
 }
 
 // executeOn runs a (hierarchical) schedule on an existing communicator:
@@ -144,42 +171,27 @@ func executeOn(comm *Comm, hs *core.HierarchicalSchedule, body func(t *graph.Tas
 	if sched.P != comm.Size() {
 		return fmt.Errorf("runtime: sub-schedule needs %d cores, group has %d", sched.P, comm.Size())
 	}
+	subOf := subScheduleIndex(hs)
 	rank := comm.Rank()
 	var firstErr error
 	for li, ls := range sched.Layers {
-		gi, off := 0, 0
-		for g, sz := range ls.Sizes {
-			if rank < off+sz {
-				gi = g
-				break
-			}
-			off += sz
-		}
+		gi := int(ls.GroupOfRank(rank))
 		groupComm := comm.Split(gi, rank, Group)
 		for _, id := range ls.Groups[gi] {
 			if firstErr != nil {
 				break // keep the layer collectives, skip the work
 			}
-			node := sched.Graph.Task(id)
 			for _, src := range sched.SourceTasks(id) {
 				t := sched.Source.Task(src)
 				var fn TaskFunc
 				if t.Kind == graph.KindComposed {
-					sub := hs.Sub[node.ID]
-					if sub == nil {
-						firstErr = fmt.Errorf("runtime: no sub-schedule for %q", t.Name)
+					sub, ok := subOf[t]
+					if !ok {
+						firstErr = fmt.Errorf("%w: %q", ErrNoSubSchedule, t.Name)
 						break
 					}
 					fn = func(ctx *TaskCtx) error {
-						for done := 0; iterations == nil && done < 1 || iterations != nil && iterations(t, done); done++ {
-							if err := executeOn(ctx.Group, sub, body, iterations); err != nil {
-								return err
-							}
-							if iterations == nil {
-								break
-							}
-						}
-						return nil
+						return runComposed(ctx, t, sub, body, iterations)
 					}
 				} else {
 					fn = body(t)

@@ -1,0 +1,149 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TaskReport records the fault-tolerance history of one task.
+type TaskReport struct {
+	Name     string
+	Attempts int // body executions (first try + retries, across replans)
+	Retries  int // attempts beyond the first
+	Panics   int // panics recovered from the task's ranks
+	Failures int // failed attempts (including the retried ones)
+}
+
+// Report makes the robustness of a fault-tolerant execution observable:
+// per-task attempt counts, recovered panics, retries, degrade-and-replan
+// escalations, lost cores and wall time. ExecuteCtx returns a Report even
+// when the execution fails. A Report must not be read until the executor
+// has returned.
+type Report struct {
+	mu sync.Mutex
+
+	// Tasks holds the per-task histories keyed by task name.
+	Tasks map[string]*TaskReport
+
+	// Retries and Panics total the per-task counts.
+	Retries int
+	Panics  int
+
+	// Replans counts degrade-and-replan escalations; LostCores is the
+	// total number of symbolic cores given up across them.
+	Replans   int
+	LostCores int
+
+	// Layers counts completed layer barriers (the recovery
+	// checkpoints reached).
+	Layers int
+
+	// Wall is the wall-clock duration of the execution.
+	Wall time.Duration
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{Tasks: make(map[string]*TaskReport)}
+}
+
+// task returns the entry for the named task, creating it if needed.
+// Callers must hold r.mu.
+func (r *Report) task(name string) *TaskReport {
+	tr := r.Tasks[name]
+	if tr == nil {
+		tr = &TaskReport{Name: name}
+		r.Tasks[name] = tr
+	}
+	return tr
+}
+
+// startAttempt records the start of an attempt and returns its 1-based
+// number, which is stable across retries and replans (the failure
+// injector's script mode keys on it).
+func (r *Report) startAttempt(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := r.task(name)
+	tr.Attempts++
+	return tr.Attempts
+}
+
+// failed records a failed attempt of the named task.
+func (r *Report) failed(name string) {
+	r.mu.Lock()
+	r.task(name).Failures++
+	r.mu.Unlock()
+}
+
+// retried records that the named task is being retried.
+func (r *Report) retried(name string) {
+	r.mu.Lock()
+	r.task(name).Retries++
+	r.Retries++
+	r.mu.Unlock()
+}
+
+// addPanics records n recovered panics in the named task's ranks.
+func (r *Report) addPanics(name string, n int) {
+	if n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.task(name).Panics += n
+	r.Panics += n
+	r.mu.Unlock()
+}
+
+// replanned records a degrade-and-replan escalation; lostTotal is the
+// cumulative number of lost cores.
+func (r *Report) replanned(lostTotal int) {
+	r.mu.Lock()
+	r.Replans++
+	r.LostCores = lostTotal
+	r.mu.Unlock()
+}
+
+// layerDone records a completed layer barrier.
+func (r *Report) layerDone() {
+	r.mu.Lock()
+	r.Layers++
+	r.mu.Unlock()
+}
+
+// Task returns a copy of the named task's history (zero value if the task
+// never ran).
+func (r *Report) Task(name string) TaskReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tr := r.Tasks[name]; tr != nil {
+		return *tr
+	}
+	return TaskReport{Name: name}
+}
+
+// String renders the report: the totals line always, then one line per
+// task that needed fault handling (attempts > 1 or recovered panics).
+func (r *Report) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution report: %d tasks, %d layers done, %d retries, %d recovered panics, %d replans (%d cores lost), wall %v\n",
+		len(r.Tasks), r.Layers, r.Retries, r.Panics, r.Replans, r.LostCores, r.Wall.Round(time.Microsecond))
+	names := make([]string, 0, len(r.Tasks))
+	for name, tr := range r.Tasks {
+		if tr.Attempts > 1 || tr.Panics > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tr := r.Tasks[name]
+		fmt.Fprintf(&b, "  %-24s attempts=%d retries=%d panics=%d failures=%d\n",
+			tr.Name, tr.Attempts, tr.Retries, tr.Panics, tr.Failures)
+	}
+	return b.String()
+}

@@ -63,6 +63,7 @@ import (
 	"mtask/internal/core"
 	"mtask/internal/cost"
 	"mtask/internal/dynsched"
+	"mtask/internal/fault"
 	"mtask/internal/graph"
 	"mtask/internal/plan"
 	"mtask/internal/redist"
@@ -269,6 +270,98 @@ func NewWorld(p int) (*World, error) { return runtime.NewWorld(p) }
 // Execute runs a schedule on the world with real task bodies.
 func Execute(w *World, sched *Schedule, body func(t *Task) TaskFunc) error {
 	return runtime.Execute(w, sched, body)
+}
+
+// --- fault tolerance ---
+
+// FaultPolicy is the retry/backoff/timeout/escalation policy of the
+// fault-tolerant executor.
+type FaultPolicy = fault.Policy
+
+// FaultInjector injects deterministic failures into task attempts (for
+// tests and chaos runs).
+type FaultInjector = fault.Injector
+
+// FaultScript is one scripted injection: fail a named task on a given
+// attempt.
+type FaultScript = fault.Script
+
+// FaultKind classifies an injected failure.
+type FaultKind = fault.Kind
+
+// Injectable failure kinds for FaultScript and Injector decisions.
+const (
+	FaultError    = fault.Error
+	FaultPanic    = fault.Panic
+	FaultDelay    = fault.Delay
+	FaultCoreLoss = fault.CoreLoss
+)
+
+// DefaultFaultPolicy returns a moderate retry policy (3 retries,
+// exponential backoff, 30s per-attempt timeout, no degrade-and-replan).
+func DefaultFaultPolicy() FaultPolicy { return fault.DefaultPolicy() }
+
+// Fault-tolerance sentinels; test with errors.Is.
+var (
+	// ErrInjected marks failures produced by a FaultInjector.
+	ErrInjected = fault.ErrInjected
+	// ErrCoreLost marks permanent core-group loss (not retryable;
+	// triggers degrade-and-replan when enabled).
+	ErrCoreLost = fault.ErrCoreLost
+	// ErrCommAborted marks collectives failed by a communicator abort.
+	ErrCommAborted = runtime.ErrCommAborted
+	// ErrNoSubSchedule reports a composed task without a sub-schedule.
+	ErrNoSubSchedule = runtime.ErrNoSubSchedule
+)
+
+// PanicError is a panic recovered from a task body, with the panicking
+// goroutine's stack.
+type PanicError = runtime.PanicError
+
+// Report records the fault-tolerance history of one execution.
+type Report = runtime.Report
+
+// ExecOption configures ExecuteCtx.
+type ExecOption = runtime.ExecOption
+
+// Replanner produces a schedule for the surviving cores after a core
+// group is lost (see ReplannerFor for the standard implementation).
+type Replanner = runtime.Replanner
+
+// WithFaultPolicy sets the retry/timeout policy of an ExecuteCtx run.
+func WithFaultPolicy(p FaultPolicy) ExecOption { return runtime.WithPolicy(p) }
+
+// WithFaultInjector installs a failure injector into an ExecuteCtx run.
+func WithFaultInjector(in *FaultInjector) ExecOption { return runtime.WithInjector(in) }
+
+// WithReplanner installs the degrade-and-replan callback.
+func WithReplanner(r Replanner) ExecOption { return runtime.WithReplanner(r) }
+
+// ExecuteCtx is the fault-tolerant Execute: it recovers panics in task
+// bodies into errors (with stack capture), aborts group communicators of
+// failed tasks so peers cannot deadlock in collectives, enforces the
+// policy's timeouts, retries failed tasks with exponential backoff, and —
+// with FaultPolicy.DegradeAndReplan and a Replanner — recovers from
+// permanent core loss by replanning on the surviving cores and resuming
+// from the last completed layer barrier. Task bodies must be idempotent
+// (they may re-run on retry or after a replan).
+func ExecuteCtx(ctx context.Context, w *World, sched *Schedule, body func(t *Task) TaskFunc,
+	opts ...ExecOption) (*Report, error) {
+	return runtime.ExecuteCtx(ctx, w, sched, body, opts...)
+}
+
+// ReplannerFor returns the standard Replanner: it replans the graph with
+// the planner on the machine shrunk to the survivors (whole nodes; see
+// Machine.WithoutCores), preserving the layer partition. Pass it to
+// ExecuteCtx via WithReplanner.
+func ReplannerFor(p *Planner, g *Graph, m *Machine, opts ...PlanOption) Replanner {
+	return func(ctx context.Context, survivors int) (*Schedule, error) {
+		mp, err := p.Replan(ctx, g, m, survivors, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return mp.Schedule, nil
+	}
 }
 
 // --- specification language ---
