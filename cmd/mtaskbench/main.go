@@ -9,6 +9,7 @@
 //	mtaskbench -exp all
 //	mtaskbench -plan pabm -cores 256 -steps 16 -repeat 5
 //	mtaskbench -faults -fault-solver pab -kill 'stage[1](0)@1' -seed 7
+//	mtaskbench -exec -exec-iters 5000
 package main
 
 import (
@@ -20,10 +21,13 @@ import (
 	"strings"
 	"time"
 
+	stdruntime "runtime"
+
 	"mtask"
 	"mtask/internal/bench"
 	"mtask/internal/graph"
 	"mtask/internal/ode"
+	mrt "mtask/internal/runtime"
 )
 
 func main() {
@@ -49,7 +53,17 @@ func main() {
 	ppanic := flag.Float64("ppanic", 0, "faults: per-(task,rank) probability of an injected panic")
 	pdelay := flag.Float64("pdelay", 0, "faults: per-(task,rank) probability of an injected delay")
 	kill := flag.String("kill", "", "faults: scripted core loss 'task@attempt' (e.g. 'stage[1](0)@1')")
+	execMode := flag.Bool("exec", false, "time the collective engine (barrier, bcast, allgather, reduce) and a PABM time step")
+	execIters := flag.Int("exec-iters", 2000, "exec: iterations per collective measurement")
 	flag.Parse()
+
+	if *execMode {
+		if err := runExec(*execIters); err != nil {
+			fmt.Fprintf(os.Stderr, "mtaskbench: exec: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faults {
 		if err := runFaults(*faultSolver, *faultCores, *faultN, *faultSteps, *seed, *perr, *ppanic, *pdelay, *kill); err != nil {
@@ -111,6 +125,83 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runExec times the collective engine directly — the execution-side
+// counterpart of the planning benchmarks: wall-clock per operation for the
+// tree barrier and the allocation-free collectives at group sizes 2, 4 and
+// 8, plus the marginal cost of one task-parallel PABM time step. The
+// numbers correspond to BENCH_exec.json (regenerated there via `go test
+// -bench`); on a single-core host they measure scheduling latency, not
+// parallel contention.
+func runExec(iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("-exec-iters %d out of range", iters)
+	}
+	fmt.Printf("collective engine baseline: %d iterations/op, GOMAXPROCS=%d\n\n", iters, stdruntime.GOMAXPROCS(0))
+	const vec = 64
+	cases := []struct {
+		name string
+		body func(c *mrt.Comm, contrib, dst []float64) []float64
+	}{
+		{"barrier", func(c *mrt.Comm, _, dst []float64) []float64 {
+			c.Barrier()
+			return dst
+		}},
+		{"bcastInto", func(c *mrt.Comm, contrib, dst []float64) []float64 {
+			c.BcastInto(0, contrib)
+			return dst
+		}},
+		{"allgatherInto", func(c *mrt.Comm, contrib, dst []float64) []float64 {
+			return c.AllgatherInto(contrib, dst)
+		}},
+		{"reduceInto", func(c *mrt.Comm, contrib, dst []float64) []float64 {
+			return c.ReduceInto(mrt.ReduceSum, contrib, dst)
+		}},
+	}
+	fmt.Printf("%-14s %12s %12s %12s\n", "collective", "p=2", "p=4", "p=8")
+	for _, tc := range cases {
+		fmt.Printf("%-14s", tc.name)
+		for _, p := range []int{2, 4, 8} {
+			w, err := mrt.NewWorld(p)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			w.Run(func(c *mrt.Comm) {
+				contrib := make([]float64, vec)
+				var dst []float64
+				for i := 0; i < iters; i++ {
+					dst = tc.body(c, contrib, dst)
+				}
+			})
+			fmt.Printf(" %12s", fmtNsPerOp(time.Since(start), iters))
+		}
+		fmt.Println()
+	}
+
+	// One task-parallel PABM time step on 8 cores (the allgather-heavy ODE
+	// loop of BenchmarkExecPABTimestepTP).
+	steps := iters / 8
+	if steps < 16 {
+		steps = 16
+	}
+	w, err := mrt.NewWorld(8)
+	if err != nil {
+		return err
+	}
+	sys := ode.NewLinearDecay(256)
+	start := time.Now()
+	if _, err := ode.ParallelPAB(w, sys, 4, 2, ode.RunOpts{Groups: 4, Steps: steps, H: 1e-4}); err != nil {
+		return err
+	}
+	fmt.Printf("\npabm timestep (tp, 8 cores, n=256): %s over %d steps\n", fmtNsPerOp(time.Since(start), steps), steps)
+	return nil
+}
+
+// fmtNsPerOp renders elapsed/n with ns resolution.
+func fmtNsPerOp(d time.Duration, n int) string {
+	return fmt.Sprintf("%d ns/op", d.Nanoseconds()/int64(n))
 }
 
 // solverGraph builds the named solver's M-task graph at the given scale

@@ -1,0 +1,71 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"mtask/internal/runtime"
+)
+
+// TestRunWorldMatchesSequential runs the multizone solver on the M-task
+// runtime (4 ranks owning zone blocks, barrier-separated solve/exchange
+// phases) and on the sequential path, and demands bitwise-identical
+// fields: the barriers must reproduce exactly the write-interior /
+// fill-ghosts ordering of Step.
+func TestRunWorldMatchesSequential(t *testing.T) {
+	const steps = 4
+	seq := NewMultizone(ClassW())
+	for s := 0; s < steps; s++ {
+		seq.Step(1)
+	}
+
+	par := NewMultizone(ClassW())
+	w, err := runtime.NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := par.RunWorld(w, steps)
+	if err != nil {
+		t.Fatalf("RunWorld: %v", err)
+	}
+
+	for zi := range seq.Fields {
+		a, b := seq.Fields[zi].u, par.Fields[zi].u
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("zone %d cell %d: sequential %v vs world %v", zi, i, a[i], b[i])
+			}
+		}
+	}
+	// The allreduced checksum folds per-rank partials, so it may differ
+	// from the flat zone loop only by rounding.
+	if ref := seq.Checksum(); math.Abs(sum-ref) > 1e-9*(1+math.Abs(ref)) {
+		t.Errorf("checksum %v, want ~%v", sum, ref)
+	}
+}
+
+// TestRunWorldSingleRank degenerates to one rank owning all zones — the
+// collectives take their singleton fast paths and the result must still
+// be bitwise identical.
+func TestRunWorldSingleRank(t *testing.T) {
+	seq := NewMultizone(ClassW())
+	seq.Step(1)
+	seq.Step(1)
+
+	par := NewMultizone(ClassW())
+	w, err := runtime.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.RunWorld(w, 2); err != nil {
+		t.Fatalf("RunWorld: %v", err)
+	}
+	for zi := range seq.Fields {
+		a, b := seq.Fields[zi].u, par.Fields[zi].u
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("zone %d cell %d: sequential %v vs world %v", zi, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -90,22 +90,36 @@ func NewMultizone(c Class) *Multizone {
 	return m
 }
 
+// adiScratch holds the reusable sweep buffers of adiStep, one instance per
+// worker goroutine, so zone solves allocate nothing in steady state.
+type adiScratch struct {
+	d       []float64
+	scratch []float64
+}
+
+// newADIScratch sizes a sweep scratch for the solver's largest zone
+// dimension.
+func (m *Multizone) newADIScratch() *adiScratch {
+	maxd := 1
+	for _, f := range m.Fields {
+		for _, v := range [3]int{f.NX, f.NY, f.NZ} {
+			if v > maxd {
+				maxd = v
+			}
+		}
+	}
+	return &adiScratch{d: make([]float64, maxd), scratch: make([]float64, maxd)}
+}
+
 // adiStep advances one zone by one ADI time step: implicit sweeps along x,
 // y and z. Ghost values (from the last border exchange) enter the x and y
 // sweeps as Dirichlet boundary contributions; the z direction uses
 // zero-flux boundaries.
-func (m *Multizone) adiStep(f *ZoneField) {
+func (m *Multizone) adiStep(f *ZoneField, sc *adiScratch) {
 	a := m.Alpha
 	b := 1 + 2*a
-	maxd := f.NX
-	if f.NY > maxd {
-		maxd = f.NY
-	}
-	if f.NZ > maxd {
-		maxd = f.NZ
-	}
-	d := make([]float64, maxd)
-	scratch := make([]float64, maxd)
+	d := sc.d
+	scratch := sc.scratch
 
 	// x sweep.
 	for j := 0; j < f.NY; j++ {
@@ -181,25 +195,33 @@ func solveZ(a, b float64, d, scratch []float64) {
 // layers of its neighbours (periodic in x and y, like the zone meshes of
 // NPB-MZ).
 func (m *Multizone) ExchangeBorders() {
+	for _, z := range m.Zones {
+		m.exchangeZone(z)
+	}
+}
+
+// exchangeZone fills one zone's ghost layers from its neighbours' edges.
+// It only writes this zone's ghost cells and only reads the neighbours'
+// interior cells, so disjoint zone sets may be exchanged concurrently as
+// long as no interior is written at the same time.
+func (m *Multizone) exchangeZone(z Zone) {
 	c := m.Class
 	id := func(xi, yi int) int { return yi*c.XZones + xi }
-	for _, z := range m.Zones {
-		f := m.Fields[z.ID]
-		left := m.Fields[id((z.XI-1+c.XZones)%c.XZones, z.YI)]
-		right := m.Fields[id((z.XI+1)%c.XZones, z.YI)]
-		down := m.Fields[id(z.XI, (z.YI-1+c.YZones)%c.YZones)]
-		up := m.Fields[id(z.XI, (z.YI+1)%c.YZones)]
-		for j := 0; j < z.NY; j++ {
-			for k := 0; k < z.NZ; k++ {
-				f.Set(-1, j, k, left.Get(left.NX-1, j, k))
-				f.Set(z.NX, j, k, right.Get(0, j, k))
-			}
+	f := m.Fields[z.ID]
+	left := m.Fields[id((z.XI-1+c.XZones)%c.XZones, z.YI)]
+	right := m.Fields[id((z.XI+1)%c.XZones, z.YI)]
+	down := m.Fields[id(z.XI, (z.YI-1+c.YZones)%c.YZones)]
+	up := m.Fields[id(z.XI, (z.YI+1)%c.YZones)]
+	for j := 0; j < z.NY; j++ {
+		for k := 0; k < z.NZ; k++ {
+			f.Set(-1, j, k, left.Get(left.NX-1, j, k))
+			f.Set(z.NX, j, k, right.Get(0, j, k))
 		}
-		for i := 0; i < z.NX; i++ {
-			for k := 0; k < z.NZ; k++ {
-				f.Set(i, -1, k, down.Get(i, down.NY-1, k))
-				f.Set(i, z.NY, k, up.Get(i, 0, k))
-			}
+	}
+	for i := 0; i < z.NX; i++ {
+		for k := 0; k < z.NZ; k++ {
+			f.Set(i, -1, k, down.Get(i, down.NY-1, k))
+			f.Set(i, z.NY, k, up.Get(i, 0, k))
 		}
 	}
 }
@@ -211,8 +233,9 @@ func (m *Multizone) ExchangeBorders() {
 // execution.
 func (m *Multizone) Step(workers int) {
 	if workers <= 1 {
+		sc := m.newADIScratch()
 		for _, z := range m.Zones {
-			m.adiStep(m.Fields[z.ID])
+			m.adiStep(m.Fields[z.ID], sc)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -221,8 +244,9 @@ func (m *Multizone) Step(workers int) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				sc := m.newADIScratch()
 				for zid := range work {
-					m.adiStep(m.Fields[zid])
+					m.adiStep(m.Fields[zid], sc)
 				}
 			}()
 		}
@@ -235,19 +259,26 @@ func (m *Multizone) Step(workers int) {
 	m.ExchangeBorders()
 }
 
+// zoneSum returns the sum of one zone's interior values.
+func (m *Multizone) zoneSum(z Zone) float64 {
+	var s float64
+	f := m.Fields[z.ID]
+	for i := 0; i < z.NX; i++ {
+		for j := 0; j < z.NY; j++ {
+			for k := 0; k < z.NZ; k++ {
+				s += f.Get(i, j, k)
+			}
+		}
+	}
+	return s
+}
+
 // Checksum returns the sum of all interior field values (a cheap
 // regression check, analogous to the NPB verification sums).
 func (m *Multizone) Checksum() float64 {
 	var s float64
 	for _, z := range m.Zones {
-		f := m.Fields[z.ID]
-		for i := 0; i < z.NX; i++ {
-			for j := 0; j < z.NY; j++ {
-				for k := 0; k < z.NZ; k++ {
-					s += f.Get(i, j, k)
-				}
-			}
-		}
+		s += m.zoneSum(z)
 	}
 	return s
 }

@@ -1,0 +1,68 @@
+package ode
+
+import (
+	"testing"
+
+	"mtask/internal/runtime"
+)
+
+// Execution benchmarks of the solver hot loops: one iteration is one full
+// time step of the method on a world of goroutines, so allocs/op is the
+// per-timestep allocation bill of the collective-heavy inner loop (the
+// BENCH_exec.json acceptance metric). Regenerate with
+//
+//	go test -run '^$' -bench 'BenchmarkExec' -benchtime 200x -count 3 ./internal/ode
+
+// benchPABTimestep runs b.N PABM time steps in a single solver invocation,
+// so per-op numbers converge to the marginal cost of one step.
+func benchPABTimestep(b *testing.B, groups int) {
+	b.Helper()
+	sys := NewLinearDecay(256)
+	w, err := runtime.NewWorld(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := ParallelPAB(w, sys, 4, 2, RunOpts{Groups: groups, Steps: b.N, H: 1e-4}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExecPABTimestepDP: data-parallel PABM, K*(1+m) global
+// allgathers per step on all 8 cores.
+func BenchmarkExecPABTimestepDP(b *testing.B) { benchPABTimestep(b, 1) }
+
+// BenchmarkExecPABTimestepTP: task-parallel PABM, (1+m) group allgathers
+// plus one orthogonal exchange per step (one group per stage).
+func BenchmarkExecPABTimestepTP(b *testing.B) { benchPABTimestep(b, 4) }
+
+// BenchmarkExecIRKTimestepTP: task-parallel IRK, m group + m orthogonal
+// allgathers and one global gather per step.
+func BenchmarkExecIRKTimestepTP(b *testing.B) {
+	sys := NewLinearDecay(256)
+	w, err := runtime.NewWorld(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := ParallelIRK(w, sys, 4, 3, RunOpts{Groups: 4, Steps: b.N, H: 1e-4}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExecEPOLTimestepTP: task-parallel extrapolation, R+1 group
+// allgathers per group and one orthogonal re-distribution per step.
+func BenchmarkExecEPOLTimestepTP(b *testing.B) {
+	sys := NewLinearDecay(256)
+	w, err := runtime.NewWorld(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := ParallelEPOL(w, sys, 4, RunOpts{Groups: 2, Steps: b.N, H: 1e-4, Control: true}); err != nil {
+		b.Fatal(err)
+	}
+}

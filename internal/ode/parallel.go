@@ -81,15 +81,16 @@ func AssignChains(r, g int) [][]int {
 // stepControl performs the step-control communication: the error estimate
 // is reduced over all cores; in the task-parallel version the root
 // additionally broadcasts the step decision (the paper's 1*Tbc of the
-// EPOL(tp) row of Table 1).
-func stepControl(global *runtime.Comm, taskParallel bool, errEst float64) {
+// EPOL(tp) row of Table 1). decision is a caller-owned length-2 scratch
+// buffer so the per-step broadcast allocates nothing.
+func stepControl(global *runtime.Comm, taskParallel bool, errEst float64, decision []float64) {
 	_ = global.AllreduceMax(errEst)
 	if taskParallel {
-		var decision []float64
 		if global.Rank() == 0 {
-			decision = []float64{errEst, 1}
+			decision[0] = errEst
+			decision[1] = 1
 		}
-		global.Bcast(0, decision)
+		global.BcastInto(0, decision)
 	}
 }
 
@@ -100,11 +101,18 @@ func stepControl(global *runtime.Comm, taskParallel bool, errEst float64) {
 // single global multi-broadcast per time step of the task-parallel IRK and
 // DIIRK versions (Table 1).
 func gatherFullFromGroupZero(global *runtime.Comm, groupIdx int, block []float64) []float64 {
+	return gatherFullFromGroupZeroInto(global, groupIdx, block, nil)
+}
+
+// gatherFullFromGroupZeroInto is gatherFullFromGroupZero writing into dst
+// (grown only when its capacity is insufficient). dst may alias block:
+// contributions are staged before the barrier.
+func gatherFullFromGroupZeroInto(global *runtime.Comm, groupIdx int, block, dst []float64) []float64 {
 	var contrib []float64
 	if groupIdx == 0 {
 		contrib = block
 	}
-	return global.Allgather(contrib)
+	return global.AllgatherInto(contrib, dst)
 }
 
 // --- EPOL ---
@@ -149,23 +157,32 @@ func ParallelEPOL(w *runtime.World, sys System, r int, opts RunOpts) ([]float64,
 	return result, nil
 }
 
-// epolChainDistributed runs one approximation chain (i micro steps of size
-// h/i) with the block distribution of comm: every micro step assembles the
-// full iterate with one allgather over comm and evaluates f on the local
-// block. The chain starts from the caller's block of y and returns the
-// final block.
-func epolChainDistributed(comm *runtime.Comm, sys System, t, h float64, yBlock []float64, lo, hi, i int) []float64 {
-	blk := append([]float64(nil), yBlock...)
+// chainScratch holds the reusable gather/evaluation buffers of the
+// extrapolation chains, so the per-micro-step allgather and derivative
+// evaluation allocate nothing in steady state.
+type chainScratch struct {
+	full []float64 // assembled full iterate
+	out  []float64 // local derivative block
+}
+
+// epolChainInto runs one approximation chain (i micro steps of size h/i)
+// with the block distribution of comm: every micro step assembles the full
+// iterate with one allgather over comm and evaluates f on the local block.
+// The chain starts from the caller's block of y (copied into dst, which
+// must have length hi-lo) and leaves the final block in dst.
+func epolChainInto(comm *runtime.Comm, sys System, t, h float64, yBlock []float64, lo, hi, i int, dst []float64, sc *chainScratch) {
+	copy(dst, yBlock)
 	micro := h / float64(i)
-	out := make([]float64, hi-lo)
+	if len(sc.out) != hi-lo {
+		sc.out = make([]float64, hi-lo)
+	}
 	for j := 0; j < i; j++ {
-		full := comm.Allgather(blk)
-		sys.Eval(t+float64(j)*micro, full, lo, hi, out)
-		for c := range blk {
-			blk[c] += micro * out[c]
+		sc.full = comm.AllgatherInto(dst, sc.full)
+		sys.Eval(t+float64(j)*micro, sc.full, lo, hi, sc.out)
+		for c := range dst {
+			dst[c] += micro * sc.out[c]
 		}
 	}
-	return blk
 }
 
 // neville extrapolates the R chain results (blocks) in place and returns
@@ -189,16 +206,24 @@ func epolDP(global *runtime.Comm, sys System, r int, opts RunOpts) []float64 {
 	n := sys.Dim()
 	rank, size := global.Rank(), global.Size()
 	lo, hi := runtime.BlockRange(n, size, rank)
+	bsz := hi - lo
 	t0, y0 := sys.Initial()
 	blk := append([]float64(nil), y0[lo:hi]...)
 	t := t0
+	// Persistent chain-result rows and gather scratch: the per-step loop
+	// allocates nothing. blk is its own buffer (never an alias of a tab
+	// row), so reusing the rows next step cannot corrupt the iterate.
+	tab := make([][]float64, r)
+	for i := range tab {
+		tab[i] = make([]float64, bsz)
+	}
+	var sc chainScratch
 	for s := 0; s < opts.Steps; s++ {
-		tab := make([][]float64, r)
 		for i := 1; i <= r; i++ {
-			tab[i-1] = epolChainDistributed(global, sys, t, opts.H, blk, lo, hi, i)
+			epolChainInto(global, sys, t, opts.H, blk, lo, hi, i, tab[i-1], &sc)
 		}
-		var errEst float64
-		blk, errEst = neville(tab, r)
+		res, errEst := neville(tab, r)
+		copy(blk, res)
 		if opts.Control {
 			_ = global.AllreduceMax(errEst)
 		}
@@ -225,22 +250,25 @@ func epolTP(global *runtime.Comm, sys System, r int, opts RunOpts, re *runErr) [
 	t0, y0 := sys.Initial()
 	blk := append([]float64(nil), y0[lo:hi]...)
 	t := t0
+	// Persistent buffers: chains write straight into contrib's segments,
+	// the orthogonal exchange reuses all, and the extrapolation table
+	// aliases all's segments (neville mutates them in place, as before).
+	// blk is its own buffer, copied from the step result.
+	contrib := make([]float64, len(myChains)*bsz)
+	var all []float64
+	tab := make([][]float64, r)
+	var sc chainScratch
+	decision := make([]float64, 2)
 	for s := 0; s < opts.Steps; s++ {
 		// Compute the group's chains with group-internal collectives.
-		results := make(map[int][]float64, len(myChains))
-		for _, i := range myChains {
-			results[i] = epolChainDistributed(group, sys, t, opts.H, blk, lo, hi, i)
+		for ci, i := range myChains {
+			epolChainInto(group, sys, t, opts.H, blk, lo, hi, i, contrib[ci*bsz:(ci+1)*bsz], &sc)
 		}
 		// Re-distribute: the orthogonal set at this block position
 		// exchanges all chains' blocks (compiler-inserted
 		// re-distribution, counted as such and not as a collective of
 		// Table 1).
-		contrib := make([]float64, 0, len(myChains)*bsz)
-		for _, i := range myChains {
-			contrib = append(contrib, results[i]...)
-		}
-		all := ortho.AllgatherAs(contrib, runtime.OpRedist)
-		tab := make([][]float64, r)
+		all = ortho.AllgatherAsInto(contrib, all, runtime.OpRedist)
 		off := 0
 		for og := 0; og < g; og++ {
 			for _, i := range assign[og] {
@@ -248,10 +276,10 @@ func epolTP(global *runtime.Comm, sys System, r int, opts RunOpts, re *runErr) [
 				off += bsz
 			}
 		}
-		var errEst float64
-		blk, errEst = neville(tab, r)
+		res, errEst := neville(tab, r)
+		copy(blk, res)
 		if opts.Control {
-			stepControl(global, true, errEst)
+			stepControl(global, true, errEst, decision)
 		}
 		t += opts.H
 	}
@@ -259,6 +287,15 @@ func epolTP(global *runtime.Comm, sys System, r int, opts RunOpts, re *runErr) [
 		re.errs[rank] = fmt.Errorf("ode: internal group sizing error")
 	}
 	return gatherFullFromGroupZero(global, gi, blk)
+}
+
+// makeRows allocates k rows of n float64s.
+func makeRows(k, n int) [][]float64 {
+	rows := make([][]float64, k)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+	return rows
 }
 
 // --- IRK ---
@@ -306,20 +343,30 @@ func irkDP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunO
 	t := t0
 	blkOut := make([]float64, hi-lo)
 	arg := make([]float64, n)
+	// Persistent stage banks: v and next alternate between the two banks,
+	// prev snapshots the last-but-one iterate, f0 holds the gathered
+	// initial stage value. The step loop allocates nothing.
+	var f0 []float64
+	bankA := makeRows(k, n)
+	bankB := makeRows(k, n)
+	prevBank := makeRows(k, n)
 	for s := 0; s < opts.Steps; s++ {
 		// Initial stage value: one global multi-broadcast.
 		sys.Eval(t, y, lo, hi, blkOut)
-		f0 := global.Allgather(blkOut)
-		v := make([][]float64, k)
+		f0 = global.AllgatherInto(blkOut, f0)
+		v := bankA
 		for st := 0; st < k; st++ {
-			v[st] = f0
+			copy(v[st], f0)
 		}
+		next := bankB
 		var prev [][]float64
 		for j := 0; j < m; j++ {
 			if j == m-1 {
-				prev = v
+				for st := 0; st < k; st++ {
+					copy(prevBank[st], v[st])
+				}
+				prev = prevBank
 			}
-			next := make([][]float64, k)
 			for st := 0; st < k; st++ {
 				for c := 0; c < n; c++ {
 					sum := 0.0
@@ -329,9 +376,9 @@ func irkDP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunO
 					arg[c] = y[c] + opts.H*sum
 				}
 				sys.Eval(t+rk.C[st]*opts.H, arg, lo, hi, blkOut)
-				next[st] = global.Allgather(blkOut)
+				next[st] = global.AllgatherInto(blkOut, next[st])
 			}
-			v = next
+			v, next = next, v
 		}
 		var errEst float64
 		for c := 0; c < n; c++ {
@@ -378,18 +425,27 @@ func irkTP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunO
 	t := t0
 	blkOut := make([]float64, bsz)
 	argBlk := make([]float64, bsz)
+	// Persistent stage rows and collective buffers: the step loop
+	// allocates nothing. vAll rows are copies (not aliases of the
+	// exchange buffer), so reusing exch next iteration is safe.
+	vAll := makeRows(k, bsz) // stage l's derivative at [lo,hi)
+	prevBank := makeRows(k, bsz)
+	var argFull, exch []float64
+	newBlk := make([]float64, bsz)
 	for s := 0; s < opts.Steps; s++ {
 		// v0 blocks, identical for all stages, computed locally from
 		// the replicated y.
 		sys.Eval(t, y, lo, hi, blkOut)
-		vAll := make([][]float64, k) // stage l's derivative at [lo,hi)
 		for l := 0; l < k; l++ {
-			vAll[l] = append([]float64(nil), blkOut...)
+			copy(vAll[l], blkOut)
 		}
 		var prevAll [][]float64
 		for j := 0; j < m; j++ {
 			if j == m-1 {
-				prevAll = vAll
+				for l := 0; l < k; l++ {
+					copy(prevBank[l], vAll[l])
+				}
+				prevAll = prevBank
 			}
 			// Assemble this group's stage argument with one
 			// group-internal multi-broadcast.
@@ -400,18 +456,15 @@ func irkTP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunO
 				}
 				argBlk[c] = y[lo+c] + opts.H*sum
 			}
-			argFull := group.Allgather(argBlk)
+			argFull = group.AllgatherInto(argBlk, argFull)
 			sys.Eval(t+rk.C[gi]*opts.H, argFull, lo, hi, blkOut)
 			// Exchange the new stage blocks orthogonally.
-			exch := ortho.Allgather(blkOut)
-			next := make([][]float64, k)
+			exch = ortho.AllgatherInto(blkOut, exch)
 			for l := 0; l < k; l++ {
-				next[l] = exch[l*bsz : (l+1)*bsz]
+				copy(vAll[l], exch[l*bsz:(l+1)*bsz])
 			}
-			vAll = next
 		}
 		// New approximation block and error estimate.
-		newBlk := make([]float64, bsz)
 		var errEst float64
 		for c := 0; c < bsz; c++ {
 			sum := 0.0
@@ -436,8 +489,9 @@ func irkTP(global *runtime.Comm, sys System, rk *CollocationRK, m int, opts RunO
 			_ = global.AllreduceMax(errEst)
 		}
 		// Replicate the new approximation with the single global
-		// multi-broadcast of the step.
-		y = gatherFullFromGroupZero(global, gi, newBlk)
+		// multi-broadcast of the step. Gathering in place into y is
+		// safe: contributions are staged before the barrier.
+		y = gatherFullFromGroupZeroInto(global, gi, newBlk, y)
 		t += opts.H
 	}
 	return y

@@ -84,22 +84,31 @@ func epolAdaptive(global *runtime.Comm, sys System, r, groups int, taskParallel 
 	blk := append([]float64(nil), y0[lo:hi]...)
 	t, h := t0, h0
 	steps := 0
+	// Persistent step buffers. blk is a dedicated vector: the step result
+	// (which aliases a chain row or the exchange buffer) is copied into
+	// it only on acceptance, so a rejected step — whose chain rows are
+	// overwritten by the retry — can never corrupt the current iterate.
+	tab := make([][]float64, r)
+	var contrib, all []float64
+	var sc chainScratch
+	decision := make([]float64, 2)
+	if taskParallel {
+		contrib = make([]float64, len(myChains)*bsz)
+	} else {
+		for i := range tab {
+			tab[i] = make([]float64, bsz)
+		}
+	}
 	for t < te-1e-14 {
 		if t+h > te {
 			h = te - t
 		}
 		// Compute the chains of this step from the current block.
-		tab := make([][]float64, r)
 		if taskParallel {
-			results := make(map[int][]float64, len(myChains))
-			for _, i := range myChains {
-				results[i] = epolChainDistributed(comm, sys, t, h, blk, lo, hi, i)
+			for ci, i := range myChains {
+				epolChainInto(comm, sys, t, h, blk, lo, hi, i, contrib[ci*bsz:(ci+1)*bsz], &sc)
 			}
-			contrib := make([]float64, 0, len(myChains)*bsz)
-			for _, i := range myChains {
-				contrib = append(contrib, results[i]...)
-			}
-			all := ortho.AllgatherAs(contrib, runtime.OpRedist)
+			all = ortho.AllgatherAsInto(contrib, all, runtime.OpRedist)
 			off := 0
 			for og := 0; og < groups; og++ {
 				for _, i := range assign[og] {
@@ -109,7 +118,7 @@ func epolAdaptive(global *runtime.Comm, sys System, r, groups int, taskParallel 
 			}
 		} else {
 			for i := 1; i <= r; i++ {
-				tab[i-1] = epolChainDistributed(comm, sys, t, h, blk, lo, hi, i)
+				epolChainInto(comm, sys, t, h, blk, lo, hi, i, tab[i-1], &sc)
 			}
 		}
 		newBlk, errLocal := neville(tab, r)
@@ -120,15 +129,15 @@ func epolAdaptive(global *runtime.Comm, sys System, r, groups int, taskParallel 
 		var hNew float64
 		if taskParallel {
 			// The root decides and broadcasts (Table 1's 1*Tbc).
-			var decision []float64
 			if global.Rank() == 0 {
 				acc := 0.0
 				if errEst <= tol || h <= 1e-12 {
 					acc = 1
 				}
-				decision = []float64{acc, h * epolController(r, errEst, tol)}
+				decision[0] = acc
+				decision[1] = h * epolController(r, errEst, tol)
 			}
-			decision = global.Bcast(0, decision)
+			global.BcastInto(0, decision)
 			accepted = decision[0] > 0
 			hNew = decision[1]
 		} else {
@@ -137,7 +146,7 @@ func epolAdaptive(global *runtime.Comm, sys System, r, groups int, taskParallel 
 			hNew = h * epolController(r, errEst, tol)
 		}
 		if accepted {
-			blk = newBlk
+			copy(blk, newBlk)
 			t += h
 			steps++
 		}

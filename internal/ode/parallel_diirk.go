@@ -42,64 +42,84 @@ func ParallelDIIRK(w *runtime.World, sys System, k int, opts RunOpts) ([]float64
 	return result, nil
 }
 
-// jacobianRows computes rows [lo,hi) of the Jacobian of f at (t, y) by
-// forward differences; y must be the full (replicated) vector.
-func jacobianRows(sys System, t float64, y []float64, lo, hi int) [][]float64 {
-	n := len(y)
-	rows := make([][]float64, hi-lo)
-	for i := range rows {
-		rows[i] = make([]float64, n)
-	}
-	f0 := make([]float64, hi-lo)
-	sys.Eval(t, y, lo, hi, f0)
-	yp := append([]float64(nil), y...)
-	col := make([]float64, hi-lo)
-	for j := 0; j < n; j++ {
-		eps := 1e-7 * (math.Abs(y[j]) + 1)
-		yp[j] = y[j] + eps
-		sys.Eval(t, yp, lo, hi, col)
-		yp[j] = y[j]
-		for i := 0; i < hi-lo; i++ {
-			rows[i][j] = (col[i] - f0[i]) / eps
-		}
-	}
-	return rows
+// diirkScratch bundles the persistent per-goroutine buffers of one DIIRK
+// solver instance, so the per-step and per-iteration loops allocate
+// nothing: the Jacobian rows and their finite-difference scratch, the
+// Newton matrix rows (destroyed by every solve and refilled), the
+// right-hand side, the pivot-row broadcast buffer and the solution block.
+type diirkScratch struct {
+	jrows [][]float64 // Jacobian rows [lo,hi)
+	jf0   []float64   // f(t, y) block
+	jyp   []float64   // perturbed y
+	jcol  []float64   // perturbed derivative block
+	mrows [][]float64 // Newton matrix rows, refilled per solve
+	g     []float64   // right-hand side, destroyed per solve
+	pivot []float64   // broadcast pivot row + rhs entry (n+1)
+	x     []float64   // solution block
 }
 
-// newtonMatrixRows builds rows [lo,hi) of I - h*akk*J from the Jacobian
-// rows.
-func newtonMatrixRows(jrows [][]float64, h, akk float64, lo int) [][]float64 {
-	out := make([][]float64, len(jrows))
-	for i, jr := range jrows {
-		row := make([]float64, len(jr))
+func newDIIRKScratch(n, lo, hi int) *diirkScratch {
+	return &diirkScratch{
+		jrows: makeRows(hi-lo, n),
+		jf0:   make([]float64, hi-lo),
+		jyp:   make([]float64, n),
+		jcol:  make([]float64, hi-lo),
+		mrows: makeRows(hi-lo, n),
+		g:     make([]float64, hi-lo),
+		pivot: make([]float64, n+1),
+		x:     make([]float64, hi-lo),
+	}
+}
+
+// jacobianRowsInto computes rows [lo,hi) of the Jacobian of f at (t, y) by
+// forward differences into sc.jrows; y must be the full (replicated)
+// vector.
+func jacobianRowsInto(sys System, t float64, y []float64, lo, hi int, sc *diirkScratch) {
+	n := len(y)
+	sys.Eval(t, y, lo, hi, sc.jf0)
+	copy(sc.jyp, y)
+	for j := 0; j < n; j++ {
+		eps := 1e-7 * (math.Abs(y[j]) + 1)
+		sc.jyp[j] = y[j] + eps
+		sys.Eval(t, sc.jyp, lo, hi, sc.jcol)
+		sc.jyp[j] = y[j]
+		for i := 0; i < hi-lo; i++ {
+			sc.jrows[i][j] = (sc.jcol[i] - sc.jf0[i]) / eps
+		}
+	}
+}
+
+// newtonMatrixRowsInto rebuilds rows [lo,hi) of I - h*akk*J from the
+// Jacobian rows into sc.mrows (the previous solve destroyed them).
+func newtonMatrixRowsInto(sc *diirkScratch, h, akk float64, lo int) {
+	for i, jr := range sc.jrows {
+		row := sc.mrows[i]
 		for j, v := range jr {
 			row[j] = -h * akk * v
 		}
 		row[lo+i] += 1
-		out[i] = row
 	}
-	return out
 }
 
-// distSolve solves the row-distributed linear system by Gauss-Jordan
-// elimination over the communicator: the rows [lo,hi) and the matching
-// right-hand-side entries belong to this member; for every column the
-// owning member broadcasts its pivot row, all members eliminate the column
-// from their other rows, and the solution entries of the local rows remain
-// local. Matrix rows and rhs are destroyed. rowOwner maps a global row
-// index to the owning communicator rank.
-func distSolve(comm *runtime.Comm, a [][]float64, rhs []float64, lo int, rowOwner []int) []float64 {
+// distSolveInto solves the row-distributed linear system by Gauss-Jordan
+// elimination over the communicator: the rows [lo,hi) (sc.mrows) and the
+// matching right-hand-side entries (sc.g) belong to this member; for every
+// column the owning member broadcasts its pivot row (BcastInto over
+// sc.pivot — allocation-free), all members eliminate the column from their
+// other rows, and the solution entries of the local rows land in sc.x.
+// Matrix rows and rhs are destroyed. rowOwner maps a global row index to
+// the owning communicator rank.
+func distSolveInto(comm *runtime.Comm, sc *diirkScratch, lo int, rowOwner []int) []float64 {
+	a, rhs := sc.mrows, sc.g
 	n := len(rowOwner)
 	for col := 0; col < n; col++ {
 		owner := rowOwner[col]
-		var pivot []float64
+		pivot := sc.pivot
 		if comm.Rank() == owner {
-			pr := a[col-lo]
-			pivot = make([]float64, 0, n+1)
-			pivot = append(pivot, pr...)
-			pivot = append(pivot, rhs[col-lo])
+			copy(pivot[:n], a[col-lo])
+			pivot[n] = rhs[col-lo]
 		}
-		pivot = comm.Bcast(owner, pivot)
+		comm.BcastInto(owner, pivot)
 		pd := pivot[col]
 		for i := range a {
 			if lo+i == col {
@@ -115,11 +135,10 @@ func distSolve(comm *runtime.Comm, a [][]float64, rhs []float64, lo int, rowOwne
 			rhs[i] -= m * pivot[n]
 		}
 	}
-	x := make([]float64, len(rhs))
-	for i := range x {
-		x[i] = rhs[i] / a[i][lo+i]
+	for i := range sc.x {
+		sc.x[i] = rhs[i] / a[i][lo+i]
 	}
-	return x
+	return sc.x
 }
 
 // makeRowOwner maps global row indices to the rank owning them under the
@@ -147,14 +166,18 @@ func diirkDP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64
 	t := t0
 	blkOut := make([]float64, hi-lo)
 	arg := make([]float64, n)
+	// Persistent solver state: stage rows, gathered buffers and the
+	// Newton scratch. The step loop allocates nothing.
+	var f0, xf []float64
+	v := makeRows(k, n)
+	sc := newDIIRKScratch(n, lo, hi)
 	for s := 0; s < opts.Steps; s++ {
 		sys.Eval(t, y, lo, hi, blkOut)
-		f0 := global.Allgather(blkOut) // the 1 global Tag of Table 1
-		v := make([][]float64, k)
+		f0 = global.AllgatherInto(blkOut, f0) // the 1 global Tag of Table 1
 		for st := 0; st < k; st++ {
-			v[st] = append([]float64(nil), f0...)
+			copy(v[st], f0)
 		}
-		jrows := jacobianRows(sys, t, y, lo, hi)
+		jacobianRowsInto(sys, t, y, lo, hi, sc)
 		for iter := 0; iter < d.MaxIter; iter++ {
 			var delta float64
 			for st := 0; st < k; st++ {
@@ -166,15 +189,14 @@ func diirkDP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64
 					arg[c] = y[c] + opts.H*sum
 				}
 				sys.Eval(t+rk.C[st]*opts.H, arg, lo, hi, blkOut)
-				g := make([]float64, hi-lo)
-				for c := range g {
-					g[c] = blkOut[c] - v[st][lo+c]
+				for c := range sc.g {
+					sc.g[c] = blkOut[c] - v[st][lo+c]
 				}
-				m := newtonMatrixRows(jrows, opts.H, rk.A[st][st], lo)
-				x := distSolve(global, m, g, lo, rowOwner)
+				newtonMatrixRowsInto(sc, opts.H, rk.A[st][st], lo)
+				x := distSolveInto(global, sc, lo, rowOwner)
 				// Replicate the stage update (accounted in
 				// EXPERIMENTS.md as an implementation extra).
-				xf := global.Allgather(x)
+				xf = global.AllgatherInto(x, xf)
 				for c := 0; c < n; c++ {
 					v[st][c] += xf[c]
 					if ad := math.Abs(xf[c]); ad > delta {
@@ -218,13 +240,19 @@ func diirkTP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64
 	t := t0
 	blkOut := make([]float64, bsz)
 	argBlk := make([]float64, bsz)
+	// Persistent solver state: stage rows are copies (never aliases of
+	// the exchange buffer), so reusing exch next iteration is safe. The
+	// step loop allocates nothing.
+	vAll := makeRows(k, bsz)
+	var argFull, exch []float64
+	newBlk := make([]float64, bsz)
+	sc := newDIIRKScratch(n, lo, hi)
 	for s := 0; s < opts.Steps; s++ {
 		sys.Eval(t, y, lo, hi, blkOut)
-		vAll := make([][]float64, k)
 		for l := 0; l < k; l++ {
-			vAll[l] = append([]float64(nil), blkOut...)
+			copy(vAll[l], blkOut)
 		}
-		jrows := jacobianRows(sys, t, y, lo, hi)
+		jacobianRowsInto(sys, t, y, lo, hi, sc)
 		for iter := 0; iter < d.MaxIter; iter++ {
 			// Assemble this group's stage argument (group Tag).
 			for c := 0; c < bsz; c++ {
@@ -234,16 +262,14 @@ func diirkTP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64
 				}
 				argBlk[c] = y[lo+c] + opts.H*sum
 			}
-			argFull := group.Allgather(argBlk)
+			argFull = group.AllgatherInto(argBlk, argFull)
 			sys.Eval(t+rk.C[gi]*opts.H, argFull, lo, hi, blkOut)
-			g := make([]float64, bsz)
-			for c := range g {
-				g[c] = blkOut[c] - vAll[gi][c]
+			for c := range sc.g {
+				sc.g[c] = blkOut[c] - vAll[gi][c]
 			}
-			m := newtonMatrixRows(jrows, opts.H, rk.A[gi][gi], lo)
-			x := distSolve(group, m, g, lo, rowOwner)
+			newtonMatrixRowsInto(sc, opts.H, rk.A[gi][gi], lo)
+			x := distSolveInto(group, sc, lo, rowOwner)
 			var delta float64
-			newBlk := make([]float64, bsz)
 			for c := 0; c < bsz; c++ {
 				newBlk[c] = vAll[gi][c] + x[c]
 				if ad := math.Abs(x[c]); ad > delta {
@@ -251,16 +277,15 @@ func diirkTP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64
 				}
 			}
 			// Exchange stage blocks orthogonally (ortho Tag).
-			exch := ortho.Allgather(newBlk)
+			exch = ortho.AllgatherInto(newBlk, exch)
 			for l := 0; l < k; l++ {
-				vAll[l] = exch[l*bsz : (l+1)*bsz]
+				copy(vAll[l], exch[l*bsz:(l+1)*bsz])
 			}
 			delta = global.AllreduceMax(delta)
 			if delta < d.Tol {
 				break
 			}
 		}
-		newBlk := make([]float64, bsz)
 		for c := 0; c < bsz; c++ {
 			sum := 0.0
 			for l := 0; l < k; l++ {
@@ -268,8 +293,9 @@ func diirkTP(global *runtime.Comm, sys System, d *DIIRK, opts RunOpts) []float64
 			}
 			newBlk[c] = y[lo+c] + opts.H*sum
 		}
-		// Single global Tag: replicate the new approximation.
-		y = gatherFullFromGroupZero(global, gi, newBlk)
+		// Single global Tag: replicate the new approximation (in place
+		// into y — contributions are staged before the barrier).
+		y = gatherFullFromGroupZeroInto(global, gi, newBlk, y)
 		t += opts.H
 	}
 	return y

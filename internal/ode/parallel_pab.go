@@ -72,14 +72,17 @@ func pabDP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 	yn, f := pabBootstrap(sys, a, t0, y0, opts.H)
 	t := t0 + opts.H
 	blkOut := make([]float64, hi-lo)
+	// Persistent stage buffers: yi and yNext are dedicated vectors, newF
+	// is a second derivative bank that swaps with f after each step, so
+	// the per-step loop allocates nothing.
+	yi := make([]float64, n)
+	yNext := make([]float64, n)
+	newF := makeRows(k, n)
 	for s := 0; s < opts.Steps; s++ {
-		newF := make([][]float64, k)
-		var lastY []float64
 		for i := 0; i < k; i++ {
 			// Predictor: stage value from the replicated history,
 			// computed fully locally; the evaluation is
 			// distributed and replicated by one global Tag.
-			yi := make([]float64, n)
 			for c := 0; c < n; c++ {
 				sum := 0.0
 				for j := 0; j < k; j++ {
@@ -89,7 +92,8 @@ func pabDP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 			}
 			ti := t + a.C[i]*opts.H
 			sys.Eval(ti, yi, lo, hi, blkOut)
-			fi := global.Allgather(blkOut)
+			newF[i] = global.AllgatherInto(blkOut, newF[i])
+			fi := newF[i]
 			// Corrector iterations (PABM).
 			for it := 0; it < corrector; it++ {
 				for c := 0; c < n; c++ {
@@ -100,15 +104,15 @@ func pabDP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 					yi[c] = yn[c] + opts.H*sum
 				}
 				sys.Eval(ti, yi, lo, hi, blkOut)
-				fi = global.Allgather(blkOut)
+				fi = global.AllgatherInto(blkOut, fi)
 			}
 			newF[i] = fi
 			if i == k-1 {
-				lastY = yi
+				copy(yNext, yi)
 			}
 		}
-		yn = lastY
-		f = newF
+		yn, yNext = yNext, yn
+		f, newF = newF, f
 		t += opts.H
 	}
 	return yn
@@ -136,9 +140,13 @@ func pabTP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 	}
 	t := t0 + opts.H
 	blkOut := make([]float64, bsz)
+	// Persistent per-step buffers so the step loop allocates nothing.
+	yiB := make([]float64, bsz)
+	fiB := make([]float64, bsz)
+	lastContrib := make([]float64, 2*bsz)
+	var yiFull, exch []float64
 	for s := 0; s < opts.Steps; s++ {
 		// This group's stage (stage index == group index).
-		yiB := make([]float64, bsz)
 		for c := 0; c < bsz; c++ {
 			sum := 0.0
 			for j := 0; j < k; j++ {
@@ -148,9 +156,9 @@ func pabTP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 		}
 		ti := t + a.C[gi]*opts.H
 		// Assemble the stage value (group Tag), evaluate the block.
-		yiFull := group.Allgather(yiB)
+		yiFull = group.AllgatherInto(yiB, yiFull)
 		sys.Eval(ti, yiFull, lo, hi, blkOut)
-		fiB := append([]float64(nil), blkOut...)
+		copy(fiB, blkOut)
 		// Corrector iterations: one group Tag each.
 		for it := 0; it < corrector; it++ {
 			for c := 0; c < bsz; c++ {
@@ -160,7 +168,7 @@ func pabTP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 				}
 				yiB[c] = ynB[c] + opts.H*sum
 			}
-			yiFull = group.Allgather(yiB)
+			yiFull = group.AllgatherInto(yiB, yiFull)
 			sys.Eval(ti, yiFull, lo, hi, blkOut)
 			copy(fiB, blkOut)
 		}
@@ -169,9 +177,11 @@ func pabTP(global *runtime.Comm, sys System, a *AdamsCoeffs, corrector int, opts
 		// the new step-closing stage value block.
 		contrib := fiB
 		if gi == k-1 {
-			contrib = append(append([]float64(nil), fiB...), yiB...)
+			copy(lastContrib[:bsz], fiB)
+			copy(lastContrib[bsz:], yiB)
+			contrib = lastContrib
 		}
-		exch := ortho.Allgather(contrib)
+		exch = ortho.AllgatherInto(contrib, exch)
 		for l := 0; l < k; l++ {
 			copy(fB[l], exch[l*bsz:(l+1)*bsz])
 		}

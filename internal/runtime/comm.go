@@ -6,6 +6,14 @@
 // by communicator category — global, group-based or orthogonal — so that
 // the operation counts of Table 1 can be measured rather than assumed.
 //
+// The collective engine is built for low contention: synchronisation uses
+// an atomics-based dissemination barrier (see barrier.go), data moves
+// through per-member, cache-line-padded, double-buffered slots so every
+// collective costs exactly one barrier round, and the *Into variants
+// (BcastInto, AllgatherInto, ReduceInto) write into caller-owned buffers
+// so steady-state inner loops allocate nothing. The value-returning APIs
+// stage through a sync.Pool-backed scratch pool.
+//
 // The runtime provides functional execution (real numerics, real
 // synchronization); timing experiments at cluster scale use the simulator
 // in internal/cluster instead.
@@ -78,48 +86,6 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", int(o))
 }
 
-// Stats counts collective operations by communicator kind and operation.
-// Each collective is counted once (not once per participating core).
-type Stats struct {
-	mu     sync.Mutex
-	counts map[[2]int]int
-}
-
-// add records one collective.
-func (s *Stats) add(kind CommKind, op Op) {
-	s.mu.Lock()
-	if s.counts == nil {
-		s.counts = make(map[[2]int]int)
-	}
-	s.counts[[2]int{int(kind), int(op)}]++
-	s.mu.Unlock()
-}
-
-// Count returns the number of recorded collectives of the given kind/op.
-func (s *Stats) Count(kind CommKind, op Op) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counts[[2]int{int(kind), int(op)}]
-}
-
-// Reset clears all counters.
-func (s *Stats) Reset() {
-	s.mu.Lock()
-	s.counts = nil
-	s.mu.Unlock()
-}
-
-// Total returns the total number of collectives of any kind.
-func (s *Stats) Total() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := 0
-	for _, c := range s.counts {
-		t += c
-	}
-	return t
-}
-
 // AbortError is the panic value thrown by every collective call on an
 // aborted communicator. The fault-tolerant executor (ExecuteCtx) recovers
 // it and converts it to an error wrapping ErrCommAborted; code running
@@ -145,92 +111,177 @@ func (e *AbortError) Is(target error) bool { return target == ErrCommAborted }
 // ErrCommAborted is matched (via errors.Is) by every AbortError.
 var ErrCommAborted = errors.New("runtime: communicator aborted")
 
-// barrier is a reusable sense-reversing barrier for a fixed number of
-// participants. An aborted barrier wakes all waiters and makes every
-// current and future wait panic with *AbortError, so that a failed or
-// timed-out participant cannot deadlock its peers at a collective.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
-	err   error // abort cause; nil while healthy
+// scratchPool recycles staging buffers across communicators, so the
+// value-returning collectives and pooled communicators reach a
+// steady state where staging allocates nothing.
+var scratchPool sync.Pool
+
+// getScratch returns a buffer of length n from the pool (or a fresh one).
+func getScratch(n int) []float64 {
+	if v, _ := scratchPool.Get().(*[]float64); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	c := n
+	if c < 64 {
+		c = 64
+	}
+	return make([]float64, n, c)
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// abort poisons the barrier with the given cause (the first cause wins)
-// and wakes every waiter.
-func (b *barrier) abort(err error) {
-	if err == nil {
-		err = ErrCommAborted
-	}
-	b.mu.Lock()
-	if b.err == nil {
-		b.err = err
-		b.cond.Broadcast()
-	}
-	b.mu.Unlock()
-}
-
-func (b *barrier) wait() {
-	b.mu.Lock()
-	if b.err != nil {
-		err := b.err
-		b.mu.Unlock()
-		panic(&AbortError{Cause: err})
-	}
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
+// putScratch returns a buffer to the pool.
+func putScratch(b []float64) {
+	if cap(b) == 0 {
 		return
 	}
-	for gen == b.gen && b.err == nil {
-		b.cond.Wait()
+	b = b[:0]
+	scratchPool.Put(&b)
+}
+
+// fslot is one member's staging slot for float64 collectives, padded to a
+// cache line (two slice headers = 48 bytes + 16). Contributions are copied
+// in before the barrier, so callers may reuse their own buffers the moment
+// the collective returns — the staging copy is what lets the engine drop
+// the old second "slot reuse" barrier round.
+type fslot struct {
+	cur []float64 // staged contribution of the in-flight collective
+	buf []float64 // backing storage, grown from the scratch pool
+	_   [16]byte
+}
+
+// stage copies data into the slot's backing storage.
+func (s *fslot) stage(data []float64) {
+	if cap(s.buf) < len(data) {
+		putScratch(s.buf)
+		s.buf = getScratch(len(data))
 	}
-	if b.err != nil {
-		err := b.err
-		b.mu.Unlock()
-		panic(&AbortError{Cause: err})
-	}
-	b.mu.Unlock()
+	s.cur = s.buf[:len(data)]
+	copy(s.cur, data)
+}
+
+// vslot is one member's padded slot for scalar reductions.
+type vslot struct {
+	v float64
+	_ [56]byte
+}
+
+// aslot is one member's padded slot for opaque-value exchanges.
+type aslot struct {
+	v any
+	_ [48]byte
+}
+
+// sslot is one member's padded slot for Split coordination.
+type sslot struct {
+	color, key, rank int
+	_                [40]byte
+}
+
+// splitGen is one generation of Split calls on a parent communicator: the
+// children by color plus a countdown of members that have not yet
+// retrieved theirs. The registry entry is pruned the moment the countdown
+// reaches zero, so repeated splits do not grow the parent's memory.
+type splitGen struct {
+	byColor   map[int]*commShared
+	remaining int
 }
 
 // commShared is the state shared by all member handles of a communicator.
+// The data-plane arrays (mems, slot arrays) are per-member and padded;
+// members touch only their own entry until a barrier publishes it. Each
+// slot array is double-buffered by the parity of the member's collective
+// sequence number: a member rewrites a parity-p slot at sequence s+2,
+// which it can only reach after completing the barrier of collective s+1,
+// which every peer only enters after it finished reading collective s's
+// slots — so one barrier round per collective is enough.
 type commShared struct {
-	kind  CommKind
-	ranks []int // world ranks of the members, in communicator rank order
-	bar   *barrier
-	slots []any // exchange slots, one per member
-	stats *Stats
+	kind   CommKind
+	ranks  []int // world ranks of the members, in communicator rank order
+	bar    treeBarrier
+	mems   []memberState
+	fslots [2][]fslot
+	vslots [2][]vslot
+	aslots [2][]aslot
+	sslots [2][]sslot
+	stats  *Stats
 
-	mu       sync.Mutex
-	splits   map[int]map[int]*commShared // split generation -> color -> child
-	splitN   int
-	children []*commShared // communicators split off this one, for abort cascade
+	mu     sync.Mutex
+	splits map[uint64]*splitGen // split sequence -> generation registry
+	// children of this communicator, for the abort cascade. Unlike the
+	// splits registry this list must grow for the communicator's
+	// lifetime: a later Abort has to reach every child ever split off.
+	children []*commShared
 }
+
+// commPool recycles communicator shells (barrier flags, slot arrays,
+// staging buffers) for callers that create communicators at high rate —
+// the fault executor builds a fresh group communicator per retry attempt.
+var commPool = sync.Pool{New: func() any { return new(commShared) }}
 
 // newCommShared builds the shared state of a communicator over the given
 // world ranks. Used by World.Run and by the fault-tolerant executor, which
 // constructs group communicators directly from the schedule (a fresh one
 // per attempt) instead of through collective Split calls.
 func newCommShared(kind CommKind, worldRanks []int, stats *Stats) *commShared {
-	return &commShared{
-		kind:  kind,
-		ranks: worldRanks,
-		bar:   newBarrier(len(worldRanks)),
-		slots: make([]any, len(worldRanks)),
-		stats: stats,
+	s := commPool.Get().(*commShared)
+	n := len(worldRanks)
+	s.kind = kind
+	s.ranks = worldRanks
+	s.stats = stats
+	s.bar.reset(n)
+	if cap(s.mems) < n {
+		s.mems = make([]memberState, n)
+	} else {
+		s.mems = s.mems[:n]
+		for i := range s.mems {
+			s.mems[i] = memberState{}
+		}
 	}
+	for p := 0; p < 2; p++ {
+		if cap(s.fslots[p]) < n {
+			s.fslots[p] = make([]fslot, n)
+		} else {
+			s.fslots[p] = s.fslots[p][:n]
+		}
+		if cap(s.vslots[p]) < n {
+			s.vslots[p] = make([]vslot, n)
+		} else {
+			s.vslots[p] = s.vslots[p][:n]
+		}
+		if cap(s.aslots[p]) < n {
+			s.aslots[p] = make([]aslot, n)
+		} else {
+			s.aslots[p] = s.aslots[p][:n]
+		}
+		if cap(s.sslots[p]) < n {
+			s.sslots[p] = make([]sslot, n)
+		} else {
+			s.sslots[p] = s.sslots[p][:n]
+		}
+	}
+	return s
+}
+
+// release returns the communicator shell to the pool. Callers must
+// guarantee that no goroutine still holds a handle: the fault executor
+// releases an attempt's group communicator only after the attempt's done
+// channel fired (never on the abandoned-timeout path, where stragglers may
+// still be blocked on it). Children are not released recursively — they
+// simply become garbage with their parent's references dropped.
+func (s *commShared) release() {
+	for p := 0; p < 2; p++ {
+		for i := range s.fslots[p] {
+			putScratch(s.fslots[p][i].buf)
+			s.fslots[p][i] = fslot{}
+		}
+		for i := range s.aslots[p] {
+			s.aslots[p][i].v = nil
+		}
+	}
+	s.stats = nil
+	s.ranks = nil
+	s.splits = nil
+	s.children = nil
+	commPool.Put(s)
 }
 
 // abort poisons the communicator and, recursively, every communicator that
@@ -272,6 +323,15 @@ func (c *Comm) count(op Op) {
 	}
 }
 
+// advance issues the member's next collective and returns the slot parity
+// to use for it. Members call collectives in lockstep (SPMD), so every
+// member computes the same sequence number for the same collective.
+func (c *Comm) advance() (ms *memberState, parity int) {
+	ms = &c.shared.mems[c.rank]
+	ms.seq++
+	return ms, int(ms.seq & 1)
+}
+
 // Abort poisons the communicator and every communicator split off it:
 // all members currently blocked in a collective are woken, and every
 // current and future collective call panics with an *AbortError wrapping
@@ -285,61 +345,112 @@ func (c *Comm) Abort(cause error) {
 // Barrier synchronises all members.
 func (c *Comm) Barrier() {
 	c.count(OpBarrier)
-	c.shared.bar.wait()
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
+		return
+	}
+	sh.bar.wait(&sh.mems[c.rank], c.rank)
 }
 
 // Bcast broadcasts the root's slice to all members; every member returns
 // its own copy (the root returns the original slice).
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	c.count(OpBcast)
-	if c.Size() == 1 {
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
 		return data
 	}
+	ms, p := c.advance()
 	if c.rank == root {
-		c.shared.slots[root] = data
+		sh.fslots[p][root].stage(data)
 	}
-	c.shared.bar.wait()
-	src := c.shared.slots[root].([]float64)
-	var out []float64
+	sh.bar.wait(ms, c.rank)
 	if c.rank == root {
-		out = data
-	} else {
-		out = make([]float64, len(src))
-		copy(out, src)
+		return data
 	}
-	c.shared.bar.wait() // slot may be reused afterwards
+	src := sh.fslots[p][root].cur
+	out := make([]float64, len(src))
+	copy(out, src)
 	return out
+}
+
+// BcastInto broadcasts the root's buffer into every member's buffer
+// without allocating. All members must pass buffers of the root's length;
+// the root's buffer is left untouched and may be reused (or even mutated)
+// as soon as the call returns, because the data is staged before the
+// barrier.
+func (c *Comm) BcastInto(root int, buf []float64) {
+	c.count(OpBcast)
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
+		return
+	}
+	ms, p := c.advance()
+	if c.rank == root {
+		sh.fslots[p][root].stage(buf)
+	}
+	sh.bar.wait(ms, c.rank)
+	if c.rank == root {
+		return
+	}
+	src := sh.fslots[p][root].cur
+	if len(src) != len(buf) {
+		panic(fmt.Sprintf("runtime: BcastInto length mismatch: root staged %d values, member %d passed %d", len(src), c.rank, len(buf)))
+	}
+	copy(buf, src)
 }
 
 // Allgather concatenates every member's contribution in rank order; each
 // member returns its own copy of the result (the paper's multi-broadcast,
 // MPI_Allgather).
 func (c *Comm) Allgather(contrib []float64) []float64 {
-	return c.AllgatherAs(contrib, OpAllgather)
+	return c.AllgatherAsInto(contrib, nil, OpAllgather)
 }
 
 // AllgatherAs is Allgather recorded under a different operation category;
 // it implements the compiler-inserted data re-distributions (OpRedist),
 // which the paper accounts for separately from the collective operations.
 func (c *Comm) AllgatherAs(contrib []float64, op Op) []float64 {
+	return c.AllgatherAsInto(contrib, nil, op)
+}
+
+// AllgatherInto is Allgather writing into dst, which is grown only if its
+// capacity is insufficient; it returns the (possibly re-allocated) result
+// slice. dst may alias contrib: contributions are staged before the
+// barrier, so in-place gathers such as y = AllgatherInto(block, y) are
+// safe.
+func (c *Comm) AllgatherInto(contrib, dst []float64) []float64 {
+	return c.AllgatherAsInto(contrib, dst, OpAllgather)
+}
+
+// AllgatherAsInto is AllgatherInto recorded under the given operation
+// category.
+func (c *Comm) AllgatherAsInto(contrib, dst []float64, op Op) []float64 {
 	c.count(op)
-	if c.Size() == 1 {
-		out := make([]float64, len(contrib))
-		copy(out, contrib)
-		return out
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
+		dst = ensureFloats(dst, len(contrib))
+		copy(dst, contrib)
+		return dst
 	}
-	c.shared.slots[c.rank] = contrib
-	c.shared.bar.wait()
+	ms, p := c.advance()
+	slots := sh.fslots[p]
+	slots[c.rank].stage(contrib)
+	sh.bar.wait(ms, c.rank)
 	total := 0
-	for _, s := range c.shared.slots {
-		total += len(s.([]float64))
+	for i := range slots {
+		total += len(slots[i].cur)
 	}
-	out := make([]float64, 0, total)
-	for _, s := range c.shared.slots {
-		out = append(out, s.([]float64)...)
+	dst = ensureFloats(dst, total)
+	off := 0
+	for i := range slots {
+		off += copy(dst[off:], slots[i].cur)
 	}
-	c.shared.bar.wait()
-	return out
+	return dst
 }
 
 // ExchangeAny gathers one arbitrary value per member in rank order (an
@@ -348,67 +459,150 @@ func (c *Comm) AllgatherAs(contrib []float64, op Op) []float64 {
 // Table 1's data collectives.
 func (c *Comm) ExchangeAny(v any) []any {
 	c.count(OpBarrier)
-	if c.Size() == 1 {
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
 		return []any{v}
 	}
-	c.shared.slots[c.rank] = v
-	c.shared.bar.wait()
-	out := make([]any, c.Size())
-	copy(out, c.shared.slots)
-	c.shared.bar.wait()
+	ms, p := c.advance()
+	slots := sh.aslots[p]
+	slots[c.rank].v = v
+	sh.bar.wait(ms, c.rank)
+	out := make([]any, len(slots))
+	for i := range slots {
+		out[i] = slots[i].v
+	}
 	return out
 }
 
 // AllreduceMax returns the maximum of the members' values.
 func (c *Comm) AllreduceMax(v float64) float64 {
 	c.count(OpReduce)
-	if c.Size() == 1 {
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
 		return v
 	}
-	c.shared.slots[c.rank] = v
-	c.shared.bar.wait()
+	ms, p := c.advance()
+	slots := sh.vslots[p]
+	slots[c.rank].v = v
+	sh.bar.wait(ms, c.rank)
 	max := v
-	for _, s := range c.shared.slots {
-		if x := s.(float64); x > max {
+	for i := range slots {
+		if x := slots[i].v; x > max {
 			max = x
 		}
 	}
-	c.shared.bar.wait()
 	return max
 }
 
 // AllreduceSum returns the sum of the members' values.
 func (c *Comm) AllreduceSum(v float64) float64 {
 	c.count(OpReduce)
-	if c.Size() == 1 {
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
 		return v
 	}
-	c.shared.slots[c.rank] = v
-	c.shared.bar.wait()
+	ms, p := c.advance()
+	slots := sh.vslots[p]
+	slots[c.rank].v = v
+	sh.bar.wait(ms, c.rank)
 	sum := 0.0
-	for _, s := range c.shared.slots {
-		sum += s.(float64)
+	for i := range slots {
+		sum += slots[i].v
 	}
-	c.shared.bar.wait()
 	return sum
+}
+
+// ReduceOp selects the elementwise combination of ReduceInto.
+type ReduceOp int
+
+const (
+	// ReduceSum adds contributions elementwise.
+	ReduceSum ReduceOp = iota
+	// ReduceMax takes the elementwise maximum.
+	ReduceMax
+)
+
+// ReduceInto all-reduces the members' equal-length vectors elementwise
+// into dst (grown only if its capacity is insufficient) and returns the
+// result slice; every member receives the full result. Contributions are
+// folded in rank order, so the result is bitwise deterministic. dst may
+// alias contrib.
+func (c *Comm) ReduceInto(op ReduceOp, contrib, dst []float64) []float64 {
+	c.count(OpReduce)
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
+		dst = ensureFloats(dst, len(contrib))
+		copy(dst, contrib)
+		return dst
+	}
+	ms, p := c.advance()
+	slots := sh.fslots[p]
+	slots[c.rank].stage(contrib)
+	sh.bar.wait(ms, c.rank)
+	n := len(slots[0].cur)
+	dst = ensureFloats(dst, n)
+	copy(dst, slots[0].cur)
+	for r := 1; r < len(slots); r++ {
+		s := slots[r].cur
+		if len(s) != n {
+			panic(fmt.Sprintf("runtime: ReduceInto length mismatch: rank 0 staged %d values, rank %d staged %d", n, r, len(s)))
+		}
+		switch op {
+		case ReduceSum:
+			for i, x := range s {
+				dst[i] += x
+			}
+		case ReduceMax:
+			for i, x := range s {
+				if x > dst[i] {
+					dst[i] = x
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// ensureFloats returns dst resized to length n, reallocating only when the
+// capacity is insufficient.
+func ensureFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // Split partitions the communicator like MPI_Comm_split: members calling
 // with the same color form a new communicator of the given kind, ordered
-// by key (ties by current rank). All members must call Split.
+// by key (ties by current rank). All members must call Split. One barrier
+// round coordinates the whole split: members publish (color, key) in their
+// slots, synchronise, and then deterministically compute their color's
+// member list; the lowest-ranked member of each color allocates the shared
+// state and the others retrieve it from the parent's registry, which is
+// pruned as soon as the last member has retrieved its child.
 func (c *Comm) Split(color, key int, kind CommKind) *Comm {
-	type ck struct{ color, key, rank int }
-	c.shared.slots[c.rank] = ck{color: color, key: key, rank: c.rank}
-	c.shared.bar.wait()
-
-	// Deterministically compute the member lists of every color.
-	members := make([]ck, c.Size())
-	for i, s := range c.shared.slots {
-		members[i] = s.(ck)
+	sh := c.shared
+	if len(sh.ranks) == 1 {
+		sh.bar.check()
+		child := newCommShared(kind, []int{sh.ranks[0]}, sh.stats)
+		sh.mu.Lock()
+		sh.children = append(sh.children, child)
+		sh.mu.Unlock()
+		return &Comm{shared: child, rank: 0}
 	}
-	var mine []ck
-	for _, m := range members {
-		if m.color == color {
+	ms, p := c.advance()
+	genKey := ms.seq // identical on every member: collectives are lockstep
+	sh.sslots[p][c.rank] = sslot{color: color, key: key, rank: c.rank}
+	sh.bar.wait(ms, c.rank)
+
+	// Deterministically compute the member list of my color.
+	var mine []sslot
+	for i := range sh.sslots[p] {
+		if m := sh.sslots[p][i]; m.color == color {
 			mine = append(mine, m)
 		}
 	}
@@ -421,41 +615,33 @@ func (c *Comm) Split(color, key int, kind CommKind) *Comm {
 	myIdx := -1
 	worldRanks := make([]int, len(mine))
 	for i, m := range mine {
-		worldRanks[i] = c.shared.ranks[m.rank]
+		worldRanks[i] = sh.ranks[m.rank]
 		if m.rank == c.rank {
 			myIdx = i
 		}
 	}
 
-	// The lowest-ranked member of each color allocates the shared
-	// state; everyone retrieves it from the parent's split registry.
-	c.shared.mu.Lock()
-	if c.shared.splits == nil {
-		c.shared.splits = make(map[int]map[int]*commShared)
+	sh.mu.Lock()
+	if sh.splits == nil {
+		sh.splits = make(map[uint64]*splitGen)
 	}
-	gen := c.shared.splitN
-	byColor, ok := c.shared.splits[gen]
-	if !ok {
-		byColor = make(map[int]*commShared)
-		c.shared.splits[gen] = byColor
+	gen := sh.splits[genKey]
+	if gen == nil {
+		gen = &splitGen{byColor: make(map[int]*commShared), remaining: len(sh.ranks)}
+		sh.splits[genKey] = gen
 	}
-	child, ok := byColor[color]
-	if !ok {
-		child = newCommShared(kind, worldRanks, c.shared.stats)
-		byColor[color] = child
-		c.shared.children = append(c.shared.children, child)
+	child := gen.byColor[color]
+	if child == nil {
+		child = newCommShared(kind, worldRanks, sh.stats)
+		gen.byColor[color] = child
+		sh.children = append(sh.children, child)
 	}
-	c.shared.mu.Unlock()
-
-	// Second barrier: after it, bump the split generation exactly once
-	// so a later Split on the same parent uses a fresh registry slot.
-	c.shared.bar.wait()
-	if c.rank == 0 {
-		c.shared.mu.Lock()
-		c.shared.splitN++
-		delete(c.shared.splits, gen)
-		c.shared.mu.Unlock()
+	gen.remaining--
+	if gen.remaining == 0 {
+		// Every member has retrieved its child: prune the registry
+		// entry so repeated splits cannot grow memory without bound.
+		delete(sh.splits, genKey)
 	}
-	c.shared.bar.wait()
+	sh.mu.Unlock()
 	return &Comm{shared: child, rank: myIdx}
 }

@@ -417,7 +417,9 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 
 	select {
 	case <-done:
-		return settleAttempt(t, rep, errs, actx)
+		err := settleAttempt(t, rep, errs, actx)
+		gsh.release() // attempt settled: no goroutine holds the comm anymore
+		return err
 	case <-actx.Done():
 		cause := actx.Err()
 		gsh.abort(fmt.Errorf("task %q attempt %d: %w", t.Name, attempt, cause))
@@ -426,6 +428,7 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 		select {
 		case <-done:
 			_ = settleAttempt(t, rep, errs, actx) // count panics; timeout is the primary error
+			gsh.release()
 			return fmt.Errorf("task %q attempt %d: %w", t.Name, attempt, cause)
 		case <-timer.C:
 			// Abandoned: the attempt's goroutines may still be running, so
