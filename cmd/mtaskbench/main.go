@@ -55,9 +55,20 @@ func main() {
 	kill := flag.String("kill", "", "faults: scripted core loss 'task@attempt' (e.g. 'stage[1](0)@1')")
 	execMode := flag.Bool("exec", false, "time the collective engine (barrier, bcast, allgather, reduce) and a PABM time step")
 	execIters := flag.Int("exec-iters", 2000, "exec: iterations per collective measurement")
+	wavefront := flag.Bool("wavefront", false, "exec: compare layered vs wavefront execution on the imbalanced workload")
+	wfLayers := flag.Int("wf-layers", 8, "exec -wavefront: layers of the imbalanced schedule")
+	wfSlow := flag.Duration("wf-slow", 4*time.Millisecond, "exec -wavefront: sleep of the slow task per layer")
+	wfFast := flag.Duration("wf-fast", 500*time.Microsecond, "exec -wavefront: sleep of the fast task per layer")
 	flag.Parse()
 
 	if *execMode {
+		if *wavefront {
+			if err := runExecWavefront(*wfLayers, *wfSlow, *wfFast); err != nil {
+				fmt.Fprintf(os.Stderr, "mtaskbench: exec -wavefront: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runExec(*execIters); err != nil {
 			fmt.Fprintf(os.Stderr, "mtaskbench: exec: %v\n", err)
 			os.Exit(1)
@@ -196,6 +207,54 @@ func runExec(iters int) error {
 		return err
 	}
 	fmt.Printf("\npabm timestep (tp, 8 cores, n=256): %s over %d steps\n", fmtNsPerOp(time.Since(start), steps), steps)
+	return nil
+}
+
+// runExecWavefront runs the imbalanced workload (two chains, one slow and
+// one fast task per layer with the slow side alternating) once under the
+// layer-synchronous executor and once under the wavefront dispatcher, and
+// reports wall time, core utilization and the speedup. The expected ratio
+// is layers×slow vs layers×(slow+fast)/2, i.e. up to 2× for slow ≫ fast;
+// the win is recovered barrier waiting time, so it holds on a single-CPU
+// host. Exits non-zero if both runs do not complete all layers.
+func runExecWavefront(layers int, slow, fast time.Duration) error {
+	if layers < 1 {
+		return fmt.Errorf("-wf-layers %d out of range", layers)
+	}
+	const p = 2
+	sched := mrt.ImbalancedWorkload(p, layers)
+	body := mrt.ImbalancedBody(slow, fast)
+	fmt.Printf("imbalanced workload: %d layers x {slow %v, fast %v}, P=%d, GOMAXPROCS=%d\n\n",
+		layers, slow, fast, p, stdruntime.GOMAXPROCS(0))
+
+	var walls [2]time.Duration
+	for i, mode := range []struct {
+		name string
+		opts []mrt.ExecOption
+	}{
+		{"layered", nil},
+		{"wavefront", []mrt.ExecOption{mrt.WithWavefront()}},
+	} {
+		w, err := mrt.NewWorld(p)
+		if err != nil {
+			return err
+		}
+		rep, err := mrt.ExecuteCtx(context.Background(), w, sched, body, mode.opts...)
+		if err != nil {
+			return fmt.Errorf("%s execution failed: %w\n%s", mode.name, err, rep)
+		}
+		if rep.Layers != layers {
+			return fmt.Errorf("%s execution completed %d of %d layers", mode.name, rep.Layers, layers)
+		}
+		busy, idle, frac := rep.Utilization()
+		fmt.Printf("%-10s wall %10v  busy %10v  idle %10v  (%.1f%% utilized, %d spans)\n",
+			mode.name, rep.Wall.Round(time.Microsecond), busy.Round(time.Microsecond),
+			idle.Round(time.Microsecond), 100*frac, len(rep.Timeline()))
+		walls[i] = rep.Wall
+	}
+	fmt.Printf("\nspeedup: %.2fx (layered %v -> wavefront %v)\n",
+		float64(walls[0])/float64(walls[1]),
+		walls[0].Round(time.Microsecond), walls[1].Round(time.Microsecond))
 	return nil
 }
 

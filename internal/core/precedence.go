@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"mtask/internal/graph"
+)
+
+// TaskDeps is the precomputed execution metadata of one scheduled task:
+// where the schedule placed it and which other scheduled tasks must
+// complete before it may start. It is the launch condition of the
+// wavefront executor — a task is ready when every entry of Deps has
+// completed, with no global layer barrier involved.
+type TaskDeps struct {
+	// ID is the task's id in the scheduled graph.
+	ID graph.TaskID
+
+	// Layer, Group and Slot locate the task in the schedule: layer
+	// index, group within the layer, position in the group's ordered
+	// task list.
+	Layer int
+	Group GroupID
+	Slot  int
+
+	// Deps lists the distinct scheduled tasks that must complete before
+	// this one may start, in ascending id order. It is the union of
+	//
+	//   - the task's predecessors in the scheduled graph that are
+	//     themselves assigned to a layer (data dependences; start/stop
+	//     markers outside the layers carry no computation and are
+	//     dropped), and
+	//   - the task's predecessors in the occupancy chain of every
+	//     symbolic rank of its group's interval (resource dependences:
+	//     the prior occupant must release the rank).
+	Deps []graph.TaskID
+
+	// Succs is the inverse of Deps: the scheduled tasks that list this
+	// one as a dependence, in ascending id order. Completing this task
+	// decrements their outstanding-dependence counters.
+	Succs []graph.TaskID
+}
+
+// Precedence is the dependence-driven execution metadata of a layered
+// schedule, precomputed once per schedule so the wavefront dispatcher's
+// hot path is counter decrements only.
+//
+// The layer barriers of the layered executor are a scheduling artifact,
+// not a data dependence: a task may start as soon as its graph
+// predecessors have completed AND every symbolic rank of its group's
+// interval has been released by its prior-layer occupant. Precedence
+// makes both conditions explicit per task.
+type Precedence struct {
+	// Sched is the schedule the metadata was derived from.
+	Sched *Schedule
+
+	// Tasks is indexed by scheduled-graph task id; entries for tasks
+	// outside all layers (start/stop markers) are nil.
+	Tasks []*TaskDeps
+
+	// Scheduled lists the ids of all tasks assigned to layers in
+	// deterministic schedule order: layer-major, then group, then slot.
+	Scheduled []graph.TaskID
+
+	// Chains[r] is the occupancy chain of symbolic rank r: the tasks
+	// that execute on rank r, in execution order (layer-major; within a
+	// layer, the rank's group's task list order). Consecutive chain
+	// entries are the per-rank resource dependences.
+	Chains [][]graph.TaskID
+
+	// LayerCounts[li] is the number of scheduled tasks in layer li (the
+	// wavefront executor's completed-layer checkpoint bookkeeping).
+	LayerCounts []int
+}
+
+// PrecedenceOf derives the wavefront execution metadata from a layered
+// schedule. The result depends only on the schedule and is safe to share
+// between goroutines (it is never mutated after construction).
+func PrecedenceOf(s *Schedule) (*Precedence, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: precedence of nil schedule")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: precedence: %w", err)
+	}
+	p := &Precedence{
+		Sched:       s,
+		Tasks:       make([]*TaskDeps, s.Graph.Len()),
+		Chains:      make([][]graph.TaskID, s.P),
+		LayerCounts: make([]int, len(s.Layers)),
+	}
+
+	// Placement pass: one TaskDeps per scheduled task, plus the per-rank
+	// occupancy chains (a group's interval executes the group's task
+	// list in order, so every rank of the interval appends that list).
+	for li, ls := range s.Layers {
+		for gi, tasks := range ls.Groups {
+			lo, hi := ls.RankRange(GroupID(gi))
+			for slot, id := range tasks {
+				p.Tasks[id] = &TaskDeps{ID: id, Layer: li, Group: GroupID(gi), Slot: slot}
+				p.Scheduled = append(p.Scheduled, id)
+				p.LayerCounts[li]++
+				for r := lo; r < hi; r++ {
+					p.Chains[r] = append(p.Chains[r], id)
+				}
+			}
+		}
+	}
+
+	// Dependence pass: graph predecessors restricted to scheduled tasks,
+	// plus the rank predecessor of every chain link.
+	depSet := make([]map[graph.TaskID]bool, s.Graph.Len())
+	dep := func(id, on graph.TaskID) {
+		if depSet[id] == nil {
+			depSet[id] = make(map[graph.TaskID]bool)
+		}
+		depSet[id][on] = true
+	}
+	for _, id := range p.Scheduled {
+		for _, pr := range s.Graph.Pred(id) {
+			if p.Tasks[pr] != nil {
+				dep(id, pr)
+			}
+		}
+	}
+	for _, chain := range p.Chains {
+		for i := 1; i < len(chain); i++ {
+			dep(chain[i], chain[i-1])
+		}
+	}
+	for _, id := range p.Scheduled {
+		td := p.Tasks[id]
+		for on := range depSet[id] {
+			td.Deps = append(td.Deps, on)
+			p.Tasks[on].Succs = append(p.Tasks[on].Succs, id)
+		}
+	}
+	for _, id := range p.Scheduled {
+		slices.Sort(p.Tasks[id].Deps)
+		slices.Sort(p.Tasks[id].Succs)
+	}
+
+	// Soundness: a dependence never points forward in the schedule
+	// (same layer only within one group's list, at an earlier slot), so
+	// counting down Deps can never deadlock.
+	for _, id := range p.Scheduled {
+		td := p.Tasks[id]
+		for _, on := range td.Deps {
+			od := p.Tasks[on]
+			if od.Layer > td.Layer || (od.Layer == td.Layer && (od.Group != td.Group || od.Slot >= td.Slot)) {
+				return nil, fmt.Errorf("core: precedence: task %d (layer %d group %d slot %d) depends on later task %d (layer %d group %d slot %d)",
+					id, td.Layer, td.Group, td.Slot, on, od.Layer, od.Group, od.Slot)
+			}
+		}
+	}
+	return p, nil
+}

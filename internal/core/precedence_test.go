@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtask/internal/graph"
+)
+
+// TestPrecedenceChain: a 3-task chain scheduled in 3 layers of one group
+// each must yield a pure chain of dependences (graph preds and rank preds
+// coincide and are deduplicated).
+func TestPrecedenceChain(t *testing.T) {
+	g := graph.New("chain")
+	a := g.AddBasic("a", 1e8)
+	b := g.AddBasic("b", 1e8)
+	c := g.AddBasic("c", 1e8)
+	g.MustEdge(a, b, 8)
+	g.MustEdge(b, c, 8)
+	s := &Scheduler{Model: model(2), DisableChainContraction: true}
+	sched, err := s.Schedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PrecedenceOf(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scheduled) != 3 {
+		t.Fatalf("scheduled %d tasks, want 3", len(p.Scheduled))
+	}
+	if d := p.Tasks[a].Deps; len(d) != 0 {
+		t.Fatalf("a has deps %v, want none", d)
+	}
+	for _, pair := range [][2]graph.TaskID{{a, b}, {b, c}} {
+		if d := p.Tasks[pair[1]].Deps; len(d) != 1 || d[0] != pair[0] {
+			t.Fatalf("task %d deps = %v, want [%d]", pair[1], d, pair[0])
+		}
+		if su := p.Tasks[pair[0]].Succs; len(su) != 1 || su[0] != pair[1] {
+			t.Fatalf("task %d succs = %v, want [%d]", pair[0], su, pair[1])
+		}
+	}
+	// Every rank runs the whole chain, in order.
+	if len(p.Chains) != 4 {
+		t.Fatalf("%d chains, want 4", len(p.Chains))
+	}
+	for r, chain := range p.Chains {
+		if len(chain) != 3 || chain[0] != a || chain[1] != b || chain[2] != c {
+			t.Fatalf("rank %d chain = %v, want [a b c]", r, chain)
+		}
+	}
+}
+
+// TestPrecedenceInvariantsRandomDAGs checks, for random DAGs through the
+// real scheduler, that the precedence metadata is sound and complete:
+// every scheduled task has an entry, dependences point strictly backwards
+// in the schedule, graph predecessors and rank-occupancy predecessors are
+// all covered, Succs is the exact inverse of Deps, and counter-driven
+// execution (the wavefront dispatcher's algorithm) completes every task.
+func TestPrecedenceInvariantsRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := randomDAG(rng)
+		s := &Scheduler{Model: model(2), DisableChainContraction: rng.Float64() < 0.5}
+		sched, err := s.Schedule(g, 2+rng.Intn(15))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p, err := PrecedenceOf(sched)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Entries exactly for layered tasks; markers have none.
+		want := 0
+		for _, ls := range sched.Layers {
+			want += len(ls.Layer)
+		}
+		if len(p.Scheduled) != want {
+			t.Fatalf("trial %d: %d scheduled entries, want %d", trial, len(p.Scheduled), want)
+		}
+		for id := range p.Tasks {
+			inLayer := sched.LayerOf(graph.TaskID(id)) >= 0
+			if (p.Tasks[id] != nil) != inLayer {
+				t.Fatalf("trial %d: task %d entry mismatch (in layer: %v)", trial, id, inLayer)
+			}
+		}
+
+		// Graph predecessors within layers are always dependences.
+		for _, id := range p.Scheduled {
+			deps := make(map[graph.TaskID]bool)
+			for _, d := range p.Tasks[id].Deps {
+				deps[d] = true
+			}
+			for _, pr := range sched.Graph.Pred(id) {
+				if p.Tasks[pr] != nil && !deps[pr] {
+					t.Fatalf("trial %d: graph pred %d of %d missing from deps", trial, pr, id)
+				}
+			}
+		}
+
+		// Chains: rank r's chain is the concatenation, layer by layer, of
+		// the task list of the group owning r; consecutive chain entries
+		// are dependences.
+		for r := 0; r < sched.P; r++ {
+			var wantChain []graph.TaskID
+			for _, ls := range sched.Layers {
+				gi := ls.GroupOfRank(r)
+				wantChain = append(wantChain, ls.Groups[gi]...)
+			}
+			got := p.Chains[r]
+			if len(got) != len(wantChain) {
+				t.Fatalf("trial %d: rank %d chain length %d, want %d", trial, r, len(got), len(wantChain))
+			}
+			for i := range got {
+				if got[i] != wantChain[i] {
+					t.Fatalf("trial %d: rank %d chain[%d] = %d, want %d", trial, r, i, got[i], wantChain[i])
+				}
+			}
+			for i := 1; i < len(got); i++ {
+				found := false
+				for _, d := range p.Tasks[got[i]].Deps {
+					if d == got[i-1] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: rank %d chain link %d->%d not a dependence", trial, r, got[i-1], got[i])
+				}
+			}
+		}
+
+		// Succs is the exact inverse of Deps.
+		succCount := 0
+		for _, id := range p.Scheduled {
+			for _, su := range p.Tasks[id].Succs {
+				succCount++
+				found := false
+				for _, d := range p.Tasks[su].Deps {
+					if d == id {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: succ %d of %d has no matching dep", trial, su, id)
+				}
+			}
+		}
+		depCount := 0
+		for _, id := range p.Scheduled {
+			depCount += len(p.Tasks[id].Deps)
+		}
+		if succCount != depCount {
+			t.Fatalf("trial %d: %d succ edges, %d dep edges", trial, succCount, depCount)
+		}
+
+		// Counter-driven execution completes everything (no deadlock) and
+		// the per-layer counts add up.
+		remaining := make(map[graph.TaskID]int)
+		var ready []graph.TaskID
+		for _, id := range p.Scheduled {
+			remaining[id] = len(p.Tasks[id].Deps)
+			if remaining[id] == 0 {
+				ready = append(ready, id)
+			}
+		}
+		done := 0
+		for len(ready) > 0 {
+			id := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			done++
+			for _, su := range p.Tasks[id].Succs {
+				remaining[su]--
+				if remaining[su] == 0 {
+					ready = append(ready, su)
+				}
+			}
+		}
+		if done != len(p.Scheduled) {
+			t.Fatalf("trial %d: counter execution completed %d of %d tasks", trial, done, len(p.Scheduled))
+		}
+		total := 0
+		for _, c := range p.LayerCounts {
+			total += c
+		}
+		if total != len(p.Scheduled) {
+			t.Fatalf("trial %d: layer counts sum to %d, want %d", trial, total, len(p.Scheduled))
+		}
+	}
+}
+
+// layerOfScan is the pre-memoization reference implementation of LayerOf.
+func layerOfScan(s *Schedule, id graph.TaskID) int {
+	for li, ls := range s.Layers {
+		for _, t := range ls.Layer {
+			if t == id {
+				return li
+			}
+		}
+	}
+	return -1
+}
+
+// TestLayerOfMemoMatchesScan: the memoized LayerOf must agree with the
+// linear scan for every task id (including markers outside layers and
+// out-of-range ids).
+func TestLayerOfMemoMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng)
+		sched, err := (&Scheduler{Model: model(2)}).Schedule(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := -1; id <= sched.Graph.Len(); id++ {
+			want := layerOfScan(sched, graph.TaskID(id))
+			if got := sched.LayerOf(graph.TaskID(id)); got != want {
+				t.Fatalf("trial %d: LayerOf(%d) = %d, want %d", trial, id, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkScheduleLayerOf measures resolving the layer of every scheduled
+// task — the access pattern of the mapper and the precedence builder. The
+// memoized index keeps this linear; the old per-call scan was quadratic.
+func BenchmarkScheduleLayerOf(b *testing.B) {
+	g := graph.New("wide")
+	const n = 256
+	ids := make([]graph.TaskID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddBasic("t", 1e8)
+		if i > 0 {
+			g.MustEdge(ids[i-1], ids[i], 8)
+		}
+	}
+	sched, err := (&Scheduler{Model: model(2), DisableChainContraction: true}).Schedule(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, id := range ids {
+				if sched.LayerOf(id) < 0 {
+					b.Fatal("missing layer")
+				}
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, id := range ids {
+				if layerOfScan(sched, id) < 0 {
+					b.Fatal("missing layer")
+				}
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"mtask/internal/graph"
 )
@@ -105,19 +106,36 @@ type Schedule struct {
 	// Time is the predicted symbolic makespan: the sum of the layer
 	// times (layers execute one after another).
 	Time float64
+
+	// layerIdx memoizes LayerOf: layerIdx[id] is the layer of scheduled
+	// task id, or -1 for markers outside all layers. Built lazily on the
+	// first LayerOf call — schedules are immutable once constructed.
+	layerOnce sync.Once
+	layerIdx  []int
 }
 
 // LayerOf returns the index of the layer containing the scheduled task, or
-// -1 if the task is a start/stop marker outside all layers.
+// -1 if the task is a start/stop marker outside all layers. The id→layer
+// index is built once on first use (the former per-call linear scan over
+// every layer made LayerOf O(V) — quadratic for callers resolving every
+// task, such as the mapper and the precedence builder).
 func (s *Schedule) LayerOf(id graph.TaskID) int {
-	for li, ls := range s.Layers {
-		for _, t := range ls.Layer {
-			if t == id {
-				return li
+	s.layerOnce.Do(func() {
+		idx := make([]int, s.Graph.Len())
+		for i := range idx {
+			idx[i] = -1
+		}
+		for li, ls := range s.Layers {
+			for _, t := range ls.Layer {
+				idx[t] = li
 			}
 		}
+		s.layerIdx = idx
+	})
+	if int(id) < 0 || int(id) >= len(s.layerIdx) {
+		return -1
 	}
-	return -1
+	return s.layerIdx[id]
 }
 
 // MaxGroups returns the largest group count over all layers.

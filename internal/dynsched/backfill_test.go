@@ -1,0 +1,110 @@
+package dynsched
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtask/internal/runtime"
+)
+
+// TestBackfillAdmitsSmallerTask: with backfill enabled, a small task
+// queued behind a large one that does not fit must be admitted onto the
+// idle cores. The wide task A (2 of 3 cores) blocks until the 1-core task
+// C has started — which only backfill can arrange, since the strict
+// largest-first order would hold C behind the 2-core task B forever.
+func TestBackfillAdmitsSmallerTask(t *testing.T) {
+	pool, err := NewPool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Backfill = true
+
+	cStarted := make(chan struct{})
+	tasks := []PoolTask{
+		{Name: "A", Cores: 2, Body: func(c *runtime.Comm) error {
+			select {
+			case <-cStarted:
+				return nil
+			case <-time.After(10 * time.Second):
+				t.Error("task C was never backfilled onto the free core")
+				return nil
+			}
+		}},
+		{Name: "B", Cores: 2, Body: func(c *runtime.Comm) error { return nil }},
+		{Name: "C", Cores: 1, Body: func(c *runtime.Comm) error {
+			close(cStarted)
+			return nil
+		}},
+	}
+	if err := pool.RunAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultKeepsLargestFirstOrder: without backfill the pool must not
+// admit the small task past the blocked queue head — head-of-line order
+// is the documented default.
+func TestDefaultKeepsLargestFirstOrder(t *testing.T) {
+	pool, err := NewPool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cStarted atomic.Bool
+	release := make(chan struct{})
+	tasks := []PoolTask{
+		{Name: "A", Cores: 2, Body: func(c *runtime.Comm) error {
+			<-release
+			return nil
+		}},
+		{Name: "B", Cores: 2, Body: func(c *runtime.Comm) error { return nil }},
+		{Name: "C", Cores: 1, Body: func(c *runtime.Comm) error {
+			cStarted.Store(true)
+			return nil
+		}},
+	}
+	done := make(chan error, 1)
+	go func() { done <- pool.RunAll(tasks) }()
+
+	// While A holds 2 of 3 cores, the head B (2 cores) does not fit, and
+	// C must stay queued behind it even though one core is free.
+	time.Sleep(50 * time.Millisecond)
+	if cStarted.Load() {
+		t.Fatal("default pool admitted C past the blocked queue head")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !cStarted.Load() {
+		t.Fatal("task C never ran")
+	}
+}
+
+// TestBackfillCancellation: a canceled context must still stop admission
+// in backfill mode (the pick loop waits like the default loop).
+func TestBackfillCancellation(t *testing.T) {
+	pool, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Backfill = true
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tasks := []PoolTask{
+		{Name: "hold", Cores: 2, Body: func(c *runtime.Comm) error {
+			cancel()
+			time.Sleep(20 * time.Millisecond) // admission must observe the cancel, not free cores
+			return nil
+		}},
+		{Name: "never", Cores: 2, Body: func(c *runtime.Comm) error {
+			t.Error("task admitted after cancellation")
+			return nil
+		}},
+	}
+	if err := pool.RunAllCtx(ctx, tasks); err == nil {
+		t.Fatal("canceled pool reported success")
+	}
+}

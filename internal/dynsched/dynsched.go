@@ -176,6 +176,14 @@ type PoolTask struct {
 type Pool struct {
 	P int
 
+	// Backfill opts into out-of-order admission: when the largest pending
+	// task does not fit the free cores, the largest pending task that does
+	// fit is admitted instead of blocking the queue head-of-line. The
+	// default (false) keeps strict largest-first admission order, which
+	// never starves a wide task but can idle cores behind it. Set before
+	// the first RunAll / RunAllCtx call; the field is not synchronised.
+	Backfill bool
+
 	mu    sync.Mutex
 	cond  *sync.Cond
 	free  int
@@ -190,6 +198,18 @@ func NewPool(p int) (*Pool, error) {
 	pool := &Pool{P: p, free: p}
 	pool.cond = sync.NewCond(&pool.mu)
 	return pool, nil
+}
+
+// clamp bounds a task's core requirement to [1, P], like the paper's
+// schedulers do via MaxWidth.
+func (p *Pool) clamp(cores int) int {
+	if cores < 1 {
+		return 1
+	}
+	if cores > p.P {
+		return p.P
+	}
+	return cores
 }
 
 // RunAll executes the tasks, each on its own goroutine group, never using
@@ -227,25 +247,37 @@ func (p *Pool) RunAllCtx(ctx context.Context, tasks []PoolTask) error {
 
 	var wg sync.WaitGroup
 	canceled := false
-	for _, t := range ordered {
-		need := t.Cores
-		if need < 1 {
-			need = 1
-		}
-		if need > p.P {
-			need = p.P
-		}
+	for len(ordered) > 0 {
+		// Pick the next admissible task: the queue head (largest pending
+		// requirement), or — in backfill mode — the largest pending task
+		// that fits the free cores when the head does not.
 		p.mu.Lock()
-		for p.free < need && ctx.Err() == nil {
-			p.cond.Wait()
+		pick := -1
+		for pick < 0 && ctx.Err() == nil {
+			if p.clamp(ordered[0].Cores) <= p.free {
+				pick = 0
+			} else if p.Backfill {
+				for i := 1; i < len(ordered); i++ {
+					if p.clamp(ordered[i].Cores) <= p.free {
+						pick = i
+						break
+					}
+				}
+			}
+			if pick < 0 {
+				p.cond.Wait()
+			}
 		}
 		if ctx.Err() != nil {
 			p.mu.Unlock()
 			canceled = true
 			break
 		}
+		t := ordered[pick]
+		need := p.clamp(t.Cores)
 		p.free -= need
 		p.mu.Unlock()
+		ordered = append(ordered[:pick], ordered[pick+1:]...)
 
 		wg.Add(1)
 		go func(t PoolTask, need int) {

@@ -114,3 +114,99 @@ func TestExecStateIdenticalAfterCoreLossReplan(t *testing.T) {
 		t.Fatalf("results diverged after replan: %v\n%s", err, rep)
 	}
 }
+
+func TestExecStateWavefrontMatchesReference(t *testing.T) {
+	// The wavefront dispatcher must reproduce the sequential reference
+	// bitwise for the real solver graphs — same oracle as the layered
+	// mode, dependence-driven launch order.
+	const n = 64
+	graphs := map[string]*graph.Graph{
+		"pab":  BuildPABGraph(n, 10, 4, 0, 3),
+		"irk":  BuildIRKGraph(n, 10, 4, 2, 2),
+		"epol": BuildEPOLGraph(n, 10, 4, 2),
+	}
+	for name, g := range graphs {
+		want := Reference(g, n)
+		for _, P := range []int{4, 8} {
+			sched := pabSchedule(t, g, P)
+			w, _ := runtime.NewWorld(P)
+			st := NewExecState(g, n)
+			rep, err := runtime.ExecuteCtx(context.Background(), w, sched, st.Body, runtime.WithWavefront())
+			if err != nil {
+				t.Fatalf("%s on %d cores: %v\n%s", name, P, err, rep)
+			}
+			if rep.Layers != len(sched.Layers) {
+				t.Fatalf("%s on %d cores: %d of %d layers done", name, P, rep.Layers, len(sched.Layers))
+			}
+			if err := CompareOutputs(want, st.Outputs()); err != nil {
+				t.Fatalf("%s on %d cores: %v", name, P, err)
+			}
+		}
+	}
+}
+
+func TestExecStateWavefrontIdenticalUnderInjectedFaults(t *testing.T) {
+	// Injected errors, panics and delays with retries must leave the
+	// wavefront trajectory byte-identical to the failure-free reference,
+	// as in the layered mode.
+	const n = 64
+	g := BuildPABGraph(n, 10, 4, 0, 4)
+	want := Reference(g, n)
+	sched := pabSchedule(t, g, 8)
+	w, _ := runtime.NewWorld(8)
+
+	pol := fault.DefaultPolicy()
+	pol.MaxRetries = 6
+	pol.BaseBackoff = 50 * time.Microsecond
+	for seed := int64(1); seed <= 3; seed++ {
+		inj := &fault.Injector{Seed: seed, PError: 0.10, PPanic: 0.05, PDelay: 0.05, Delay: 100 * time.Microsecond}
+		st := NewExecState(g, n)
+		rep, err := runtime.ExecuteCtx(context.Background(), w, sched, st.Body,
+			runtime.WithPolicy(pol), runtime.WithInjector(inj), runtime.WithWavefront())
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, rep)
+		}
+		if err := CompareOutputs(want, st.Outputs()); err != nil {
+			t.Fatalf("seed %d: results diverged: %v\n%s", seed, err, rep)
+		}
+	}
+}
+
+func TestExecStateWavefrontIdenticalAfterCoreLossReplan(t *testing.T) {
+	// A mid-run core loss under the wavefront dispatcher must drain the
+	// in-flight frontier to the completed-layer checkpoint, replan on the
+	// survivors and still reproduce the failure-free reference bitwise.
+	const n = 64
+	g := BuildPABGraph(n, 10, 4, 0, 4)
+	want := Reference(g, n)
+	machine := arch.CHiC().SubsetCores(8)
+	model := &cost.Model{Machine: machine}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := runtime.NewWorld(8)
+
+	inj := &fault.Injector{Script: []fault.Script{
+		{Task: "stage[1](0)", Attempt: 1, Rank: 0, Kind: fault.CoreLoss},
+	}}
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 50 * time.Microsecond
+	pol.DegradeAndReplan = true
+	replan := func(ctx context.Context, survivors int) (*core.Schedule, error) {
+		return (&core.Scheduler{Model: model}).Schedule(g, survivors)
+	}
+	st := NewExecState(g, n)
+	rep, err := runtime.ExecuteCtx(context.Background(), w, sched, st.Body,
+		runtime.WithPolicy(pol), runtime.WithInjector(inj), runtime.WithReplanner(replan),
+		runtime.WithWavefront())
+	if err != nil {
+		t.Fatalf("wavefront degrade-and-replan failed: %v\n%s", err, rep)
+	}
+	if rep.Replans != 1 {
+		t.Fatalf("replans = %d, want 1\n%s", rep.Replans, rep)
+	}
+	if err := CompareOutputs(want, st.Outputs()); err != nil {
+		t.Fatalf("results diverged after replan: %v\n%s", err, rep)
+	}
+}

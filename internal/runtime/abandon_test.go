@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtask/internal/core"
+	"mtask/internal/fault"
+	"mtask/internal/graph"
+)
+
+// TestAbandonGraceAbandonsHungBody covers the abandon path end to end: a
+// body hanging in pure computation (ignoring its context and immune to the
+// communicator abort) past the grace is abandoned, the straggler rank
+// blocked in a global collective is released by the layer-end errLayerDone
+// abort, and the surfaced error names the timeout cause.
+func TestAbandonGraceAbandonsHungBody(t *testing.T) {
+	g := graph.New("hang")
+	a := g.AddBasic("a", 1)
+	sched := &core.Schedule{
+		Source: g,
+		Graph:  g,
+		P:      2,
+		Layers: []*core.LayerSchedule{{
+			Layer:  graph.Layer{a},
+			Groups: [][]graph.TaskID{{a}},
+			Sizes:  []int{2},
+		}},
+	}
+	w, _ := NewWorld(2)
+
+	hang := make(chan struct{})
+	t.Cleanup(func() { close(hang) }) // release the leaked goroutine
+	var released atomic.Int32
+	var globalEntered atomic.Bool
+	body := func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if tc.Group.Rank() == 0 {
+				<-hang // pure computation: no ctx check, no collective
+				return nil
+			}
+			// Rank 1 blocks in a global collective rank 0 never joins; the
+			// attempt-level group abort cannot reach it, only the
+			// layer-end abort of the global communicator can. Only the first
+			// attempt may enter: the global communicator is shared by the
+			// whole layer across retries, so a retry entering the barrier
+			// would alias the rank slot its abandoned predecessor still
+			// occupies (bodies holding a global collective past the abandon
+			// grace must not re-enter it on retry).
+			if !globalEntered.CompareAndSwap(false, true) {
+				return errors.New("rank 1 retry failing fast")
+			}
+			defer released.Add(1)
+			tc.Global.Barrier()
+			return nil
+		}
+	}
+
+	pol := fault.DefaultPolicy()
+	pol.TaskTimeout = 20 * time.Millisecond
+	start := time.Now()
+	rep, err := ExecuteCtx(context.Background(), w, sched, body,
+		WithPolicy(pol), WithAbandonGrace(30*time.Millisecond))
+	if err == nil {
+		t.Fatalf("hung body reported success: %s", rep)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("returned after %v, before timeout+grace", elapsed)
+	}
+	if !strings.Contains(err.Error(), "abandoned after") {
+		t.Fatalf("error does not mark the attempt abandoned: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not name the timeout cause: %v", err)
+	}
+	if got := rep.Task("a").Failures; got == 0 {
+		t.Fatalf("abandoned attempt not counted as failure: %s", rep)
+	}
+
+	// The layer-end abort must have released the straggler blocked in the
+	// global barrier (its AbortError panic runs the body's defer).
+	deadline := time.Now().Add(2 * time.Second)
+	for released.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if released.Load() == 0 {
+		t.Fatal("straggler still blocked in the global collective after the layer ended")
+	}
+}

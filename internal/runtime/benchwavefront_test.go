@@ -1,0 +1,49 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The imbalanced-schedule pair measures what the wavefront dispatcher
+// recovers from layer barriers: per layer one group sleeps `slow`, the
+// other `fast`, with the slow side alternating. The layered executor pays
+// layers×slow; the wavefront executor overlaps the chains and pays about
+// layers×(slow+fast)/2. The sleep-based bodies make the comparison valid
+// on any core count (including the single-CPU CI runner): the win is
+// waiting time, not compute parallelism.
+func benchImbalanced(b *testing.B, opts ...ExecOption) {
+	const layers = 8
+	sched := ImbalancedWorkload(2, layers)
+	body := ImbalancedBody(4*time.Millisecond, 500*time.Microsecond)
+	w, _ := NewWorld(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ExecuteCtx(context.Background(), w, sched, body, opts...)
+		if err != nil {
+			b.Fatalf("%v\n%s", err, rep)
+		}
+	}
+}
+
+func BenchmarkExecLayeredImbalanced(b *testing.B)   { benchImbalanced(b) }
+func BenchmarkExecWavefrontImbalanced(b *testing.B) { benchImbalanced(b, WithWavefront()) }
+
+// BenchmarkExecWavefrontDispatch measures the dispatcher's own overhead
+// (counter decrements, per-task goroutines) with no-op bodies on a
+// balanced schedule, against the layered baseline.
+func benchDispatchOverhead(b *testing.B, opts ...ExecOption) {
+	sched := ImbalancedWorkload(2, 16)
+	body := ImbalancedBody(0, 0)
+	w, _ := NewWorld(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteCtx(context.Background(), w, sched, body, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecLayeredDispatch(b *testing.B)   { benchDispatchOverhead(b) }
+func BenchmarkExecWavefrontDispatch(b *testing.B) { benchDispatchOverhead(b, WithWavefront()) }

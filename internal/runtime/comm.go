@@ -298,28 +298,42 @@ func (s *commShared) abort(err error) {
 }
 
 // Comm is one member's handle of a communicator. Handles are per-goroutine
-// and must not be shared between goroutines.
+// and must not be shared between goroutines. A handle is backed either by
+// shared state directly or by a lazyGlobal that builds the state on the
+// member's first operation (the executor's per-layer global communicator).
 type Comm struct {
 	shared *commShared
+	lazy   *lazyGlobal
 	rank   int
+}
+
+// sh resolves the handle's shared state, creating it on first use when the
+// handle is lazily backed. Handles are per-goroutine, so caching the
+// resolved state on the handle needs no synchronisation.
+func (c *Comm) sh() *commShared {
+	if c.shared == nil {
+		c.shared = c.lazy.get()
+	}
+	return c.shared
 }
 
 // Rank returns the caller's rank within the communicator.
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of members.
-func (c *Comm) Size() int { return len(c.shared.ranks) }
+func (c *Comm) Size() int { return len(c.sh().ranks) }
 
 // WorldRank returns the caller's rank within the world.
-func (c *Comm) WorldRank() int { return c.shared.ranks[c.rank] }
+func (c *Comm) WorldRank() int { return c.sh().ranks[c.rank] }
 
 // Kind returns the communicator category.
-func (c *Comm) Kind() CommKind { return c.shared.kind }
+func (c *Comm) Kind() CommKind { return c.sh().kind }
 
 // count records a collective once (rank 0 reports).
 func (c *Comm) count(op Op) {
-	if c.rank == 0 && c.shared.stats != nil {
-		c.shared.stats.add(c.shared.kind, op)
+	sh := c.sh()
+	if c.rank == 0 && sh.stats != nil {
+		sh.stats.add(sh.kind, op)
 	}
 }
 
@@ -327,7 +341,7 @@ func (c *Comm) count(op Op) {
 // to use for it. Members call collectives in lockstep (SPMD), so every
 // member computes the same sequence number for the same collective.
 func (c *Comm) advance() (ms *memberState, parity int) {
-	ms = &c.shared.mems[c.rank]
+	ms = &c.sh().mems[c.rank]
 	ms.seq++
 	return ms, int(ms.seq & 1)
 }
@@ -339,13 +353,13 @@ func (c *Comm) advance() (ms *memberState, parity int) {
 // panicked or timed-out task cannot deadlock its peers at a barrier; task
 // bodies may also call it to broadcast an unrecoverable local failure.
 func (c *Comm) Abort(cause error) {
-	c.shared.abort(cause)
+	c.sh().abort(cause)
 }
 
 // Barrier synchronises all members.
 func (c *Comm) Barrier() {
 	c.count(OpBarrier)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		return
@@ -357,7 +371,7 @@ func (c *Comm) Barrier() {
 // its own copy (the root returns the original slice).
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	c.count(OpBcast)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		return data
@@ -383,7 +397,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 // barrier.
 func (c *Comm) BcastInto(root int, buf []float64) {
 	c.count(OpBcast)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		return
@@ -430,7 +444,7 @@ func (c *Comm) AllgatherInto(contrib, dst []float64) []float64 {
 // category.
 func (c *Comm) AllgatherAsInto(contrib, dst []float64, op Op) []float64 {
 	c.count(op)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		dst = ensureFloats(dst, len(contrib))
@@ -459,7 +473,7 @@ func (c *Comm) AllgatherAsInto(contrib, dst []float64, op Op) []float64 {
 // Table 1's data collectives.
 func (c *Comm) ExchangeAny(v any) []any {
 	c.count(OpBarrier)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		return []any{v}
@@ -478,7 +492,7 @@ func (c *Comm) ExchangeAny(v any) []any {
 // AllreduceMax returns the maximum of the members' values.
 func (c *Comm) AllreduceMax(v float64) float64 {
 	c.count(OpReduce)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		return v
@@ -499,7 +513,7 @@ func (c *Comm) AllreduceMax(v float64) float64 {
 // AllreduceSum returns the sum of the members' values.
 func (c *Comm) AllreduceSum(v float64) float64 {
 	c.count(OpReduce)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		return v
@@ -532,7 +546,7 @@ const (
 // alias contrib.
 func (c *Comm) ReduceInto(op ReduceOp, contrib, dst []float64) []float64 {
 	c.count(OpReduce)
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		dst = ensureFloats(dst, len(contrib))
@@ -585,7 +599,7 @@ func ensureFloats(dst []float64, n int) []float64 {
 // state and the others retrieve it from the parent's registry, which is
 // pruned as soon as the last member has retrieved its child.
 func (c *Comm) Split(color, key int, kind CommKind) *Comm {
-	sh := c.shared
+	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
 		child := newCommShared(kind, []int{sh.ranks[0]}, sh.stats)

@@ -30,11 +30,12 @@ type HierarchicalReplanner func(ctx context.Context, survivors int) (*core.Hiera
 
 // execConfig collects the resolved fault-tolerance knobs of one execution.
 type execConfig struct {
-	policy   fault.Policy
-	injector *fault.Injector
-	replan   Replanner
-	hreplan  HierarchicalReplanner
-	grace    time.Duration
+	policy    fault.Policy
+	injector  *fault.Injector
+	replan    Replanner
+	hreplan   HierarchicalReplanner
+	grace     time.Duration
+	wavefront bool
 }
 
 // ExecOption configures ExecuteCtx / ExecuteHierarchicalCtx.
@@ -108,6 +109,9 @@ func ExecuteCtx(ctx context.Context, w *World, sched *core.Schedule, body func(t
 
 	cfg := newExecConfig(opts)
 	rep := NewReport()
+	if sched != nil {
+		rep.begin(sched.P)
+	}
 	start := time.Now()
 	err := runLayered(ctx, w, sched, body, cfg, rep, func(rctx context.Context, survivors int) (*core.Schedule, error) {
 		if cfg.replan == nil {
@@ -133,6 +137,7 @@ func ExecuteHierarchicalCtx(ctx context.Context, w *World, hs *core.Hierarchical
 
 	cfg := newExecConfig(opts)
 	rep := NewReport()
+	rep.begin(hs.Top.P)
 
 	type hierState struct {
 		hs  *core.HierarchicalSchedule
@@ -200,10 +205,21 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("runtime: execution canceled before layer %d: %w", li, err)
 		}
-		layerErr, failedCores := runLayer(ctx, w, cur, li, body, cfg, rep)
+		var layerErr error
+		var failedCores int
+		if cfg.wavefront {
+			// One wavefront pass runs every remaining layer without global
+			// joins; on failure it drains the in-flight frontier and
+			// reports the completed-layer prefix as the resume checkpoint.
+			li, layerErr, failedCores = runWavefrontPass(ctx, w, cur, li, body, cfg, rep)
+		} else {
+			layerErr, failedCores = runLayer(ctx, w, cur, li, body, cfg, rep)
+			if layerErr == nil {
+				rep.layerDone()
+				li++
+			}
+		}
 		if layerErr == nil {
-			rep.layerDone()
-			li++
 			continue
 		}
 		if !cfg.policy.DegradeAndReplan || failedCores == 0 || ctx.Err() != nil {
@@ -249,10 +265,14 @@ func runLayer(ctx context.Context, w *World, sched *core.Schedule, li int, body 
 		lctx, cancel = context.WithTimeout(ctx, cfg.policy.LayerTimeout)
 		defer cancel()
 	}
-	// A fresh per-layer global communicator for orthogonal exchanges;
-	// aborted once the layer is done so stragglers of abandoned attempts
-	// blocked in a global collective are released.
-	global := newCommShared(Global, identityRanks(sched.P), &w.Stats)
+	// A fresh per-layer global communicator for orthogonal exchanges,
+	// built lazily: most bodies only use their group communicator, and for
+	// those layers nothing is allocated. The layer-end abort still reaches
+	// it in every ordering, so stragglers of abandoned attempts blocked in
+	// a global collective are released (and a straggler touching the
+	// global for the first time after the layer finished gets it
+	// pre-poisoned instead of deadlocking).
+	global := newLazyGlobal(Global, identityRanks(sched.P), &w.Stats)
 	defer global.abort(errLayerDone)
 
 	ng := len(ls.Groups)
@@ -288,48 +308,74 @@ func runLayer(ctx context.Context, w *World, sched *core.Schedule, li int, body 
 // exhausted its budget (the degrade-and-replan trigger, which costs the
 // group its cores).
 func runGroup(ctx context.Context, w *World, sched *core.Schedule, li int, gi core.GroupID,
-	global *commShared, body func(t *graph.Task) TaskFunc, cfg *execConfig, rep *Report) (error, bool) {
+	global *lazyGlobal, body func(t *graph.Task) TaskFunc, cfg *execConfig, rep *Report) (error, bool) {
 
 	ls := sched.Layers[li]
 	lo, hi := ls.RankRange(gi)
 	for _, id := range ls.Groups[gi] {
-		for _, src := range sched.SourceTasks(id) {
-			t := sched.Source.Task(src)
-			fn := body(t)
-			if fn == nil {
-				return fmt.Errorf("runtime: no body for task %q", t.Name), false
+		if err, exhausted := runScheduledTask(ctx, w, sched, li, gi, lo, hi, id, global, body, cfg, rep); err != nil {
+			return err, exhausted
+		}
+	}
+	return nil, false
+}
+
+// runScheduledTask runs one scheduled task (expanding a contracted chain
+// back to its source tasks) on the rank interval [lo, hi), with the
+// policy's full retry loop around each source task. It is the shared
+// execution unit of the layered executor (which walks a group's task queue
+// sequentially) and the wavefront dispatcher (which launches it the moment
+// the task's dependences are satisfied). The second result reports whether
+// a failure exhausted the retry budget — the degrade-and-replan trigger
+// that costs the group its cores.
+func runScheduledTask(ctx context.Context, w *World, sched *core.Schedule, li int, gi core.GroupID,
+	lo, hi int, id graph.TaskID, global *lazyGlobal, body func(t *graph.Task) TaskFunc,
+	cfg *execConfig, rep *Report) (error, bool) {
+
+	for _, src := range sched.SourceTasks(id) {
+		t := sched.Source.Task(src)
+		fn := body(t)
+		if fn == nil {
+			return fmt.Errorf("runtime: no body for task %q", t.Name), false
+		}
+		retries := 0
+		for {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("runtime: task %q: %w", t.Name, err), false
 			}
-			retries := 0
-			for {
-				if err := ctx.Err(); err != nil {
-					return fmt.Errorf("runtime: task %q: %w", t.Name, err), false
+			attempt := rep.startAttempt(t.Name)
+			tstart := rep.since()
+			aerr := runAttempt(ctx, w, t, fn, attempt, li, gi, lo, hi, global, cfg, rep)
+			if aerr == nil {
+				rep.addSpan(t.Name, li, int(gi), hi-lo, tstart, rep.since())
+				break
+			}
+			rep.failed(t.Name)
+			if ctx.Err() != nil {
+				// Layer timeout or caller cancellation: not a core
+				// failure, do not escalate to degrade-and-replan.
+				return fmt.Errorf("runtime: task %q: %w", t.Name, aerr), false
+			}
+			if errors.Is(aerr, ErrGlobalInWavefront) {
+				// A body touched TaskCtx.Global under the wavefront
+				// dispatcher: a programming error, not a fault — fail fast
+				// without retries or core-loss escalation.
+				return fmt.Errorf("runtime: task %q: %w", t.Name, aerr), false
+			}
+			if !cfg.policy.Retryable(aerr) || retries >= cfg.policy.MaxRetries {
+				if cfg.policy.OnExhausted != nil {
+					cfg.policy.OnExhausted(t.Name, attempt, aerr)
 				}
-				attempt := rep.startAttempt(t.Name)
-				aerr := runAttempt(ctx, w, t, fn, attempt, li, gi, lo, hi, global, cfg, rep)
-				if aerr == nil {
-					break
-				}
-				rep.failed(t.Name)
-				if ctx.Err() != nil {
-					// Layer timeout or caller cancellation: not a core
-					// failure, do not escalate to degrade-and-replan.
-					return fmt.Errorf("runtime: task %q: %w", t.Name, aerr), false
-				}
-				if !cfg.policy.Retryable(aerr) || retries >= cfg.policy.MaxRetries {
-					if cfg.policy.OnExhausted != nil {
-						cfg.policy.OnExhausted(t.Name, attempt, aerr)
-					}
-					return fmt.Errorf("runtime: task %q failed after %d attempt(s): %w", t.Name, attempt, aerr), true
-				}
-				retries++
-				rep.retried(t.Name)
-				if d := cfg.policy.Backoff(t.Name, retries); d > 0 {
-					timer := time.NewTimer(d)
-					select {
-					case <-timer.C:
-					case <-ctx.Done():
-						timer.Stop()
-					}
+				return fmt.Errorf("runtime: task %q failed after %d attempt(s): %w", t.Name, attempt, aerr), true
+			}
+			retries++
+			rep.retried(t.Name)
+			if d := cfg.policy.Backoff(t.Name, retries); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
 				}
 			}
 		}
@@ -345,7 +391,7 @@ func runGroup(ctx context.Context, w *World, sched *core.Schedule, li int, gi co
 // attempt still does not settle within the abandon grace, its goroutines
 // are abandoned (their errors are no longer read — no data race).
 func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, attempt, li int,
-	gi core.GroupID, lo, hi int, global *commShared, cfg *execConfig, rep *Report) error {
+	gi core.GroupID, lo, hi int, global *lazyGlobal, cfg *execConfig, rep *Report) error {
 
 	size := hi - lo
 	ranks := make([]int, size)
@@ -403,7 +449,7 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 				}
 				errs[r] = fn(&TaskCtx{
 					Group:      &Comm{shared: gsh, rank: r},
-					Global:     &Comm{shared: global, rank: lo + r},
+					Global:     &Comm{lazy: global, rank: lo + r},
 					Task:       t,
 					Layer:      li,
 					GroupIndex: int(gi),

@@ -43,7 +43,33 @@ type Report struct {
 
 	// Wall is the wall-clock duration of the execution.
 	Wall time.Duration
+
+	// Spans records one entry per successful task attempt, in completion
+	// order; timestamps are offsets from the start of the execution. Use
+	// Timeline for a copy sorted by start time.
+	Spans []TaskSpan
+
+	// P is the symbolic core count of the initial schedule (the
+	// denominator of Utilization).
+	P int
+
+	// epoch is the wall-clock instant offsets are measured from.
+	epoch time.Time
 }
+
+// TaskSpan is the timeline entry of one successful task attempt: which
+// task ran where, and when. Start and End are offsets from the beginning
+// of the execution, so spans from one Report are directly comparable.
+type TaskSpan struct {
+	Name       string
+	Layer      int
+	Group      int
+	Cores      int
+	Start, End time.Duration
+}
+
+// Duration returns the span's elapsed time.
+func (s TaskSpan) Duration() time.Duration { return s.End - s.Start }
 
 // NewReport returns an empty report.
 func NewReport() *Report {
@@ -114,6 +140,71 @@ func (r *Report) layerDone() {
 	r.mu.Unlock()
 }
 
+// begin anchors the report's timeline epoch and records the symbolic core
+// count; the executor calls it once before the first layer.
+func (r *Report) begin(p int) {
+	r.mu.Lock()
+	r.P = p
+	r.epoch = time.Now()
+	r.mu.Unlock()
+}
+
+// since returns the current offset from the timeline epoch.
+func (r *Report) since() time.Duration {
+	r.mu.Lock()
+	e := r.epoch
+	r.mu.Unlock()
+	if e.IsZero() {
+		return 0
+	}
+	return time.Since(e)
+}
+
+// addSpan records the timeline entry of a successful attempt.
+func (r *Report) addSpan(name string, layer, group, cores int, start, end time.Duration) {
+	r.mu.Lock()
+	r.Spans = append(r.Spans, TaskSpan{Name: name, Layer: layer, Group: group, Cores: cores, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// Timeline returns a copy of the per-task spans sorted by start time
+// (ties by name). In layered mode the starts of a layer cluster behind the
+// previous layer's join; in wavefront mode a task starts as soon as its
+// dependences allow, which is where the idle-time win comes from.
+func (r *Report) Timeline() []TaskSpan {
+	r.mu.Lock()
+	spans := append([]TaskSpan(nil), r.Spans...)
+	r.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	return spans
+}
+
+// Utilization summarises the timeline: busy is the core-time spent inside
+// successful task attempts (span duration × group cores), idle is the rest
+// of the P×Wall core-time budget, and frac is busy's share of it. A lower
+// idle share on the same program is the direct measure of what wavefront
+// execution recovers from the layer barriers.
+func (r *Report) Utilization() (busy, idle time.Duration, frac float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.Spans {
+		busy += time.Duration(s.Cores) * (s.End - s.Start)
+	}
+	total := time.Duration(r.P) * r.Wall
+	if total > busy {
+		idle = total - busy
+	}
+	if total > 0 {
+		frac = float64(busy) / float64(total)
+	}
+	return busy, idle, frac
+}
+
 // Task returns a copy of the named task's history (zero value if the task
 // never ran).
 func (r *Report) Task(name string) TaskReport {
@@ -133,6 +224,20 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "execution report: %d tasks, %d layers done, %d retries, %d recovered panics, %d replans (%d cores lost), wall %v\n",
 		len(r.Tasks), r.Layers, r.Retries, r.Panics, r.Replans, r.LostCores, r.Wall.Round(time.Microsecond))
+	if r.P > 0 && r.Wall > 0 && len(r.Spans) > 0 {
+		var busy time.Duration
+		for _, s := range r.Spans {
+			busy += time.Duration(s.Cores) * (s.End - s.Start)
+		}
+		total := time.Duration(r.P) * r.Wall
+		idle := time.Duration(0)
+		if total > busy {
+			idle = total - busy
+		}
+		fmt.Fprintf(&b, "  core-time: busy %v, idle %v of %v (%.1f%% utilized)\n",
+			busy.Round(time.Microsecond), idle.Round(time.Microsecond), total.Round(time.Microsecond),
+			100*float64(busy)/float64(total))
+	}
 	names := make([]string, 0, len(r.Tasks))
 	for name, tr := range r.Tasks {
 		if tr.Attempts > 1 || tr.Panics > 0 {

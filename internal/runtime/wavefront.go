@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mtask/internal/core"
+	"mtask/internal/graph"
+)
+
+// WithWavefront switches ExecuteCtx / ExecuteHierarchicalCtx from
+// layer-synchronous execution to dependence-driven (wavefront) execution.
+//
+// The layered executor joins every group of a layer before any task of the
+// next layer may start, so one slow group idles all P cores even when
+// successor tasks' inputs are complete and their ranks are free. The layer
+// barrier is a scheduling artifact, not a data dependence: the wavefront
+// dispatcher launches a task as soon as (a) all of its predecessors in the
+// scheduled graph have completed and (b) every symbolic rank of its
+// group's interval has been released by its prior-layer occupant (the
+// precomputed core.PrecedenceOf metadata encodes both conditions as one
+// counter per task). Results are bitwise identical to the layered
+// executor: the same task bodies run on the same group intervals with the
+// same group collectives; only the launch times change.
+//
+// Per-task fault handling is unchanged — retries with backoff, panic
+// isolation, per-attempt timeouts and abort poisoning all run through the
+// same attempt loop as the layered mode. Two differences follow from the
+// missing layer scope:
+//
+//   - TaskCtx.Global is rejected: without a global layer join there is no
+//     epoch at which all P cores are in the same layer, so any global
+//     collective would deadlock or mix layers. Bodies touching Global fail
+//     with an error matching ErrGlobalInWavefront (no retries).
+//   - fault.Policy.LayerTimeout is ignored: there is no per-layer scope to
+//     attach the deadline to. TaskTimeout still applies per attempt.
+//
+// Degrade-and-replan keeps its checkpoint semantics: on an exhausted
+// failure the dispatcher stops launching, drains the in-flight frontier,
+// and reports the completed-layer prefix as the resume point — exactly the
+// last completed layer barrier of the layered mode, so core.SameLayering
+// replans resume identically. Bodies must be idempotent (as in layered
+// mode): a task past the checkpoint may have completed during the drain
+// and will run again after the replan.
+func WithWavefront() ExecOption {
+	return func(c *execConfig) { c.wavefront = true }
+}
+
+// ErrGlobalInWavefront is matched (via errors.Is) by the failure of any
+// task body that touches TaskCtx.Global under the wavefront dispatcher.
+var ErrGlobalInWavefront = errors.New("runtime: TaskCtx.Global is not available in wavefront mode (no layer-synchronous epoch); use WithWavefront only with group-collective bodies")
+
+// runWavefrontPass executes every layer from `from` on with the
+// dependence-driven dispatcher: one coordinator goroutine per launched
+// task, a completion event decrements the dependence counters of the
+// task's successors, and a task whose counter reaches zero launches
+// immediately — no global layer join. Per-rank occupancy chains guarantee
+// at most one in-flight task per symbolic rank, so at most P rank
+// goroutines run at any moment, as in the layered mode.
+//
+// The returned `done` is the completed-layer prefix (every task of layers
+// [0, done) has completed): the checkpoint a degrade-and-replan resumes
+// from. On failure the dispatcher stops launching, drains the in-flight
+// frontier (completions during the drain still advance the checkpoint),
+// and reports the distinct symbolic cores of retry-exhausted groups as
+// failedCores.
+func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from int,
+	body func(t *graph.Task) TaskFunc, cfg *execConfig, rep *Report) (done int, err error, failedCores int) {
+
+	prec, perr := core.PrecedenceOf(sched)
+	if perr != nil {
+		return from, fmt.Errorf("runtime: wavefront: %w", perr), 0
+	}
+
+	// The global communicator is born poisoned: the first collective on it
+	// panics with an *AbortError whose cause is ErrGlobalInWavefront, which
+	// the attempt loop converts into a fail-fast typed error. Stats are nil
+	// so the doomed call is not counted as a real collective.
+	global := newLazyGlobal(Global, identityRanks(sched.P), nil)
+	global.abort(ErrGlobalInWavefront)
+
+	type result struct {
+		id        graph.TaskID
+		err       error
+		exhausted bool
+	}
+	results := make(chan result)
+
+	// Seed the dependence counters. Layers before `from` are the completed
+	// checkpoint of a previous pass (or replan): their tasks do not run
+	// again and their outgoing dependences count as satisfied.
+	remaining := make([]int, len(prec.Tasks))
+	layerLeft := make([]int, len(sched.Layers))
+	var ready []graph.TaskID
+	for _, id := range prec.Scheduled {
+		td := prec.Tasks[id]
+		if td.Layer < from {
+			continue
+		}
+		layerLeft[td.Layer]++
+		n := 0
+		for _, d := range td.Deps {
+			if prec.Tasks[d].Layer >= from {
+				n++
+			}
+		}
+		remaining[id] = n
+		if n == 0 {
+			ready = append(ready, id)
+		}
+	}
+
+	launch := func(id graph.TaskID) {
+		td := prec.Tasks[id]
+		ls := sched.Layers[td.Layer]
+		lo, hi := ls.RankRange(td.Group)
+		go func() {
+			e, ex := runScheduledTask(ctx, w, sched, td.Layer, td.Group, lo, hi, id, global, body, cfg, rep)
+			results <- result{id: id, err: e, exhausted: ex}
+		}()
+	}
+
+	done = from
+	for done < len(layerLeft) && layerLeft[done] == 0 {
+		rep.layerDone()
+		done++
+	}
+
+	var errs []error
+	lostRanks := make(map[int]bool)
+	failing := false
+	inflight := 0
+	for {
+		if !failing {
+			for _, id := range ready {
+				launch(id)
+				inflight++
+			}
+		}
+		ready = ready[:0]
+		if inflight == 0 {
+			break
+		}
+		r := <-results
+		inflight--
+		td := prec.Tasks[r.id]
+		if r.err != nil {
+			failing = true
+			errs = append(errs, fmt.Errorf("layer %d group %d: %w", td.Layer, td.Group, r.err))
+			if r.exhausted {
+				// The union of exhausted groups' rank intervals: concurrent
+				// failures in different layers may claim overlapping ranks,
+				// and a symbolic core is only lost once.
+				ls := sched.Layers[td.Layer]
+				lo, hi := ls.RankRange(td.Group)
+				for rank := lo; rank < hi; rank++ {
+					lostRanks[rank] = true
+				}
+			}
+			continue
+		}
+		layerLeft[td.Layer]--
+		for done < len(layerLeft) && layerLeft[done] == 0 {
+			rep.layerDone()
+			done++
+		}
+		for _, su := range td.Succs {
+			remaining[su]--
+			if remaining[su] == 0 {
+				ready = append(ready, su)
+			}
+		}
+	}
+
+	if len(errs) == 0 && done != len(sched.Layers) {
+		// Cannot happen for a valid schedule (PrecedenceOf proves the
+		// dependences acyclic), but a stall must be an error, not a silent
+		// partial result.
+		return done, fmt.Errorf("runtime: wavefront stalled after layer %d of %d (internal error)", done, len(sched.Layers)), 0
+	}
+	return done, errors.Join(errs...), len(lostRanks)
+}

@@ -337,6 +337,30 @@ func WithFaultInjector(in *FaultInjector) ExecOption { return runtime.WithInject
 // WithReplanner installs the degrade-and-replan callback.
 func WithReplanner(r Replanner) ExecOption { return runtime.WithReplanner(r) }
 
+// WithWavefront switches ExecuteCtx from layer-synchronous execution to
+// dependence-driven (wavefront) execution: a task launches as soon as its
+// graph predecessors completed and its group's cores were released by
+// their prior-layer occupants, with no global layer join. Results are
+// bitwise identical to the layered mode; bodies must not use
+// TaskCtx.Global (rejected with an error matching ErrGlobalInWavefront).
+func WithWavefront() ExecOption { return runtime.WithWavefront() }
+
+// ErrGlobalInWavefront marks a task body that touched TaskCtx.Global
+// under WithWavefront.
+var ErrGlobalInWavefront = runtime.ErrGlobalInWavefront
+
+// TaskSpan is one Report timeline entry: which task ran on which layer,
+// group and core count, and when (offsets from the start of execution).
+type TaskSpan = runtime.TaskSpan
+
+// Precedence is the precomputed dependence metadata of a schedule (the
+// wavefront executor's launch conditions); see PrecedenceOf.
+type Precedence = core.Precedence
+
+// PrecedenceOf derives per-task predecessor sets and per-rank occupancy
+// chains from a layered schedule.
+func PrecedenceOf(s *Schedule) (*Precedence, error) { return core.PrecedenceOf(s) }
+
 // ExecuteCtx is the fault-tolerant Execute: it recovers panics in task
 // bodies into errors (with stack capture), aborts group communicators of
 // failed tasks so peers cannot deadlock in collectives, enforces the
