@@ -26,6 +26,7 @@ import (
 	"mtask"
 	"mtask/internal/bench"
 	"mtask/internal/graph"
+	"mtask/internal/obs"
 	"mtask/internal/ode"
 	mrt "mtask/internal/runtime"
 )
@@ -59,11 +60,12 @@ func main() {
 	wfLayers := flag.Int("wf-layers", 8, "exec -wavefront: layers of the imbalanced schedule")
 	wfSlow := flag.Duration("wf-slow", 4*time.Millisecond, "exec -wavefront: sleep of the slow task per layer")
 	wfFast := flag.Duration("wf-fast", 500*time.Microsecond, "exec -wavefront: sleep of the fast task per layer")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (Perfetto-loadable) of the run; supported with -exec -wavefront and -plan")
 	flag.Parse()
 
 	if *execMode {
 		if *wavefront {
-			if err := runExecWavefront(*wfLayers, *wfSlow, *wfFast); err != nil {
+			if err := runExecWavefront(*wfLayers, *wfSlow, *wfFast, *traceOut); err != nil {
 				fmt.Fprintf(os.Stderr, "mtaskbench: exec -wavefront: %v\n", err)
 				os.Exit(1)
 			}
@@ -85,7 +87,7 @@ func main() {
 	}
 
 	if *planSolver != "" {
-		if err := runPlan(*planSolver, *cores, *n, *steps, *strategy, *parallel, *repeat, *nocache, *timeout); err != nil {
+		if err := runPlan(*planSolver, *cores, *n, *steps, *strategy, *parallel, *repeat, *nocache, *timeout, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mtaskbench: plan: %v\n", err)
 			os.Exit(1)
 		}
@@ -210,23 +212,27 @@ func runExec(iters int) error {
 	return nil
 }
 
-// runExecWavefront runs the imbalanced workload (two chains, one slow and
-// one fast task per layer with the slow side alternating) once under the
-// layer-synchronous executor and once under the wavefront dispatcher, and
-// reports wall time, core utilization and the speedup. The expected ratio
-// is layers×slow vs layers×(slow+fast)/2, i.e. up to 2× for slow ≫ fast;
-// the win is recovered barrier waiting time, so it holds on a single-CPU
-// host. Exits non-zero if both runs do not complete all layers.
-func runExecWavefront(layers int, slow, fast time.Duration) error {
+// runExecWavefront runs the imbalanced workload (two chains of 2-rank
+// group tasks, one slow and one fast task per layer with the slow side
+// alternating) once under the layer-synchronous executor and once under
+// the wavefront dispatcher, and reports wall time, core utilization and
+// the speedup. The expected ratio is layers×slow vs layers×(slow+fast)/2,
+// i.e. up to 2× for slow ≫ fast; the win is recovered barrier waiting
+// time, so it holds on a single-CPU host. With traceOut set, both runs
+// record into per-mode trace recorders (task spans, barrier-wait spans,
+// per-rank collective counters) exported together as one Chrome trace.
+// Exits non-zero if both runs do not complete all layers.
+func runExecWavefront(layers int, slow, fast time.Duration, traceOut string) error {
 	if layers < 1 {
 		return fmt.Errorf("-wf-layers %d out of range", layers)
 	}
-	const p = 2
+	const p = 4
 	sched := mrt.ImbalancedWorkload(p, layers)
 	body := mrt.ImbalancedBody(slow, fast)
 	fmt.Printf("imbalanced workload: %d layers x {slow %v, fast %v}, P=%d, GOMAXPROCS=%d\n\n",
 		layers, slow, fast, p, stdruntime.GOMAXPROCS(0))
 
+	var recs []*obs.Recorder
 	var walls [2]time.Duration
 	for i, mode := range []struct {
 		name string
@@ -239,7 +245,13 @@ func runExecWavefront(layers int, slow, fast time.Duration) error {
 		if err != nil {
 			return err
 		}
-		rep, err := mrt.ExecuteCtx(context.Background(), w, sched, body, mode.opts...)
+		opts := mode.opts
+		if traceOut != "" {
+			rec := obs.New(p, obs.WithName(mode.name))
+			recs = append(recs, rec)
+			opts = append(opts, mrt.WithRecorder(rec))
+		}
+		rep, err := mrt.ExecuteCtx(context.Background(), w, sched, body, opts...)
 		if err != nil {
 			return fmt.Errorf("%s execution failed: %w\n%s", mode.name, err, rep)
 		}
@@ -255,6 +267,18 @@ func runExecWavefront(layers int, slow, fast time.Duration) error {
 	fmt.Printf("\nspeedup: %.2fx (layered %v -> wavefront %v)\n",
 		float64(walls[0])/float64(walls[1]),
 		walls[0].Round(time.Microsecond), walls[1].Round(time.Microsecond))
+	if traceOut != "" {
+		if err := obs.WriteChromeFile(traceOut, recs...); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		var events, drops int64
+		for _, rec := range recs {
+			m := rec.Metrics()
+			events += m["obs.events"]
+			drops += m["obs.drops"]
+		}
+		fmt.Printf("trace: wrote %s (%d events, %d dropped)\n", traceOut, events, drops)
+	}
 	return nil
 }
 
@@ -362,8 +386,10 @@ func parseKill(s string) (task string, attempt int, err error) {
 
 // runPlan drives the Planner engine once cold and `repeat` times warm,
 // reporting per-request latency, the schedule shape and the simulated
-// makespan.
-func runPlan(solver string, cores, n, steps int, strategy string, parallel, repeat int, nocache bool, timeout time.Duration) error {
+// makespan. With traceOut set, planner activity (per-layer g-search
+// spans, cache hit instants, cost-model memo counters) is exported as a
+// Chrome trace.
+func runPlan(solver string, cores, n, steps int, strategy string, parallel, repeat int, nocache bool, timeout time.Duration, traceOut string) error {
 	g, err := solverGraph(solver, n, steps)
 	if err != nil {
 		return err
@@ -393,6 +419,11 @@ func runPlan(solver string, cores, n, steps int, strategy string, parallel, repe
 	if nocache {
 		opts = append(opts, mtask.WithoutCache())
 	}
+	var rec *obs.Recorder
+	if traceOut != "" {
+		rec = obs.New(0, obs.WithName("planner"))
+		opts = append(opts, mtask.WithPlanTrace(rec))
+	}
 
 	var mp *mtask.Mapping
 	for i := 0; i <= repeat; i++ {
@@ -415,5 +446,11 @@ func runPlan(solver string, cores, n, steps int, strategy string, parallel, repe
 		return err
 	}
 	fmt.Printf("%s\npredicted makespan: %.6gs\n", mtask.Describe(mp), res.Makespan)
+	if traceOut != "" {
+		if err := obs.WriteChromeFile(traceOut, rec); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace: wrote %s (%d events)\n", traceOut, rec.Metrics()["obs.events"])
+	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"mtask/internal/obs"
 	"mtask/internal/ode"
 	"mtask/internal/runtime"
 )
@@ -28,6 +29,7 @@ func main() {
 	h := flag.Float64("h", 0.01, "step size")
 	stages := flag.Int("k", 4, "stages / approximations (K or R)")
 	iters := flag.Int("m", 2, "fixed-point / corrector iterations")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (Perfetto-loadable) of both solver runs")
 	flag.Parse()
 
 	var sys ode.System
@@ -46,6 +48,7 @@ func main() {
 
 	reference := sequential(*method, sys, *stages, *iters, *h, *steps)
 
+	var recs []*obs.Recorder
 	for _, version := range []struct {
 		name   string
 		groups int
@@ -56,6 +59,10 @@ func main() {
 		w, err := runtime.NewWorld(*cores)
 		if err != nil {
 			fatal(err)
+		}
+		if *traceOut != "" {
+			w.Trace = obs.New(*cores, obs.WithName(version.name))
+			recs = append(recs, w.Trace)
 		}
 		opts := ode.RunOpts{Groups: version.groups, Steps: *steps, H: *h}
 		start := time.Now()
@@ -88,6 +95,12 @@ func main() {
 				}
 			}
 		}
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeFile(*traceOut, recs...); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		fmt.Printf("\ntrace: wrote %s\n", *traceOut)
 	}
 }
 

@@ -1,0 +1,126 @@
+package mtask_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"mtask"
+)
+
+// forkJoin builds a small fork-join M-task graph: a splitter feeding two
+// parallel workers, joined at the end.
+func forkJoin() *mtask.Graph {
+	g := mtask.NewGraph("forkjoin")
+	src := g.AddTask(&mtask.Task{Name: "split", Work: 1e8, OutBytes: 1 << 16})
+	var workers []mtask.TaskID
+	for i := 0; i < 2; i++ {
+		id := g.AddTask(&mtask.Task{
+			Name: fmt.Sprintf("worker%d", i),
+			Work: 4e8, CommBytes: 1 << 18, CommCount: 8, OutBytes: 1 << 16,
+		})
+		g.MustEdge(src, id, 1<<16)
+		workers = append(workers, id)
+	}
+	join := g.AddTask(&mtask.Task{Name: "join", Work: 1e8})
+	for _, id := range workers {
+		g.MustEdge(id, join, 1<<16)
+	}
+	return g
+}
+
+// ExamplePlan runs the combined scheduling and mapping algorithm on a
+// fork-join graph over 2 nodes (8 cores) of the CHiC cluster.
+func ExamplePlan() {
+	g := forkJoin()
+	machine := mtask.CHiC().Subset(2)
+
+	mp, err := mtask.Plan(context.Background(), g, machine)
+	if err != nil {
+		fmt.Println("plan failed:", err)
+		return
+	}
+	fmt.Println(mtask.Describe(mp))
+	fmt.Printf("layers: %d, cores: %d\n", len(mp.Schedule.Layers), mp.Schedule.P)
+	// Output:
+	// "forkjoin" on CHiC[2 nodes] (8 cores, 3 layers, consecutive mapping)
+	// layers: 3, cores: 8
+}
+
+// ExampleWithWavefront executes a planned schedule under the wavefront
+// dispatcher, which releases each task as soon as its predecessors
+// finish instead of synchronizing whole layers.
+func ExampleWithWavefront() {
+	g := forkJoin()
+	machine := mtask.CHiC().Subset(2)
+	mp, err := mtask.Plan(context.Background(), g, machine)
+	if err != nil {
+		fmt.Println("plan failed:", err)
+		return
+	}
+	w, err := mtask.NewWorld(mp.Schedule.P)
+	if err != nil {
+		fmt.Println("world failed:", err)
+		return
+	}
+	body := func(t *mtask.Task) mtask.TaskFunc {
+		return func(ctx *mtask.TaskCtx) error {
+			ctx.Group.Barrier() // group-collective work goes here
+			return nil
+		}
+	}
+	rep, err := mtask.ExecuteCtx(context.Background(), w, mp.Schedule, body,
+		mtask.WithWavefront())
+	if err != nil {
+		fmt.Println("execution failed:", err)
+		return
+	}
+	fmt.Printf("completed %d layers on %d cores\n", rep.Layers, rep.P)
+	// Output:
+	// completed 3 layers on 8 cores
+}
+
+// ExampleWithTrace records a run into a TraceRecorder and inspects the
+// captured task spans and metrics. WriteChromeTrace exports the same
+// recorder as a Chrome trace_event file loadable in Perfetto.
+func ExampleWithTrace() {
+	g := forkJoin()
+	machine := mtask.CHiC().Subset(2)
+	mp, err := mtask.Plan(context.Background(), g, machine)
+	if err != nil {
+		fmt.Println("plan failed:", err)
+		return
+	}
+	w, err := mtask.NewWorld(mp.Schedule.P)
+	if err != nil {
+		fmt.Println("world failed:", err)
+		return
+	}
+	body := func(t *mtask.Task) mtask.TaskFunc {
+		return func(ctx *mtask.TaskCtx) error { return nil }
+	}
+
+	rec := mtask.NewTraceRecorder(mp.Schedule.P, mtask.WithTraceName("example"))
+	if _, err := mtask.ExecuteCtx(context.Background(), w, mp.Schedule, body,
+		mtask.WithTrace(rec)); err != nil {
+		fmt.Println("execution failed:", err)
+		return
+	}
+
+	// Every rank runs one task per layer, so the trace holds one "task"
+	// span per (rank, layer) pair.
+	var spans int
+	for rank := 0; rank < rec.Ranks(); rank++ {
+		for _, ev := range rec.RankEvents(rank) {
+			if ev.Cat == "task" {
+				spans++
+			}
+		}
+	}
+	fmt.Printf("task spans: %d, drops: %d\n", spans, rec.Drops())
+	if err := mtask.WriteChromeTrace(io.Discard, rec); err != nil {
+		fmt.Println("export failed:", err)
+	}
+	// Output:
+	// task spans: 24, drops: 0
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,9 +34,10 @@ func main() {
 
 	// Combined scheduling and mapping on 16 nodes (64 cores) of the
 	// CHiC cluster with a consecutive mapping.
+	ctx := context.Background()
 	machine := mtask.CHiC().Subset(16)
 	for _, strat := range []mtask.Strategy{mtask.Consecutive{}, mtask.Scattered{}} {
-		mp, err := mtask.ScheduleAndMap(g, machine, strat)
+		mp, err := mtask.Plan(ctx, g, machine, mtask.WithStrategy(strat))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +51,7 @@ func main() {
 
 	// Execute the schedule for real with goroutines: the scheduler's
 	// groups become goroutine teams with collective communication.
-	mp, err := mtask.ScheduleAndMap(g, machine, mtask.Consecutive{})
+	mp, err := mtask.Plan(ctx, g, machine, mtask.WithStrategy(mtask.Consecutive{}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,33 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mtask/internal/obs"
+)
+
+// Render renders the schedule as a text Gantt chart, one line per timed
+// task (start/stop markers omitted), using the shared obs renderer so
+// baseline schedules, simulated cluster runs and execution traces all
+// read the same way.
+func (s *Gantt) Render(width int) string {
+	var rows []obs.Row
+	for _, e := range s.Entries {
+		if e.Finish <= e.Start {
+			continue
+		}
+		name := s.Graph.Task(e.Task).Name
+		if name == "" {
+			name = fmt.Sprintf("task %d", e.Task)
+		}
+		rows = append(rows, obs.Row{
+			Name:   name,
+			Start:  e.Start,
+			End:    e.Finish,
+			Detail: fmt.Sprintf("(%d cores)", len(e.Cores)),
+		})
+	}
+	head := fmt.Sprintf("baseline gantt: makespan %.4g s, %d timed tasks on %d cores\n",
+		s.Makespan, len(rows), s.P)
+	return head + obs.RenderRows(rows, width, s.Makespan)
+}

@@ -2,67 +2,28 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+
+	"mtask/internal/obs"
 )
 
 // RenderGantt renders a simulated program as a text Gantt chart: one line
 // per task (in start order, zero-duration structural tasks omitted) with a
 // bar spanning its simulated execution window scaled to the given width.
+// The rendering is shared with baseline.Gantt.Render and the execution
+// tracer's obs.Recorder.Gantt.
 func RenderGantt(p *Program, r *Result, width int) string {
-	if width < 10 {
-		width = 10
-	}
-	type row struct {
-		name          string
-		start, finish float64
-		cores         int
-	}
-	var rows []row
+	var rows []obs.Row
 	for i, t := range p.Tasks {
 		if r.Finish[i] <= r.Start[i] {
 			continue // structural barrier/no-op
 		}
-		rows = append(rows, row{
-			name:   t.Name,
-			start:  r.Start[i],
-			finish: r.Finish[i],
-			cores:  len(effectiveCores(&p.Tasks[i])),
+		rows = append(rows, obs.Row{
+			Name:   t.Name,
+			Start:  r.Start[i],
+			End:    r.Finish[i],
+			Detail: fmt.Sprintf("(%d cores)", len(effectiveCores(&p.Tasks[i]))),
 		})
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].start != rows[j].start {
-			return rows[i].start < rows[j].start
-		}
-		return rows[i].name < rows[j].name
-	})
-	nameW := 8
-	for _, rw := range rows {
-		if len(rw.name) > nameW {
-			nameW = len(rw.name)
-		}
-	}
-	if nameW > 32 {
-		nameW = 32
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "gantt of %q: makespan %.4g s, %d timed tasks\n", p.Name, r.Makespan, len(rows))
-	scale := float64(width) / r.Makespan
-	for _, rw := range rows {
-		name := rw.name
-		if len(name) > nameW {
-			name = name[:nameW]
-		}
-		lo := int(rw.start * scale)
-		hi := int(rw.finish * scale)
-		if hi <= lo {
-			hi = lo + 1
-		}
-		if hi > width {
-			hi = width
-		}
-		bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", width-hi)
-		fmt.Fprintf(&b, "%-*s |%s| %8.4g..%-8.4g (%d cores)\n", nameW, name, bar, rw.start, rw.finish, rw.cores)
-	}
-	return b.String()
+	head := fmt.Sprintf("gantt of %q: makespan %.4g s, %d timed tasks\n", p.Name, r.Makespan, len(rows))
+	return head + obs.RenderRows(rows, width, r.Makespan)
 }

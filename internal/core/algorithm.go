@@ -11,6 +11,7 @@ import (
 
 	"mtask/internal/cost"
 	"mtask/internal/graph"
+	"mtask/internal/obs"
 )
 
 // Scheduler runs the layer-based scheduling algorithm (Algorithm 1). The
@@ -48,6 +49,14 @@ type Scheduler struct {
 	// RoundRobin replaces the LPT task-to-group assignment by a naive
 	// round-robin assignment.
 	RoundRobin bool
+
+	// Trace, when non-nil, records the g-search on the recorder's
+	// control track: one span per layer on the sequential path (the
+	// span's group field carries the chosen group count), one span for
+	// the whole search plus per-layer decision instants on the parallel
+	// path, and a "plan.candidates" counter of evaluated (layer, g)
+	// pairs. Tracing never alters scheduling decisions.
+	Trace *obs.Recorder
 }
 
 // Schedule computes a layered schedule of g on P symbolic cores.
@@ -103,7 +112,11 @@ func (s *Scheduler) scheduleLayersSequential(ctx context.Context, g *graph.Graph
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("scheduling %q: %w (%v)", g.Name, ErrCanceled, err)
 		}
+		start := s.Trace.Now()
 		out[li] = s.scheduleLayer(g, layer, P)
+		s.Trace.Span("g-search", "plan", obs.ControlRank, li, len(out[li].Groups), start, s.Trace.Now())
+		lo, hi := s.groupBounds(layer, P)
+		s.Trace.Counter("plan.candidates").Add(int64(hi - lo + 1))
 	}
 	return out, nil
 }
@@ -122,6 +135,7 @@ type searchItem struct {
 // smaller time wins, ties keep the smaller group count) so the result is
 // bit-identical to the sequential path.
 func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, layers []graph.Layer, P int) ([]*LayerSchedule, error) {
+	searchStart := s.Trace.Now()
 	lo := make([]int, len(layers))
 	candidates := make([][]*LayerSchedule, len(layers))
 	var items []searchItem
@@ -170,7 +184,13 @@ func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, 
 			}
 		}
 		out[li] = s.adjusted(g, bestLS, P)
+		if s.Trace != nil {
+			s.Trace.Instant(fmt.Sprintf("layer %d: %d groups", li, len(out[li].Groups)),
+				"plan", obs.ControlRank, s.Trace.Now())
+		}
 	}
+	s.Trace.Span("g-search-parallel", "plan", obs.ControlRank, -1, -1, searchStart, s.Trace.Now())
+	s.Trace.Counter("plan.candidates").Add(int64(len(items)))
 	return out, nil
 }
 

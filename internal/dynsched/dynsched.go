@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"mtask/internal/obs"
 	"mtask/internal/runtime"
 )
 
@@ -184,6 +185,14 @@ type Pool struct {
 	// the first RunAll / RunAllCtx call; the field is not synchronised.
 	Backfill bool
 
+	// Trace, when non-nil, records pool activity on the recorder's
+	// control track: an admission instant per task ("admit:<name>", or
+	// "backfill:<name>" for out-of-order picks), per-task execution
+	// spans, and counter samples of the pending-queue depth and free
+	// cores at every admission. Set before the first RunAll / RunAllCtx
+	// call; the field is not synchronised.
+	Trace *obs.Recorder
+
 	mu    sync.Mutex
 	cond  *sync.Cond
 	free  int
@@ -276,16 +285,31 @@ func (p *Pool) RunAllCtx(ctx context.Context, tasks []PoolTask) error {
 		t := ordered[pick]
 		need := p.clamp(t.Cores)
 		p.free -= need
+		freeNow := p.free
 		p.mu.Unlock()
 		ordered = append(ordered[:pick], ordered[pick+1:]...)
+		if p.Trace != nil {
+			now := p.Trace.Now()
+			kind := "admit:"
+			if pick > 0 {
+				kind = "backfill:"
+				p.Trace.Counter("dynsched.backfills").Add(1)
+			}
+			p.Trace.Instant(kind+t.Name, "dynsched", obs.ControlRank, now)
+			p.Trace.Counter("dynsched.admitted").Add(1)
+			p.Trace.CounterSample("dynsched.queue_depth", "dynsched", obs.ControlRank, now, float64(len(ordered)))
+			p.Trace.CounterSample("dynsched.free_cores", "dynsched", obs.ControlRank, now, float64(freeNow))
+		}
 
 		wg.Add(1)
 		go func(t PoolTask, need int) {
 			defer wg.Done()
+			tstart := p.Trace.Now()
 			w, err := runtime.NewWorld(need)
 			if err == nil {
 				err = w.RunCtx(ctx, t.Body)
 			}
+			p.Trace.Span(t.Name, "dynsched", obs.ControlRank, -1, -1, tstart, p.Trace.Now())
 			p.mu.Lock()
 			if err != nil && p.first == nil {
 				p.first = fmt.Errorf("dynsched: task %q: %w", t.Name, err)

@@ -239,10 +239,10 @@ func (g *Graph) TotalWork() float64 {
 // idHeap is a min-heap of task ids backing TopoOrder's ready queue.
 type idHeap struct{ ids []TaskID }
 
-func (h *idHeap) Len() int            { return len(h.ids) }
-func (h *idHeap) Less(i, j int) bool  { return h.ids[i] < h.ids[j] }
-func (h *idHeap) Swap(i, j int)       { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
-func (h *idHeap) Push(x interface{})  { h.ids = append(h.ids, x.(TaskID)) }
+func (h *idHeap) Len() int           { return len(h.ids) }
+func (h *idHeap) Less(i, j int) bool { return h.ids[i] < h.ids[j] }
+func (h *idHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *idHeap) Push(x interface{}) { h.ids = append(h.ids, x.(TaskID)) }
 func (h *idHeap) Pop() interface{} {
 	old := h.ids
 	n := len(old)

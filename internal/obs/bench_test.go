@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+// The emit-path microbenchmarks: Span is two clock reads plus one ring
+// reservation; the nil variants must compile to a handful of branches.
+
+func BenchmarkNow(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Now()
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	r := New(1, WithCapacity(1<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Span("task", "task", 0, 1, 0, int64(i), int64(i+1))
+	}
+}
+
+func BenchmarkCounterSample(b *testing.B) {
+	r := New(1, WithCapacity(1<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.CounterSample("group.barrier", "collective", 0, int64(i), float64(i))
+	}
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		r.Span("task", "task", 0, 1, 0, int64(i), int64(i+1))
+	}
+}
+
+func BenchmarkCounterRegistry(b *testing.B) {
+	r := New(1)
+	c := r.Counter("hits")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

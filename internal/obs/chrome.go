@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's
+// JSON-array flavour, loadable in chrome://tracing and Perfetto.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const usPerNs = 1e-3
+
+// ctlTid is the thread id used for the control track. Real ranks map to
+// tid = rank + 1 so the control track sorts first.
+const ctlTid = 0
+
+// WriteChrome writes the recorders' events as Chrome trace_event JSON
+// ({"traceEvents": [...]}). Each recorder becomes one process (pid),
+// named by metadata events; each rank becomes one thread within it.
+// Spans export as complete events (ph "X"), instants as ph "i", counter
+// samples as ph "C". Call only after the recorders have quiesced.
+func WriteChrome(w io.Writer, recs ...*Recorder) error {
+	var evs []chromeEvent
+	for pi, r := range recs {
+		if r == nil {
+			continue
+		}
+		pid := pi + 1
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: ctlTid,
+			Args: map[string]any{"name": r.Name()},
+		})
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: ctlTid,
+			Args: map[string]any{"name": "control"},
+		})
+		for rank := 0; rank < r.Ranks(); rank++ {
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: rank + 1,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+			})
+		}
+		for _, ev := range r.Events() {
+			evs = append(evs, toChrome(ev, pid))
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}
+
+// WriteChromeFile is WriteChrome to a freshly created file.
+func WriteChromeFile(path string, recs ...*Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, recs...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func toChrome(ev Event, pid int) chromeEvent {
+	tid := ctlTid
+	if ev.Rank >= 0 {
+		tid = int(ev.Rank) + 1
+	}
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Cat,
+		Ts:   float64(ev.Start) * usPerNs,
+		Pid:  pid,
+		Tid:  tid,
+	}
+	switch ev.Kind {
+	case KindSpan:
+		ce.Ph = "X"
+		ce.Dur = float64(ev.End-ev.Start) * usPerNs
+		if ev.Layer >= 0 || ev.Group >= 0 {
+			ce.Args = map[string]any{}
+			if ev.Layer >= 0 {
+				ce.Args["layer"] = ev.Layer
+			}
+			if ev.Group >= 0 {
+				ce.Args["group"] = ev.Group
+			}
+		}
+	case KindInstant:
+		ce.Ph = "i"
+		ce.S = "t" // thread-scoped instant
+	case KindCounter:
+		ce.Ph = "C"
+		ce.Args = map[string]any{"value": ev.Value}
+	}
+	return ce
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeGolden pins the Chrome trace_event encoding against a
+// golden file: metadata events name the process and threads, spans are
+// ph "X" complete events with microsecond ts/dur and layer/group args,
+// instants are thread-scoped ph "i", counters ph "C". Timestamps are
+// explicit, so the output is fully deterministic.
+func TestWriteChromeGolden(t *testing.T) {
+	r := New(2, WithName("golden"), WithCapacity(16))
+	r.Span("solve", "task", 0, 1, 0, 1000, 4000)
+	r.Span("barrier-wait", "barrier", 1, -1, -1, 2000, 3500)
+	r.Instant("retry:solve", "fault", ControlRank, 2500)
+	r.CounterSample("group.bcast", "collective", 1, 3000, 7)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	// Whatever the exact bytes, the envelope must parse as JSON.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("chrome export drifted from golden file\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWriteChromeNilAndMulti checks nil recorders are skipped and
+// multiple recorders export as distinct pids.
+func TestWriteChromeNilAndMulti(t *testing.T) {
+	a := New(1, WithName("a"))
+	b := New(1, WithName("b"))
+	a.Instant("x", "t", 0, 1)
+	b.Instant("y", "t", 0, 2)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range parsed.TraceEvents {
+		pids[ev.Pid] = true
+	}
+	if len(pids) != 2 {
+		t.Fatalf("pids = %v, want 2 distinct", pids)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one line of a text Gantt chart: a named bar from Start to End
+// (caller-defined units, typically seconds) with an optional trailing
+// detail such as "(4 cores)".
+type Row struct {
+	Name   string
+	Start  float64
+	End    float64
+	Detail string
+}
+
+// RenderRows renders rows as a text Gantt chart, one bar per row scaled
+// so that span (the makespan; the maximum row End when span <= 0) fills
+// width columns. Rows are sorted by start time, then name. This is the
+// shared renderer behind cluster.RenderGantt, baseline.Gantt.Render and
+// Recorder.Gantt.
+func RenderRows(rows []Row, width int, span float64) string {
+	if width < 10 {
+		width = 10
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Start != rows[j].Start {
+			return rows[i].Start < rows[j].Start
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if span <= 0 {
+		for _, rw := range rows {
+			if rw.End > span {
+				span = rw.End
+			}
+		}
+	}
+	nameW := 8
+	for _, rw := range rows {
+		if len(rw.Name) > nameW {
+			nameW = len(rw.Name)
+		}
+	}
+	if nameW > 32 {
+		nameW = 32
+	}
+	var b strings.Builder
+	scale := 0.0
+	if span > 0 {
+		scale = float64(width) / span
+	}
+	for _, rw := range rows {
+		name := rw.Name
+		if len(name) > nameW {
+			name = name[:nameW]
+		}
+		lo := int(rw.Start * scale)
+		hi := int(rw.End * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		if lo > width-1 {
+			lo = width - 1
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", width-hi)
+		fmt.Fprintf(&b, "%-*s |%s| %8.4g..%-8.4g", nameW, name, bar, rw.Start, rw.End)
+		if rw.Detail != "" {
+			fmt.Fprintf(&b, " %s", rw.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Gantt renders the recorder's task spans (category "task") as a text
+// Gantt chart, one row per recorded attempt labelled "name@rank", with
+// times in seconds since the recorder epoch. Call after quiescence.
+func (r *Recorder) Gantt(width int) string {
+	if r == nil {
+		return ""
+	}
+	var rows []Row
+	var span float64
+	for _, ev := range r.Events() {
+		if ev.Kind != KindSpan || ev.Cat != "task" {
+			continue
+		}
+		rw := Row{
+			Name:  fmt.Sprintf("%s@%d", ev.Name, ev.Rank),
+			Start: float64(ev.Start) * 1e-9,
+			End:   float64(ev.End) * 1e-9,
+		}
+		if ev.Layer >= 0 {
+			rw.Detail = fmt.Sprintf("(layer %d)", ev.Layer)
+		}
+		rows = append(rows, rw)
+		if rw.End > span {
+			span = rw.End
+		}
+	}
+	head := fmt.Sprintf("gantt of %q: %d task spans over %.4g s\n", r.Name(), len(rows), span)
+	return head + RenderRows(rows, width, span)
+}

@@ -1,0 +1,384 @@
+// Package obs is the unified observability layer: an allocation-conscious
+// event recorder with per-rank ring buffers, a named-counter metrics
+// registry, and exporters (Chrome trace_event JSON, text Gantt).
+//
+// The design follows the paper's evaluation methodology (Sections 4-5):
+// schedules are reasoned about via per-task timelines, group utilization,
+// and redistribution overhead. A Recorder captures exactly those signals
+// while the runtime executes:
+//
+//   - span events for task attempts (category "task") and barrier waits
+//     (category "barrier"), one timeline per symbolic core (rank);
+//   - instant events for faults, retries, replans, and scheduler
+//     decisions;
+//   - counter events for per-rank collective-operation counts and
+//     planner/cache statistics.
+//
+// # Hot-path discipline
+//
+// Recording must not perturb what it measures. Every emit path is
+// lock-free: a slot index is reserved with a single atomic add on the
+// rank's ring; events past the ring capacity are dropped (never
+// overwritten) and counted exactly in an atomic drop counter. A nil
+// *Recorder is a valid no-op recorder: every method has a nil-receiver
+// fast path, so call sites thread a possibly-nil pointer without
+// branching.
+//
+// Like runtime.Report, a Recorder is written concurrently during a run
+// and read afterwards: Events, Metrics, Gantt, and the exporters must
+// only be called once the recording goroutines have quiesced (after
+// Execute/Plan returns).
+//
+// # Clock
+//
+// Timestamps are nanoseconds since the recorder's epoch (construction
+// time), taken from Go's monotonic clock via time.Since. Now on a nil
+// recorder returns 0, so "start := rec.Now()" is safe unconditionally.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds.
+const (
+	KindSpan    uint8 = iota // duration event: [Start, End)
+	KindInstant              // point event at Start
+	KindCounter              // counter sample: Value at Start
+)
+
+// ControlRank is the pseudo-rank used for events that belong to the run
+// as a whole rather than to one symbolic core: planner spans, scheduler
+// decisions, admission events. They render as a separate "control"
+// track.
+const ControlRank = -1
+
+// Event is one recorded observation. Rank identifies the timeline
+// (ControlRank for run-level events); Layer and Group are -1 when not
+// applicable. Start and End are nanoseconds since the recorder epoch.
+type Event struct {
+	Name  string
+	Cat   string
+	Kind  uint8
+	Rank  int32
+	Layer int32
+	Group int32
+	Start int64
+	End   int64
+	Value float64
+}
+
+// Dur returns the span duration (zero for instants and counters).
+func (e Event) Dur() time.Duration { return time.Duration(e.End - e.Start) }
+
+// ring is a fixed-capacity, lock-free, drop-when-full event buffer.
+// Writers reserve a slot with one atomic add; the slot write itself is
+// unsynchronized and is published by the read-after-quiescence rule.
+// Rings of different ranks sit adjacent in the Recorder's slice, so the
+// struct is padded to its own cache lines — otherwise every rank's
+// atomic reservation would bounce one shared line between all cores.
+type ring struct {
+	next  atomic.Uint64
+	drops atomic.Uint64
+	buf   []Event
+	_     [88]byte
+}
+
+func (r *ring) emit(ev Event) {
+	i := r.next.Add(1) - 1
+	if i >= uint64(len(r.buf)) {
+		r.drops.Add(1)
+		return
+	}
+	r.buf[i] = ev
+}
+
+// len reports the number of events stored (capped at capacity).
+func (r *ring) len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(n)
+}
+
+// Counter is a monotonically updated named metric. The zero value is
+// unusable; obtain counters from Recorder.Counter. All methods are safe
+// for concurrent use; Add on a nil counter is a no-op so counters from a
+// nil recorder compose with the no-op fast path.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefaultCapacity is the per-rank ring capacity used when WithCapacity
+// is not given: 16384 events ≈ 1 MiB per rank.
+const DefaultCapacity = 1 << 14
+
+// Recorder collects events for one run. Construct with New; a nil
+// *Recorder is a valid recorder that records nothing.
+type Recorder struct {
+	name  string
+	epoch time.Time
+	ranks []ring // per-rank timelines
+	ctl   ring   // ControlRank / out-of-range timeline
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// Option configures a Recorder.
+type Option func(*recOpts)
+
+type recOpts struct {
+	capacity int
+	name     string
+}
+
+// WithCapacity sets the per-rank ring capacity in events. Events beyond
+// the capacity are dropped and counted; see Drops.
+func WithCapacity(n int) Option {
+	return func(o *recOpts) {
+		if n > 0 {
+			o.capacity = n
+		}
+	}
+}
+
+// WithName labels the recorder; exporters use it as the process name.
+func WithName(s string) Option {
+	return func(o *recOpts) { o.name = s }
+}
+
+// New returns a Recorder with one event ring per rank in [0, ranks),
+// plus a control ring for run-level events.
+func New(ranks int, opts ...Option) *Recorder {
+	o := recOpts{capacity: DefaultCapacity, name: "mtask"}
+	for _, f := range opts {
+		f(&o)
+	}
+	if ranks < 0 {
+		ranks = 0
+	}
+	r := &Recorder{
+		name:     o.name,
+		epoch:    time.Now(),
+		ranks:    make([]ring, ranks),
+		counters: make(map[string]*Counter),
+	}
+	for i := range r.ranks {
+		r.ranks[i].buf = make([]Event, o.capacity)
+	}
+	r.ctl.buf = make([]Event, o.capacity)
+	return r
+}
+
+// Name returns the recorder's label ("" for nil).
+func (r *Recorder) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Ranks returns the number of per-rank timelines (0 for nil).
+func (r *Recorder) Ranks() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ranks)
+}
+
+// Now returns nanoseconds since the recorder epoch (0 for nil).
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+func (r *Recorder) ringFor(rank int) *ring {
+	if rank < 0 || rank >= len(r.ranks) {
+		return &r.ctl
+	}
+	return &r.ranks[rank]
+}
+
+// Span records a duration event [start, end) on rank's timeline. Pass
+// -1 for layer or group when not applicable.
+func (r *Recorder) Span(name, cat string, rank, layer, group int, start, end int64) {
+	if r == nil {
+		return
+	}
+	r.ringFor(rank).emit(Event{
+		Name: name, Cat: cat, Kind: KindSpan,
+		Rank: int32(rank), Layer: int32(layer), Group: int32(group),
+		Start: start, End: end,
+	})
+}
+
+// Instant records a point event at ts on rank's timeline.
+func (r *Recorder) Instant(name, cat string, rank int, ts int64) {
+	if r == nil {
+		return
+	}
+	r.ringFor(rank).emit(Event{
+		Name: name, Cat: cat, Kind: KindInstant,
+		Rank: int32(rank), Layer: -1, Group: -1,
+		Start: ts, End: ts,
+	})
+}
+
+// CounterSample records the value of a named counter at ts on rank's
+// timeline. Exporters render successive samples as a counter track.
+func (r *Recorder) CounterSample(name, cat string, rank int, ts int64, v float64) {
+	if r == nil {
+		return
+	}
+	r.ringFor(rank).emit(Event{
+		Name: name, Cat: cat, Kind: KindCounter,
+		Rank: int32(rank), Layer: -1, Group: -1,
+		Start: ts, End: ts, Value: v,
+	})
+}
+
+// Counter returns the named registry counter, creating it on first use.
+// Returns nil (a valid no-op counter) on a nil recorder.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// SetMetric sets the named registry counter to v (overwriting), a
+// convenience for publishing gauge-style snapshots such as cache sizes.
+func (r *Recorder) SetMetric(name string, v int64) {
+	if r == nil {
+		return
+	}
+	c := r.Counter(name)
+	c.v.Store(v)
+}
+
+// Metrics returns a snapshot of the counter registry plus recorder
+// bookkeeping ("obs.events", "obs.drops"). Safe to call concurrently,
+// but values are only mutually consistent after quiescence.
+func (r *Recorder) Metrics() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	m := make(map[string]int64)
+	r.mu.Lock()
+	for name, c := range r.counters {
+		m[name] = c.v.Load()
+	}
+	r.mu.Unlock()
+	var events, drops int64
+	for i := range r.ranks {
+		events += int64(r.ranks[i].len())
+		drops += int64(r.ranks[i].drops.Load())
+	}
+	events += int64(r.ctl.len())
+	drops += int64(r.ctl.drops.Load())
+	m["obs.events"] = events
+	m["obs.drops"] = drops
+	return m
+}
+
+// Reset discards all recorded events and drop counts, keeping the ring
+// allocations and the counter registry. Like the readers, it must only
+// be called after recording goroutines have quiesced.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.ranks {
+		r.ranks[i].next.Store(0)
+		r.ranks[i].drops.Store(0)
+	}
+	r.ctl.next.Store(0)
+	r.ctl.drops.Store(0)
+}
+
+// Drops returns the total number of events discarded because a ring was
+// full (0 for nil).
+func (r *Recorder) Drops() uint64 {
+	if r == nil {
+		return 0
+	}
+	var d uint64
+	for i := range r.ranks {
+		d += r.ranks[i].drops.Load()
+	}
+	return d + r.ctl.drops.Load()
+}
+
+// RankEvents returns rank's recorded events in emission order (the
+// control track for out-of-range ranks). The returned slice aliases the
+// ring; callers must not retain it across further recording.
+func (r *Recorder) RankEvents(rank int) []Event {
+	if r == nil {
+		return nil
+	}
+	rg := r.ringFor(rank)
+	return rg.buf[:rg.len()]
+}
+
+// Events returns all recorded events: control track first, then ranks
+// in order, each in emission order. Call only after quiescence.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.ctl.len())
+	out = append(out, r.ctl.buf[:r.ctl.len()]...)
+	for i := range r.ranks {
+		rg := &r.ranks[i]
+		out = append(out, rg.buf[:rg.len()]...)
+	}
+	return out
+}
+
+// MetricsString renders the Metrics snapshot sorted by key, one
+// "name value" per line — a deterministic form for logs and tests.
+func (r *Recorder) MetricsString() string {
+	m := r.Metrics()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s %d\n", k, m[k])
+	}
+	return s
+}

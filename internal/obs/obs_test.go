@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPerRankOrdering is the recorder's concurrency property
+// test (run under -race): N goroutines, one per rank, each emit a
+// below-capacity stream of events concurrently; afterwards every rank's
+// timeline must hold exactly its own events, in emission order, with
+// zero drops.
+func TestConcurrentPerRankOrdering(t *testing.T) {
+	const ranks, perRank = 8, 1000
+	r := New(ranks, WithCapacity(perRank))
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < perRank; i++ {
+				// Value encodes (rank, i) so cross-rank mixups are caught.
+				r.CounterSample("seq", "test", rank, int64(i), float64(rank*perRank+i))
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	if d := r.Drops(); d != 0 {
+		t.Fatalf("drops = %d, want 0 (below capacity)", d)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		evs := r.RankEvents(rank)
+		if len(evs) != perRank {
+			t.Fatalf("rank %d: %d events, want %d", rank, len(evs), perRank)
+		}
+		for i, ev := range evs {
+			if int(ev.Rank) != rank {
+				t.Fatalf("rank %d slot %d: event of rank %d leaked in", rank, i, ev.Rank)
+			}
+			if want := float64(rank*perRank + i); ev.Value != want {
+				t.Fatalf("rank %d slot %d: value %v, want %v (ordering violated)", rank, i, ev.Value, want)
+			}
+		}
+	}
+	if got := r.Metrics()["obs.events"]; got != ranks*perRank {
+		t.Fatalf("obs.events = %d, want %d", got, ranks*perRank)
+	}
+}
+
+// TestDropCounterExact overflows a small ring from many goroutines and
+// checks stored + dropped == emitted exactly — no event is lost
+// unaccounted and none is overwritten.
+func TestDropCounterExact(t *testing.T) {
+	const cap, writers, perWriter = 64, 8, 100
+	r := New(1, WithCapacity(cap))
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Instant("x", "test", 0, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	stored := len(r.RankEvents(0))
+	if stored != cap {
+		t.Fatalf("stored %d events in a ring of %d", stored, cap)
+	}
+	if want := uint64(writers*perWriter - cap); r.Drops() != want {
+		t.Fatalf("drops = %d, want exactly %d", r.Drops(), want)
+	}
+}
+
+// TestNilRecorderNoops pins the nil fast path: every method on a nil
+// *Recorder (and a nil *Counter) is a safe no-op.
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	if r.Now() != 0 {
+		t.Error("nil Now != 0")
+	}
+	r.Span("a", "b", 0, 0, 0, 0, 1)
+	r.Instant("a", "b", 0, 0)
+	r.CounterSample("a", "b", 0, 0, 1)
+	r.SetMetric("a", 1)
+	c := r.Counter("a")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	if r.Events() != nil || r.RankEvents(0) != nil || r.Metrics() != nil {
+		t.Error("nil recorder returned data")
+	}
+	if r.Drops() != 0 || r.Ranks() != 0 || r.Name() != "" {
+		t.Error("nil recorder reported state")
+	}
+	if r.Gantt(40) != "" {
+		t.Error("nil recorder rendered a gantt")
+	}
+}
+
+// TestCountersAndMetrics exercises the registry: named counters
+// accumulate atomically across goroutines and Metrics snapshots them
+// with the bookkeeping keys.
+func TestCountersAndMetrics(t *testing.T) {
+	r := New(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				r.Counter("hits").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	r.SetMetric("gauge", 42)
+	m := r.Metrics()
+	if m["hits"] != 1000 {
+		t.Errorf("hits = %d, want 1000", m["hits"])
+	}
+	if m["gauge"] != 42 {
+		t.Errorf("gauge = %d, want 42", m["gauge"])
+	}
+	if _, ok := m["obs.events"]; !ok {
+		t.Error("obs.events bookkeeping key missing")
+	}
+	out := r.MetricsString()
+	if !strings.Contains(out, "hits 1000") || !strings.Contains(out, "gauge 42") {
+		t.Errorf("MetricsString:\n%s", out)
+	}
+}
+
+// TestControlTrack routes out-of-range ranks to the control ring.
+func TestControlTrack(t *testing.T) {
+	r := New(2)
+	r.Instant("ctl", "test", ControlRank, 1)
+	r.Instant("oob", "test", 99, 2)
+	r.Span("rank0", "test", 0, -1, -1, 0, 1)
+	ctl := r.RankEvents(ControlRank)
+	if len(ctl) != 2 || ctl[0].Name != "ctl" || ctl[1].Name != "oob" {
+		t.Fatalf("control track: %+v", ctl)
+	}
+	if evs := r.RankEvents(0); len(evs) != 1 || evs[0].Name != "rank0" {
+		t.Fatalf("rank 0 track: %+v", evs)
+	}
+	// Events() lists control first, then ranks.
+	all := r.Events()
+	if len(all) != 3 || all[0].Name != "ctl" || all[2].Name != "rank0" {
+		t.Fatalf("Events order: %+v", all)
+	}
+}
+
+// TestGanttRendersTaskSpans checks the text Gantt output: bars scale to
+// the span window, rows carry the layer detail, non-task events are
+// skipped.
+func TestGanttRendersTaskSpans(t *testing.T) {
+	r := New(2, WithName("test"))
+	r.Span("slow", "task", 0, 0, 0, 0, 1_000_000_000)
+	r.Span("fast", "task", 1, 0, 1, 0, 250_000_000)
+	r.Span("barrier-wait", "barrier", 1, -1, -1, 250_000_000, 1_000_000_000)
+	out := r.Gantt(40)
+	for _, want := range []string{"slow@0", "fast@1", "(layer 0)", "2 task spans", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "barrier-wait") {
+		t.Fatalf("non-task span rendered:\n%s", out)
+	}
+	// The full-window span renders a longer bar than the quarter-window one.
+	if strings.Count(lineOf(out, "slow@0"), "#") <= strings.Count(lineOf(out, "fast@1"), "#") {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+}
+
+func lineOf(s, sub string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	return ""
+}

@@ -21,6 +21,7 @@ import (
 	"mtask/internal/core"
 	"mtask/internal/cost"
 	"mtask/internal/graph"
+	"mtask/internal/obs"
 )
 
 // Options collects the resolved knobs of one planning request. The zero
@@ -51,6 +52,13 @@ type Options struct {
 
 	// DisableMemo turns off cost-model memoization.
 	DisableMemo bool
+
+	// Trace, when non-nil, records the planning request on the
+	// recorder's control track: a span for the whole request, cache
+	// hit/miss counters, the g-search timings of the scheduler, and
+	// gauges for cost-model memoization hits/misses. Tracing never
+	// alters planning decisions.
+	Trace *obs.Recorder
 }
 
 // Option mutates one planning option.
@@ -84,6 +92,10 @@ func WithoutCache() Option { return func(o *Options) { o.DisableCache = true } }
 
 // WithoutMemo disables cost-model memoization for this request.
 func WithoutMemo() Option { return func(o *Options) { o.DisableMemo = true } }
+
+// WithTrace attaches a trace recorder to the planning request; see
+// Options.Trace.
+func WithTrace(rec *obs.Recorder) Option { return func(o *Options) { o.Trace = rec } }
 
 // Defaults returns the planner's default options.
 func Defaults() Options {
@@ -171,10 +183,14 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 			MaxGroups:      o.MaxGroups,
 		}
 		if mp, ok := p.cache.Get(key); ok {
+			o.Trace.Counter("plan.cache_hits").Add(1)
+			o.Trace.Instant("cache-hit:"+g.Name, "plan", obs.ControlRank, o.Trace.Now())
 			return mp, nil
 		}
+		o.Trace.Counter("plan.cache_misses").Add(1)
 	}
 
+	planStart := o.Trace.Now()
 	if !o.DisableMemo {
 		model = model.WithMemo()
 	}
@@ -188,6 +204,7 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 		MinGroups:   o.MinGroups,
 		MaxGroups:   o.MaxGroups,
 		Parallel:    workers,
+		Trace:       o.Trace,
 	}).ScheduleCtx(ctx, g, P)
 	if err != nil {
 		return nil, err
@@ -198,6 +215,14 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 	}
 	if useCache {
 		p.cache.Add(key, mp)
+	}
+	if o.Trace != nil {
+		o.Trace.Span("plan:"+g.Name, "plan", obs.ControlRank, -1, -1, planStart, o.Trace.Now())
+		if !o.DisableMemo {
+			hits, misses := model.MemoStats()
+			o.Trace.Counter("cost.memo_hits").Add(int64(hits))
+			o.Trace.Counter("cost.memo_misses").Add(int64(misses))
+		}
 	}
 	return mp, nil
 }

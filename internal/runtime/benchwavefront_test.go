@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"mtask/internal/obs"
 )
 
 // The imbalanced-schedule pair measures what the wavefront dispatcher
@@ -47,3 +49,36 @@ func benchDispatchOverhead(b *testing.B, opts ...ExecOption) {
 
 func BenchmarkExecLayeredDispatch(b *testing.B)   { benchDispatchOverhead(b) }
 func BenchmarkExecWavefrontDispatch(b *testing.B) { benchDispatchOverhead(b, WithWavefront()) }
+
+// The recorder-overhead pair: NilRecorder pins the no-op fast path of an
+// unused WithRecorder(nil) against the plain dispatch baseline (the two
+// must be indistinguishable — a nil check per instrumented site), and
+// Traced measures a live recorder (required: ≤ 5% over the baseline).
+// The recorder is reset between iterations so the rings never fill;
+// drops would make iterations cheaper, not slower.
+func BenchmarkExecLayeredDispatchNilRecorder(b *testing.B) {
+	benchDispatchOverhead(b, WithRecorder(nil))
+}
+
+func benchDispatchTraced(b *testing.B, opts ...ExecOption) {
+	sched := ImbalancedWorkload(2, 16)
+	body := ImbalancedBody(0, 0)
+	w, _ := NewWorld(2)
+	// Small rings (reset each iteration) keep the GC scan footprint of
+	// the event buffers out of the measurement.
+	rec := obs.New(2, obs.WithCapacity(256))
+	opts = append(opts, WithRecorder(rec))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteCtx(context.Background(), w, sched, body, opts...); err != nil {
+			b.Fatal(err)
+		}
+		if rec.Drops() > 0 {
+			b.Fatalf("recorder dropped %d events; grow the ring", rec.Drops())
+		}
+		rec.Reset()
+	}
+}
+
+func BenchmarkExecLayeredDispatchTraced(b *testing.B)   { benchDispatchTraced(b) }
+func BenchmarkExecWavefrontDispatchTraced(b *testing.B) { benchDispatchTraced(b, WithWavefront()) }

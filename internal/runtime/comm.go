@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"mtask/internal/obs"
 )
 
 // CommKind categorises a communicator for the operation statistics,
@@ -203,6 +205,7 @@ type commShared struct {
 	aslots [2][]aslot
 	sslots [2][]sslot
 	stats  *Stats
+	rec    *obs.Recorder
 
 	mu     sync.Mutex
 	splits map[uint64]*splitGen // split sequence -> generation registry
@@ -221,12 +224,13 @@ var commPool = sync.Pool{New: func() any { return new(commShared) }}
 // world ranks. Used by World.Run and by the fault-tolerant executor, which
 // constructs group communicators directly from the schedule (a fresh one
 // per attempt) instead of through collective Split calls.
-func newCommShared(kind CommKind, worldRanks []int, stats *Stats) *commShared {
+func newCommShared(kind CommKind, worldRanks []int, stats *Stats, rec *obs.Recorder) *commShared {
 	s := commPool.Get().(*commShared)
 	n := len(worldRanks)
 	s.kind = kind
 	s.ranks = worldRanks
 	s.stats = stats
+	s.rec = rec
 	s.bar.reset(n)
 	if cap(s.mems) < n {
 		s.mems = make([]memberState, n)
@@ -278,6 +282,7 @@ func (s *commShared) release() {
 		}
 	}
 	s.stats = nil
+	s.rec = nil
 	s.ranks = nil
 	s.splits = nil
 	s.children = nil
@@ -305,7 +310,22 @@ type Comm struct {
 	shared *commShared
 	lazy   *lazyGlobal
 	rank   int
+	// ops counts this handle's collective calls by operation, feeding the
+	// per-rank counter tracks of a tracing run. Handle-local (the handle is
+	// per-goroutine), so the hot path needs no synchronisation.
+	ops [numOps]uint32
 }
+
+// opCounterName pre-renders the "kind.op" counter names so the traced
+// hot path never formats strings.
+var opCounterName = func() (t [numCommKinds][numOps]string) {
+	for k := range t {
+		for o := range t[k] {
+			t[k][o] = CommKind(k).String() + "." + Op(o).String()
+		}
+	}
+	return
+}()
 
 // sh resolves the handle's shared state, creating it on first use when the
 // handle is lazily backed. Handles are per-goroutine, so caching the
@@ -329,11 +349,18 @@ func (c *Comm) WorldRank() int { return c.sh().ranks[c.rank] }
 // Kind returns the communicator category.
 func (c *Comm) Kind() CommKind { return c.sh().kind }
 
-// count records a collective once (rank 0 reports).
+// count records a collective once for the Stats (rank 0 reports) and,
+// when a trace recorder is attached, samples the caller's per-rank
+// cumulative operation counter.
 func (c *Comm) count(op Op) {
 	sh := c.sh()
 	if c.rank == 0 && sh.stats != nil {
 		sh.stats.add(sh.kind, op)
+	}
+	if sh.rec != nil {
+		c.ops[op]++
+		sh.rec.CounterSample(opCounterName[sh.kind][op], "collective",
+			sh.ranks[c.rank], sh.rec.Now(), float64(c.ops[op]))
 	}
 }
 
@@ -356,12 +383,23 @@ func (c *Comm) Abort(cause error) {
 	c.sh().abort(cause)
 }
 
-// Barrier synchronises all members.
+// Barrier synchronises all members. Under a trace recorder the time a
+// member spends blocked in the barrier is recorded as a "barrier-wait"
+// span on its world rank's timeline — the per-core wait times of the
+// paper's imbalance analysis.
 func (c *Comm) Barrier() {
 	c.count(OpBarrier)
 	sh := c.sh()
 	if len(sh.ranks) == 1 {
+		// A singleton waits for nobody: no wait span (the per-rank
+		// barrier counter from count() already marks the call).
 		sh.bar.check()
+		return
+	}
+	if sh.rec != nil {
+		start := sh.rec.Now()
+		sh.bar.wait(&sh.mems[c.rank], c.rank)
+		sh.rec.Span("barrier-wait", "barrier", sh.ranks[c.rank], -1, -1, start, sh.rec.Now())
 		return
 	}
 	sh.bar.wait(&sh.mems[c.rank], c.rank)
@@ -602,7 +640,7 @@ func (c *Comm) Split(color, key int, kind CommKind) *Comm {
 	sh := c.sh()
 	if len(sh.ranks) == 1 {
 		sh.bar.check()
-		child := newCommShared(kind, []int{sh.ranks[0]}, sh.stats)
+		child := newCommShared(kind, []int{sh.ranks[0]}, sh.stats, sh.rec)
 		sh.mu.Lock()
 		sh.children = append(sh.children, child)
 		sh.mu.Unlock()
@@ -646,7 +684,7 @@ func (c *Comm) Split(color, key int, kind CommKind) *Comm {
 	}
 	child := gen.byColor[color]
 	if child == nil {
-		child = newCommShared(kind, worldRanks, sh.stats)
+		child = newCommShared(kind, worldRanks, sh.stats, sh.rec)
 		gen.byColor[color] = child
 		sh.children = append(sh.children, child)
 	}

@@ -164,7 +164,7 @@ func (c *refComm) reduceVec(op ReduceOp, contrib []float64) []float64 {
 // collOp is one step of a random SPMD collective script: the same script
 // runs on both engines and the per-rank outputs are compared bitwise.
 type collOp struct {
-	kind int         // 0 bcast, 1 allgather, 2 sum, 3 max, 4 reduceSum, 5 reduceMax
+	kind int // 0 bcast, 1 allgather, 2 sum, 3 max, 4 reduceSum, 5 reduceMax
 	root int
 	data [][]float64 // per-rank contribution (scalar ops use data[r][0])
 }
@@ -335,7 +335,7 @@ func TestPropertyCollectivesWithAbort(t *testing.T) {
 		want := runRef(p, script)
 
 		var stats Stats
-		sh := newCommShared(Global, identityRanks(p), &stats)
+		sh := newCommShared(Global, identityRanks(p), &stats, nil)
 		results := make([][][]float64, p)
 		aborted := make([]bool, p)
 		var wg sync.WaitGroup

@@ -12,6 +12,7 @@ import (
 	"mtask/internal/core"
 	"mtask/internal/fault"
 	"mtask/internal/graph"
+	"mtask/internal/obs"
 )
 
 // Replanner reschedules the executed graph for the given number of
@@ -36,6 +37,7 @@ type execConfig struct {
 	hreplan   HierarchicalReplanner
 	grace     time.Duration
 	wavefront bool
+	rec       *obs.Recorder
 }
 
 // ExecOption configures ExecuteCtx / ExecuteHierarchicalCtx.
@@ -68,6 +70,17 @@ func WithAbandonGrace(d time.Duration) ExecOption {
 			c.grace = d
 		}
 	}
+}
+
+// WithRecorder attaches a trace recorder to the execution: every rank
+// goroutine records its task-attempt spans, barrier waits and collective
+// counters on its own timeline, and the executor adds retry, replan and
+// layer-completion events. A nil recorder is valid and records nothing
+// (the no-op fast path adds a single pointer test per instrumented
+// site). The recorder must have at least sched.P rank timelines; read it
+// only after ExecuteCtx returns.
+func WithRecorder(rec *obs.Recorder) ExecOption {
+	return func(c *execConfig) { c.rec = rec }
 }
 
 const defaultAbandonGrace = time.Second
@@ -216,6 +229,7 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 			layerErr, failedCores = runLayer(ctx, w, cur, li, body, cfg, rep)
 			if layerErr == nil {
 				rep.layerDone()
+				cfg.rec.Instant("layer-done", "exec", obs.ControlRank, cfg.rec.Now())
 				li++
 			}
 		}
@@ -245,6 +259,8 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 			return errors.Join(layerErr, serr)
 		}
 		rep.replanned(lost)
+		cfg.rec.Instant("replan", "fault", obs.ControlRank, cfg.rec.Now())
+		cfg.rec.Counter("fault.lost_cores").Add(int64(failedCores))
 		cur = ns // resume from the last completed layer barrier
 	}
 	return nil
@@ -272,7 +288,7 @@ func runLayer(ctx context.Context, w *World, sched *core.Schedule, li int, body 
 	// a global collective are released (and a straggler touching the
 	// global for the first time after the layer finished gets it
 	// pre-poisoned instead of deadlocking).
-	global := newLazyGlobal(Global, identityRanks(sched.P), &w.Stats)
+	global := newLazyGlobal(Global, identityRanks(sched.P), &w.Stats, cfg.rec)
 	defer global.abort(errLayerDone)
 
 	ng := len(ls.Groups)
@@ -351,6 +367,7 @@ func runScheduledTask(ctx context.Context, w *World, sched *core.Schedule, li in
 				break
 			}
 			rep.failed(t.Name)
+			cfg.rec.Instant("fail:"+t.Name, "fault", obs.ControlRank, cfg.rec.Now())
 			if ctx.Err() != nil {
 				// Layer timeout or caller cancellation: not a core
 				// failure, do not escalate to degrade-and-replan.
@@ -370,6 +387,8 @@ func runScheduledTask(ctx context.Context, w *World, sched *core.Schedule, li in
 			}
 			retries++
 			rep.retried(t.Name)
+			cfg.rec.Instant("retry:"+t.Name, "fault", obs.ControlRank, cfg.rec.Now())
+			cfg.rec.Counter("fault.retries").Add(1)
 			if d := cfg.policy.Backoff(t.Name, retries); d > 0 {
 				timer := time.NewTimer(d)
 				select {
@@ -398,7 +417,7 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 	for i := range ranks {
 		ranks[i] = lo + i
 	}
-	gsh := newCommShared(Group, ranks, &w.Stats)
+	gsh := newCommShared(Group, ranks, &w.Stats, cfg.rec)
 
 	actx := parent
 	var cancel context.CancelFunc
@@ -417,6 +436,15 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
+				var tstart int64
+				if cfg.rec != nil {
+					tstart = cfg.rec.Now()
+					// Record the attempt span in the defer so panicking and
+					// aborted attempts leave their partial span too.
+					defer func() {
+						cfg.rec.Span(t.Name, "task", lo+r, li, int(gi), tstart, cfg.rec.Now())
+					}()
+				}
 				defer func() {
 					if p := recover(); p != nil {
 						if ae, ok := p.(*AbortError); ok {

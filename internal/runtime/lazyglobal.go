@@ -1,6 +1,10 @@
 package runtime
 
-import "sync"
+import (
+	"sync"
+
+	"mtask/internal/obs"
+)
 
 // lazyGlobal defers building a communicator's shared state until a member
 // actually issues an operation on it. The fault-tolerant executor hands
@@ -18,6 +22,7 @@ type lazyGlobal struct {
 	kind  CommKind
 	ranks []int
 	stats *Stats
+	rec   *obs.Recorder
 
 	mu      sync.Mutex
 	sh      *commShared
@@ -27,8 +32,8 @@ type lazyGlobal struct {
 
 // newLazyGlobal prepares a lazy communicator shell over the given world
 // ranks; no shared state is allocated until the first get.
-func newLazyGlobal(kind CommKind, worldRanks []int, stats *Stats) *lazyGlobal {
-	return &lazyGlobal{kind: kind, ranks: worldRanks, stats: stats}
+func newLazyGlobal(kind CommKind, worldRanks []int, stats *Stats, rec *obs.Recorder) *lazyGlobal {
+	return &lazyGlobal{kind: kind, ranks: worldRanks, stats: stats, rec: rec}
 }
 
 // get returns the communicator's shared state, creating it on first use.
@@ -38,7 +43,7 @@ func (lg *lazyGlobal) get() *commShared {
 	lg.mu.Lock()
 	defer lg.mu.Unlock()
 	if lg.sh == nil {
-		lg.sh = newCommShared(lg.kind, lg.ranks, lg.stats)
+		lg.sh = newCommShared(lg.kind, lg.ranks, lg.stats, lg.rec)
 		if lg.aborted {
 			lg.sh.abort(lg.cause)
 		}

@@ -224,7 +224,7 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "execution report: %d tasks, %d layers done, %d retries, %d recovered panics, %d replans (%d cores lost), wall %v\n",
 		len(r.Tasks), r.Layers, r.Retries, r.Panics, r.Replans, r.LostCores, r.Wall.Round(time.Microsecond))
-	if r.P > 0 && r.Wall > 0 && len(r.Spans) > 0 {
+	if r.P > 0 && len(r.Spans) > 0 {
 		var busy time.Duration
 		for _, s := range r.Spans {
 			busy += time.Duration(s.Cores) * (s.End - s.Start)
@@ -234,9 +234,14 @@ func (r *Report) String() string {
 		if total > busy {
 			idle = total - busy
 		}
-		fmt.Fprintf(&b, "  core-time: busy %v, idle %v of %v (%.1f%% utilized)\n",
-			busy.Round(time.Microsecond), idle.Round(time.Microsecond), total.Round(time.Microsecond),
-			100*float64(busy)/float64(total))
+		// A zero-duration report (empty schedule, or Wall not yet set)
+		// has no wall time to divide by: utilization is n/a, not NaN.
+		util := "n/a"
+		if total > 0 {
+			util = fmt.Sprintf("%.1f%% utilized", 100*float64(busy)/float64(total))
+		}
+		fmt.Fprintf(&b, "  core-time: busy %v, idle %v of %v (%s)\n",
+			busy.Round(time.Microsecond), idle.Round(time.Microsecond), total.Round(time.Microsecond), util)
 	}
 	names := make([]string, 0, len(r.Tasks))
 	for name, tr := range r.Tasks {

@@ -1,0 +1,38 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportStringZeroWall is the regression test for the core-time
+// line of a zero-duration report: with spans present but Wall == 0
+// (empty schedule, or String called before Wall is stamped) the line
+// must render "n/a" utilization instead of dividing by zero.
+func TestReportStringZeroWall(t *testing.T) {
+	r := NewReport()
+	r.begin(2)
+	r.startAttempt("t")
+	r.addSpan("t", 0, 0, 2, 0, time.Millisecond)
+
+	out := r.String()
+	if !strings.Contains(out, "core-time:") {
+		t.Fatalf("zero-wall report omits the core-time line:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("zero-wall report should render n/a utilization:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("zero-wall report rendered a non-finite utilization:\n%s", out)
+	}
+
+	// With a wall time the percentage returns.
+	r.mu.Lock()
+	r.Wall = 2 * time.Millisecond
+	r.mu.Unlock()
+	out = r.String()
+	if !strings.Contains(out, "% utilized") {
+		t.Fatalf("timed report lost the utilization percentage:\n%s", out)
+	}
+}

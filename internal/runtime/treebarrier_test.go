@@ -20,7 +20,7 @@ import (
 func TestTreeBarrierAbortMixedLevels(t *testing.T) {
 	const p = 8
 	var stats Stats
-	sh := newCommShared(Global, identityRanks(p), &stats)
+	sh := newCommShared(Global, identityRanks(p), &stats, nil)
 	cause := errors.New("rank 0 bailed")
 	var wg sync.WaitGroup
 	errs := make([]error, p)
@@ -87,7 +87,7 @@ func TestTreeBarrierAbortDuringDataCollectives(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			const p = 8
 			var stats Stats
-			sh := newCommShared(Global, identityRanks(p), &stats)
+			sh := newCommShared(Global, identityRanks(p), &stats, nil)
 			cause := errors.New("injected")
 			var wg sync.WaitGroup
 			aborted := make([]bool, p)
@@ -126,7 +126,7 @@ func TestTreeBarrierAbortDuringDataCollectives(t *testing.T) {
 // sequence and barrier flags all stay at zero.
 func TestSingletonNoSynchronization(t *testing.T) {
 	var stats Stats
-	sh := newCommShared(Global, []int{0}, &stats)
+	sh := newCommShared(Global, []int{0}, &stats, nil)
 	c := &Comm{shared: sh, rank: 0}
 
 	c.Barrier()
@@ -189,7 +189,7 @@ func TestSingletonNoSynchronization(t *testing.T) {
 func TestSplitRegistryPruned(t *testing.T) {
 	const p, rounds = 8, 10
 	var stats Stats
-	sh := newCommShared(Global, identityRanks(p), &stats)
+	sh := newCommShared(Global, identityRanks(p), &stats, nil)
 	var wg sync.WaitGroup
 	mustFinish(t, 10*time.Second, func() {
 		for r := 0; r < p; r++ {
@@ -224,21 +224,21 @@ func TestSplitRegistryPruned(t *testing.T) {
 func TestOneBarrierRoundPerCollective(t *testing.T) {
 	const p = 4
 	var stats Stats
-	sh := newCommShared(Global, identityRanks(p), &stats)
+	sh := newCommShared(Global, identityRanks(p), &stats, nil)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			c := &Comm{shared: sh, rank: r}
-			c.Barrier()                                     // 1
-			c.Bcast(0, []float64{1})                        // 2
-			c.Allgather([]float64{float64(r)})              // 3
-			c.AllreduceSum(1)                               // 4
-			c.AllreduceMax(float64(r))                      // 5
-			c.ExchangeAny(r)                                // 6
-			c.ReduceInto(ReduceSum, []float64{1}, nil)      // 7
-			c.Split(r%2, r, Group)                          // 8
+			c.Barrier()                                // 1
+			c.Bcast(0, []float64{1})                   // 2
+			c.Allgather([]float64{float64(r)})         // 3
+			c.AllreduceSum(1)                          // 4
+			c.AllreduceMax(float64(r))                 // 5
+			c.ExchangeAny(r)                           // 6
+			c.ReduceInto(ReduceSum, []float64{1}, nil) // 7
+			c.Split(r%2, r, Group)                     // 8
 		}(r)
 	}
 	wg.Wait()

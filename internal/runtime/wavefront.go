@@ -7,6 +7,7 @@ import (
 
 	"mtask/internal/core"
 	"mtask/internal/graph"
+	"mtask/internal/obs"
 )
 
 // WithWavefront switches ExecuteCtx / ExecuteHierarchicalCtx from
@@ -77,7 +78,7 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 	// panics with an *AbortError whose cause is ErrGlobalInWavefront, which
 	// the attempt loop converts into a fail-fast typed error. Stats are nil
 	// so the doomed call is not counted as a real collective.
-	global := newLazyGlobal(Global, identityRanks(sched.P), nil)
+	global := newLazyGlobal(Global, identityRanks(sched.P), nil, nil)
 	global.abort(ErrGlobalInWavefront)
 
 	type result struct {
@@ -124,6 +125,7 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 	done = from
 	for done < len(layerLeft) && layerLeft[done] == 0 {
 		rep.layerDone()
+		cfg.rec.Instant("layer-done", "exec", obs.ControlRank, cfg.rec.Now())
 		done++
 	}
 
@@ -163,6 +165,7 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 		layerLeft[td.Layer]--
 		for done < len(layerLeft) && layerLeft[done] == 0 {
 			rep.layerDone()
+			cfg.rec.Instant("layer-done", "exec", obs.ControlRank, cfg.rec.Now())
 			done++
 		}
 		for _, su := range td.Succs {

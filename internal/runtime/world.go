@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"mtask/internal/obs"
 )
 
 // World is a set of P symbolic cores realised as goroutines, with a global
@@ -13,6 +15,11 @@ import (
 type World struct {
 	P     int
 	Stats Stats
+	// Trace, when non-nil, records per-rank collective counters and
+	// barrier-wait spans for runs driven through Run/RunCtx (the ODE
+	// solver path). The executor path (ExecuteCtx) attaches a recorder
+	// through the WithRecorder option instead.
+	Trace *obs.Recorder
 }
 
 // NewWorld returns a world of p cores.
@@ -72,7 +79,7 @@ func (w *World) Run(fn func(c *Comm)) {
 // aborts the communicator so its peers cannot deadlock at a collective.
 // The per-rank errors are aggregated with errors.Join in rank order.
 func (w *World) RunCtx(ctx context.Context, fn func(c *Comm) error) error {
-	shared := newCommShared(Global, identityRanks(w.P), &w.Stats)
+	shared := newCommShared(Global, identityRanks(w.P), &w.Stats, w.Trace)
 	stop := make(chan struct{})
 	if ctx.Done() != nil {
 		go func() {

@@ -56,6 +56,7 @@ package mtask
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"mtask/internal/arch"
 	"mtask/internal/bench"
@@ -65,6 +66,7 @@ import (
 	"mtask/internal/dynsched"
 	"mtask/internal/fault"
 	"mtask/internal/graph"
+	"mtask/internal/obs"
 	"mtask/internal/plan"
 	"mtask/internal/redist"
 	"mtask/internal/runtime"
@@ -191,6 +193,12 @@ func WithoutCache() PlanOption { return plan.WithoutCache() }
 
 // WithoutMemo disables cost-model memoization for this request.
 func WithoutMemo() PlanOption { return plan.WithoutMemo() }
+
+// WithPlanTrace attaches a trace recorder to a Plan request: the request
+// span, the per-layer g-search timings, cache hit/miss counters and
+// cost-model memoization statistics are recorded on the recorder's
+// control track. Tracing never alters planning decisions.
+func WithPlanTrace(rec *TraceRecorder) PlanOption { return plan.WithTrace(rec) }
 
 // NewPlanner returns a dedicated Planner whose defaults are the given
 // options and whose schedule cache is private. Use it when request streams
@@ -352,6 +360,53 @@ var ErrGlobalInWavefront = runtime.ErrGlobalInWavefront
 // TaskSpan is one Report timeline entry: which task ran on which layer,
 // group and core count, and when (offsets from the start of execution).
 type TaskSpan = runtime.TaskSpan
+
+// --- observability ---
+
+// TraceRecorder is the unified event recorder of internal/obs: per-rank
+// ring-buffered span/instant/counter events with a monotonic clock, a
+// lock-free hot path, and exact drop accounting. A nil recorder is a
+// valid no-op recorder. Read it (Events, Metrics, Gantt, WriteChrome)
+// only after the traced run returned.
+type TraceRecorder = obs.Recorder
+
+// TraceEvent is one recorded observation of a TraceRecorder.
+type TraceEvent = obs.Event
+
+// NewTraceRecorder returns a recorder with one event timeline per rank
+// in [0, ranks) plus a control timeline for run-level events (planner
+// spans, scheduler decisions, fault instants).
+func NewTraceRecorder(ranks int, opts ...TraceOption) *TraceRecorder {
+	return obs.New(ranks, opts...)
+}
+
+// TraceOption configures NewTraceRecorder.
+type TraceOption = obs.Option
+
+// WithTraceCapacity sets the per-rank event ring capacity (default
+// obs.DefaultCapacity = 16384). Events beyond it are dropped, never
+// overwritten; TraceRecorder.Drops counts them exactly.
+func WithTraceCapacity(n int) TraceOption { return obs.WithCapacity(n) }
+
+// WithTraceName labels the recorder; the Chrome exporter uses it as the
+// process name.
+func WithTraceName(s string) TraceOption { return obs.WithName(s) }
+
+// WithTrace attaches a trace recorder to an ExecuteCtx run: every rank
+// records its task-attempt spans, barrier-wait spans and per-collective
+// counters on its own timeline, and the executor adds retry, replan and
+// layer-completion events. The recorder needs at least sched.P rank
+// timelines. Export with WriteChromeTrace (Perfetto / chrome://tracing),
+// TraceRecorder.Gantt, or inspect TraceRecorder.Metrics.
+func WithTrace(rec *TraceRecorder) ExecOption { return runtime.WithRecorder(rec) }
+
+// WriteChromeTrace writes the recorders' events as Chrome trace_event
+// JSON, loadable in Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing; each recorder becomes one process, each rank one
+// named thread. Call only after the traced runs returned.
+func WriteChromeTrace(w io.Writer, recs ...*TraceRecorder) error {
+	return obs.WriteChrome(w, recs...)
+}
 
 // Precedence is the precomputed dependence metadata of a schedule (the
 // wavefront executor's launch conditions); see PrecedenceOf.
