@@ -61,7 +61,21 @@ func main() {
 	wfSlow := flag.Duration("wf-slow", 4*time.Millisecond, "exec -wavefront: sleep of the slow task per layer")
 	wfFast := flag.Duration("wf-fast", 500*time.Microsecond, "exec -wavefront: sleep of the fast task per layer")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (Perfetto-loadable) of the run; supported with -exec -wavefront and -plan")
+	serveMode := flag.Bool("serve", false, "load-test the planning service handler in process (see cmd/mtaskd)")
+	serveClients := flag.Int("serve-clients", 1024, "serve: concurrent clients")
+	serveReqs := flag.Int("serve-requests", 8, "serve: requests per client")
+	serveGraphs := flag.Int("serve-graphs", 4, "serve: distinct graph fingerprints in the request mix")
+	serveCores := flag.Int("serve-cores", 16, "serve: cores of the CHiC partition in every request")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "serve: write the JSON benchmark record here (empty = skip)")
 	flag.Parse()
+
+	if *serveMode {
+		if err := runServe(*serveClients, *serveReqs, *serveGraphs, *serveCores, *serveOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mtaskbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *execMode {
 		if *wavefront {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stdruntime "runtime"
+
+	"mtask/internal/arch"
+	"mtask/internal/ode"
+	"mtask/internal/plan"
+	"mtask/internal/serve"
+)
+
+// serveRecord is the BENCH_serve.json schema: one load-generator run
+// against the in-process planning service handler.
+type serveRecord struct {
+	Config struct {
+		Clients    int `json:"clients"`
+		Requests   int `json:"requests_per_client"`
+		Graphs     int `json:"graphs"`
+		Cores      int `json:"cores"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"config"`
+	Totals struct {
+		Requests   int     `json:"requests"`
+		OK         int     `json:"ok"`
+		Failures   int     `json:"failures"`
+		WallSec    float64 `json:"wall_seconds"`
+		Throughput float64 `json:"throughput_rps"`
+	} `json:"totals"`
+	LatencyUS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_us"`
+	Serve map[string]int64 `json:"serve_metrics"`
+}
+
+// runServe load-tests the planning service handler in process: clients
+// concurrent goroutines each POST requests plan bodies (round-robin over
+// graphs distinct fingerprints) straight into serve.Server's handler,
+// so the measurement includes JSON decode, admission, cache/singleflight
+// and response encode, but no sockets. It verifies the coalescing
+// invariant — exactly one cold plan per distinct fingerprint, coalesced
+// followers observed — and records latency percentiles and throughput.
+func runServe(clients, requests, graphs, cores int, out string) error {
+	if clients < 1 || requests < 1 || graphs < 1 {
+		return fmt.Errorf("-serve-clients/-serve-requests/-serve-graphs must be >= 1")
+	}
+	if graphs > 64 {
+		return fmt.Errorf("-serve-graphs %d out of range 1..64", graphs)
+	}
+
+	// The planner searches with at least two workers even on one P: the
+	// search's channel handoffs are scheduler yield points, so concurrent
+	// clients interleave with a cold plan (and coalesce onto it) even
+	// when GOMAXPROCS=1 would otherwise serialize sub-quantum requests.
+	workers := stdruntime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	s := serve.New(serve.WithPlanner(plan.NewWithCache(
+		plan.NewShardedCache(4*graphs, 0),
+		plan.WithParallelism(workers))))
+	h := s.Handler()
+
+	machine := arch.CHiC().SubsetCores(cores)
+	bodies := make([][]byte, graphs)
+	for i := range bodies {
+		body, err := json.Marshal(&serve.PlanRequest{
+			Graph:   ode.BuildPABGraph(4000, 600, 8, 2, i+1),
+			Machine: machine,
+		})
+		if err != nil {
+			return err
+		}
+		bodies[i] = body
+	}
+
+	lat := make([][]time.Duration, clients)
+	var (
+		startGate sync.WaitGroup
+		wg        sync.WaitGroup
+		failures  atomic.Int64
+	)
+	startGate.Add(1)
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			durs := make([]time.Duration, 0, requests)
+			startGate.Wait()
+			for r := 0; r < requests; r++ {
+				body := bodies[(c+r)%len(bodies)]
+				t0 := time.Now()
+				req := httptest.NewRequest("POST", "/v1/plan", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				durs = append(durs, time.Since(t0))
+			}
+			lat[c] = durs
+		}(c)
+	}
+	wallStart := time.Now()
+	startGate.Done()
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	var all []time.Duration
+	for _, durs := range lat {
+		all = append(all, durs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		return fmt.Errorf("every request failed (%d failures)", failures.Load())
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Microsecond)
+	}
+
+	m := s.Metrics()
+	total := clients * requests
+
+	var rec serveRecord
+	rec.Config.Clients = clients
+	rec.Config.Requests = requests
+	rec.Config.Graphs = graphs
+	rec.Config.Cores = cores
+	rec.Config.GOMAXPROCS = stdruntime.GOMAXPROCS(0)
+	rec.Totals.Requests = total
+	rec.Totals.OK = len(all)
+	rec.Totals.Failures = int(failures.Load())
+	rec.Totals.WallSec = wall.Seconds()
+	rec.Totals.Throughput = float64(len(all)) / wall.Seconds()
+	rec.LatencyUS.P50 = pct(0.50)
+	rec.LatencyUS.P90 = pct(0.90)
+	rec.LatencyUS.P99 = pct(0.99)
+	rec.LatencyUS.Max = float64(all[len(all)-1]) / float64(time.Microsecond)
+	rec.Serve = map[string]int64{
+		"plans_cold": m["serve.plans_cold"],
+		"coalesced":  m["serve.coalesced"],
+		"cache_hits": m["serve.cache_hits"],
+		"requests":   m["serve.requests"],
+	}
+
+	fmt.Printf("serve load: %d clients x %d requests over %d graphs on %d cores\n",
+		clients, requests, graphs, cores)
+	fmt.Printf("  %d ok, %d failed in %.2fs  (%.0f req/s)\n",
+		rec.Totals.OK, rec.Totals.Failures, rec.Totals.WallSec, rec.Totals.Throughput)
+	fmt.Printf("  latency p50 %.0fus  p90 %.0fus  p99 %.0fus  max %.0fus\n",
+		rec.LatencyUS.P50, rec.LatencyUS.P90, rec.LatencyUS.P99, rec.LatencyUS.Max)
+	fmt.Printf("  cold plans %d  coalesced %d  cache hits %d\n",
+		m["serve.plans_cold"], m["serve.coalesced"], m["serve.cache_hits"])
+
+	if rec.Totals.Failures > 0 {
+		return fmt.Errorf("%d of %d requests failed", rec.Totals.Failures, total)
+	}
+	// The singleflight contract at load: one cold plan per fingerprint,
+	// everything else coalesced into it or served from the cache.
+	if cold := m["serve.plans_cold"]; cold != int64(graphs) {
+		return fmt.Errorf("%d cold plans for %d distinct fingerprints — coalescing broken", cold, graphs)
+	}
+	if clients > graphs && m["serve.coalesced"] == 0 {
+		return fmt.Errorf("no request was coalesced under %d concurrent clients — singleflight inert", clients)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(&rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command mtaskd serves the planning engine over HTTP: a long-running,
+// multi-tenant daemon exposing the paper's combined scheduling and
+// mapping as a service, with per-tenant token-bucket quotas, a
+// fingerprint-sharded schedule cache and singleflight coalescing of
+// concurrent identical requests.
+//
+// Usage:
+//
+//	mtaskd -addr :8080
+//	mtaskd -addr :8080 -cache 1024 -shards 32 -quota-rate 50 -quota-burst 100
+//	mtaskd -print-request pab | curl -s -d @- localhost:8080/v1/plan
+//
+// Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz,
+// GET /metricz. See docs/SERVING.md for the wire format.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+	"mtask/internal/obs"
+	"mtask/internal/ode"
+	"mtask/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 0, "schedule cache capacity in mappings (0 = default)")
+	shards := flag.Int("shards", 0, "schedule cache shard count, rounded up to a power of two (0 = default)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant admission rate in requests/second (0 = unlimited)")
+	quotaBurst := flag.Int("quota-burst", 1, "per-tenant token-bucket burst")
+	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = default 64 MiB)")
+	printReq := flag.String("print-request", "", "print a sample /v1/plan JSON body for a solver graph (epol|irk|diirk|pab|pabm) and exit")
+	reqCores := flag.Int("request-cores", 16, "print-request: cores of the CHiC partition in the sample body")
+	reqN := flag.Int("request-n", 4000, "print-request: ODE system size of the sample graph")
+	reqSteps := flag.Int("request-steps", 2, "print-request: time steps of the sample graph")
+	flag.Parse()
+
+	if *printReq != "" {
+		if err := printRequest(os.Stdout, *printReq, *reqN, *reqSteps, *reqCores); err != nil {
+			fmt.Fprintf(os.Stderr, "mtaskd: print-request: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*addr, *cache, *shards, *quotaRate, *quotaBurst, *maxBody); err != nil {
+		fmt.Fprintf(os.Stderr, "mtaskd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains in-flight requests.
+func run(addr string, cache, shards int, quotaRate float64, quotaBurst int, maxBody int64) error {
+	var opts []serve.Option
+	if cache > 0 || shards > 0 {
+		opts = append(opts, serve.WithCache(cache, shards))
+	}
+	if quotaRate > 0 {
+		opts = append(opts, serve.WithQuota(quotaRate, quotaBurst))
+	}
+	if maxBody > 0 {
+		opts = append(opts, serve.WithMaxBodyBytes(maxBody))
+	}
+	opts = append(opts, serve.WithRecorder(obs.New(0, obs.WithName("mtaskd"))))
+	s := serve.New(opts...)
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mtaskd: listening on %s (quota %v req/s burst %d)\n",
+			addr, quotaRate, quotaBurst)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "mtaskd: shutting down")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mtaskd: served %d requests\n", s.Metrics()["serve.requests"])
+	return nil
+}
+
+// printRequest writes a ready-to-POST /v1/plan body for a solver graph —
+// the CI smoke test and the SERVING.md walkthrough use it so the wire
+// format never has to be hand-written.
+func printRequest(w *os.File, solver string, n, steps, cores int) error {
+	g, err := solverGraph(solver, n, steps)
+	if err != nil {
+		return err
+	}
+	if cores < 1 {
+		return fmt.Errorf("-request-cores %d out of range", cores)
+	}
+	body, err := json.MarshalIndent(&serve.PlanRequest{
+		Graph:   g,
+		Machine: arch.CHiC().SubsetCores(cores),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", body)
+	return err
+}
+
+// solverGraph builds the named solver's M-task graph at the given scale
+// (the same workloads mtaskbench plans and executes).
+func solverGraph(solver string, n, steps int) (*graph.Graph, error) {
+	const eval = 600
+	switch solver {
+	case "epol":
+		return ode.BuildEPOLGraph(n, eval, 8, steps), nil
+	case "irk":
+		return ode.BuildIRKGraph(n, eval, 4, 2, steps), nil
+	case "diirk":
+		return ode.BuildDIIRKGraph(n, eval, 4, 2, steps), nil
+	case "pab":
+		return ode.BuildPABGraph(n, eval, 8, 0, steps), nil
+	case "pabm":
+		return ode.BuildPABGraph(n, eval, 8, 2, steps), nil
+	}
+	return nil, fmt.Errorf("unknown solver %q (want epol|irk|diirk|pab|pabm)", solver)
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON codec of M-task graphs — the wire format of the planning service
+// (POST /v1/plan) and of tooling that ships graphs between processes.
+//
+// A graph serializes as its name, the task array (array index = TaskID,
+// so edges reference tasks by position) and the edge list. Composed tasks
+// carry their subgraph recursively. Zero-valued task fields are omitted,
+// so a plain computational task is just {"name": ..., "work": ...}.
+//
+// Unmarshaling rebuilds the graph through AddTask/AddEdge, which means a
+// decoded graph enforces the same invariants as a programmatically built
+// one (valid edge endpoints, no self edges); DAG-ness is checked by
+// Validate/TopoOrder at planning time, exactly as for built graphs.
+
+// taskJSON is the wire form of one Task. ID is implicit (array position).
+type taskJSON struct {
+	Name       string         `json:"name"`
+	Kind       string         `json:"kind,omitempty"` // "" = basic
+	Work       float64        `json:"work,omitempty"`
+	CommBytes  int            `json:"comm_bytes,omitempty"`
+	CommCount  int            `json:"comm_count,omitempty"`
+	BcastBytes int            `json:"bcast_bytes,omitempty"`
+	BcastCount int            `json:"bcast_count,omitempty"`
+	OutBytes   int            `json:"out_bytes,omitempty"`
+	MaxWidth   int            `json:"max_width,omitempty"`
+	Members    []TaskID       `json:"members,omitempty"`
+	Sub        *Graph         `json:"sub,omitempty"`
+	Meta       map[string]int `json:"meta,omitempty"`
+}
+
+// edgeJSON is the wire form of one Edge.
+type edgeJSON struct {
+	From  TaskID `json:"from"`
+	To    TaskID `json:"to"`
+	Bytes int    `json:"bytes,omitempty"`
+}
+
+// graphJSON is the wire form of a Graph.
+type graphJSON struct {
+	Name  string     `json:"name"`
+	Tasks []taskJSON `json:"tasks"`
+	Edges []edgeJSON `json:"edges,omitempty"`
+}
+
+func kindName(k Kind) (string, error) {
+	switch k {
+	case KindBasic:
+		return "", nil // omitted on the wire
+	case KindStart, KindStop, KindComposed:
+		return k.String(), nil
+	}
+	return "", fmt.Errorf("graph: cannot encode task kind %d", int(k))
+}
+
+func kindByName(s string) (Kind, error) {
+	switch s {
+	case "", "basic":
+		return KindBasic, nil
+	case "start":
+		return KindStart, nil
+	case "stop":
+		return KindStop, nil
+	case "composed":
+		return KindComposed, nil
+	}
+	return 0, fmt.Errorf("graph: unknown task kind %q", s)
+}
+
+// MarshalJSON encodes the graph in the wire format above. Graph implements
+// json.Marshaler, so graphs embed directly into request/response structs.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	w := graphJSON{Name: g.Name, Tasks: make([]taskJSON, 0, len(g.tasks))}
+	for _, t := range g.tasks {
+		kind, err := kindName(t.Kind)
+		if err != nil {
+			return nil, err
+		}
+		w.Tasks = append(w.Tasks, taskJSON{
+			Name:       t.Name,
+			Kind:       kind,
+			Work:       t.Work,
+			CommBytes:  t.CommBytes,
+			CommCount:  t.CommCount,
+			BcastBytes: t.BcastBytes,
+			BcastCount: t.BcastCount,
+			OutBytes:   t.OutBytes,
+			MaxWidth:   t.MaxWidth,
+			Members:    t.Members,
+			Sub:        t.Sub,
+			Meta:       t.Meta,
+		})
+	}
+	for _, e := range g.Edges() {
+		w.Edges = append(w.Edges, edgeJSON{From: e.From, To: e.To, Bytes: e.Bytes})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a graph from the wire format, replacing the
+// receiver's contents. Edges referencing out-of-range tasks and self
+// edges are rejected.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var w graphJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("graph: decoding: %w", err)
+	}
+	ng := New(w.Name)
+	for i, tw := range w.Tasks {
+		kind, err := kindByName(tw.Kind)
+		if err != nil {
+			return fmt.Errorf("graph %s: task %d: %w", w.Name, i, err)
+		}
+		ng.AddTask(&Task{
+			Name:       tw.Name,
+			Kind:       kind,
+			Work:       tw.Work,
+			CommBytes:  tw.CommBytes,
+			CommCount:  tw.CommCount,
+			BcastBytes: tw.BcastBytes,
+			BcastCount: tw.BcastCount,
+			OutBytes:   tw.OutBytes,
+			MaxWidth:   tw.MaxWidth,
+			Members:    tw.Members,
+			Sub:        tw.Sub,
+			Meta:       tw.Meta,
+		})
+	}
+	for _, ew := range w.Edges {
+		if err := ng.AddEdge(ew.From, ew.To, ew.Bytes); err != nil {
+			return err
+		}
+	}
+	*g = *ng
+	return nil
+}

@@ -94,7 +94,7 @@ func TestBuildPABGraphShape(t *testing.T) {
 	}
 }
 
-func TestSolverGraphsScheduleAndMap(t *testing.T) {
+func TestSolverGraphsScheduleMap(t *testing.T) {
 	// End-to-end smoke: schedule + map + shape checks for all builders.
 	mach := arch.CHiC().Subset(16)
 	model := &cost.Model{Machine: mach}

@@ -29,14 +29,64 @@ type Key struct {
 	RoundRobin           bool
 }
 
-// Cache is a thread-safe LRU cache of finished mappings, keyed by the full
-// planning request. Heavy traffic repeatedly planning the same program on
-// the same partition — the production case — is served from here without
-// re-running the group-count search.
-//
-// Cached mappings are shared between callers and must be treated as
-// immutable (every consumer in this repository only reads them).
-type Cache struct {
+// hash folds every key field into one 64-bit FNV-1a value; the sharded
+// cache and the singleflight table both use it to pick a shard, so equal
+// keys always land on the same shard regardless of which side looks first.
+func (k Key) hash() uint64 {
+	h := uint64(fnvOffset)
+	h = mix(h, k.Graph)
+	h = mix(h, k.Machine)
+	h = mixString(h, k.Strategy)
+	h = mix(h, uint64(k.P))
+	h = mix(h, k.ModelMachine)
+	var flags uint64
+	if k.Hybrid {
+		flags |= 1
+	}
+	if k.NoChainContraction {
+		flags |= 2
+	}
+	if k.NoAdjustment {
+		flags |= 4
+	}
+	if k.RoundRobin {
+		flags |= 8
+	}
+	h = mix(h, flags)
+	h = mix(h, uint64(k.ThreadsPerRank))
+	h = mix(h, uint64(k.ForceGroups))
+	h = mix(h, uint64(k.MinGroups)<<32|uint64(uint32(k.MaxGroups)))
+	return h
+}
+
+// Cache is the schedule cache seam of the Planner: a thread-safe map from
+// planning request keys to finished mappings. Implementations must be safe
+// for concurrent use; cached mappings are shared between callers and must
+// be treated as immutable (every consumer in this repository only reads
+// them).
+type Cache interface {
+	// Get returns the cached mapping for the key, marking it most
+	// recently used.
+	Get(k Key) (*core.Mapping, bool)
+	// Peek is Get without updating recency or the hit/miss counters;
+	// the planner's singleflight leader uses it to close the race
+	// between a miss and a concurrent leader's publish without skewing
+	// the traffic statistics.
+	Peek(k Key) (*core.Mapping, bool)
+	// Add inserts a mapping, evicting older entries as needed.
+	Add(k Key, mp *core.Mapping)
+	// Len returns the number of cached mappings.
+	Len() int
+	// Stats returns the accumulated hit and miss counts.
+	Stats() (hits, misses uint64)
+	// Purge empties the cache (counters are kept).
+	Purge()
+}
+
+// lruShard is one single-mutex LRU shard. It is the pre-sharding Cache
+// implementation verbatim; ShardedCache composes N of them so concurrent
+// requests for different fingerprints do not serialize on one lock.
+type lruShard struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used
@@ -50,25 +100,7 @@ type cacheEntry struct {
 	mp  *core.Mapping
 }
 
-// DefaultCacheSize is the schedule cache capacity used when none is given.
-const DefaultCacheSize = 256
-
-// NewCache returns an LRU schedule cache holding up to capacity mappings
-// (capacity < 1 falls back to DefaultCacheSize).
-func NewCache(capacity int) *Cache {
-	if capacity < 1 {
-		capacity = DefaultCacheSize
-	}
-	return &Cache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[Key]*list.Element),
-	}
-}
-
-// Get returns the cached mapping for the key, marking it most recently
-// used.
-func (c *Cache) Get(k Key) (*core.Mapping, bool) {
+func (c *lruShard) get(k Key) (*core.Mapping, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
@@ -81,9 +113,17 @@ func (c *Cache) Get(k Key) (*core.Mapping, bool) {
 	return el.Value.(*cacheEntry).mp, true
 }
 
-// Add inserts a mapping, evicting the least recently used entry when the
-// cache is full.
-func (c *Cache) Add(k Key, mp *core.Mapping) {
+func (c *lruShard) peek(k Key) (*core.Mapping, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).mp, true
+}
+
+func (c *lruShard) add(k Key, mp *core.Mapping) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
@@ -99,24 +139,146 @@ func (c *Cache) Add(k Key, mp *core.Mapping) {
 	}
 }
 
-// Len returns the number of cached mappings.
-func (c *Cache) Len() int {
+func (c *lruShard) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
-// Stats returns the accumulated hit and miss counts.
-func (c *Cache) Stats() (hits, misses uint64) {
+func (c *lruShard) stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
 
-// Purge empties the cache (counters are kept).
-func (c *Cache) Purge() {
+func (c *lruShard) purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.order.Init()
 	c.entries = make(map[Key]*list.Element)
+}
+
+// DefaultCacheSize is the schedule cache capacity used when none is given.
+const DefaultCacheSize = 256
+
+// DefaultShards is the shard count of NewCache. Sixteen shards keep the
+// probability of two concurrent hot fingerprints contending on one mutex
+// low while the per-shard LRUs stay large enough to be useful.
+const DefaultShards = 16
+
+// ShardedCache is the standard Cache: capacity is split over N
+// fingerprint-sharded single-mutex LRUs, so concurrent requests only
+// contend when their keys hash to the same shard. The zero value is
+// unusable; construct with NewCache or NewShardedCache.
+type ShardedCache struct {
+	shards []lruShard
+	mask   uint64
+}
+
+// NewCache returns the standard sharded LRU schedule cache holding up to
+// capacity mappings across DefaultShards shards (capacity < 1 falls back
+// to DefaultCacheSize).
+func NewCache(capacity int) *ShardedCache {
+	return NewShardedCache(capacity, DefaultShards)
+}
+
+// NewShardedCache returns a sharded LRU cache with the given total
+// capacity and shard count. The shard count is rounded up to a power of
+// two and capped so every shard holds at least one mapping; shards < 1
+// falls back to DefaultShards, capacity < 1 to DefaultCacheSize. The total
+// capacity is split evenly (rounded up), so the cache holds at least
+// capacity mappings before any shard evicts.
+func NewShardedCache(capacity, shards int) *ShardedCache {
+	if capacity < 1 {
+		capacity = DefaultCacheSize
+	}
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	c := &ShardedCache{shards: make([]lruShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].order = list.New()
+		c.shards[i].entries = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (c *ShardedCache) Shards() int { return len(c.shards) }
+
+func (c *ShardedCache) shardFor(k Key) *lruShard {
+	return &c.shards[k.hash()&c.mask]
+}
+
+// ShardIndex returns the shard the key lives on (for tests and metrics).
+func (c *ShardedCache) ShardIndex(k Key) int { return int(k.hash() & c.mask) }
+
+// Get returns the cached mapping for the key, marking it most recently
+// used within its shard.
+func (c *ShardedCache) Get(k Key) (*core.Mapping, bool) {
+	return c.shardFor(k).get(k)
+}
+
+// Peek returns the cached mapping without updating recency or counters.
+func (c *ShardedCache) Peek(k Key) (*core.Mapping, bool) {
+	return c.shardFor(k).peek(k)
+}
+
+// Add inserts a mapping, evicting the least recently used entry of the
+// key's shard when that shard is full.
+func (c *ShardedCache) Add(k Key, mp *core.Mapping) {
+	c.shardFor(k).add(k, mp)
+}
+
+// Len returns the number of cached mappings over all shards.
+func (c *ShardedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].len()
+	}
+	return n
+}
+
+// Stats returns the hit and miss counts accumulated over all shards.
+func (c *ShardedCache) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		h, m := c.shards[i].stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// ShardStats returns the per-shard (entries, hits, misses) triples, index
+// aligned with ShardIndex — the raw material of the serve-layer cache
+// metrics.
+func (c *ShardedCache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		out[i].Len = c.shards[i].len()
+		out[i].Hits, out[i].Misses = c.shards[i].stats()
+	}
+	return out
+}
+
+// ShardStat is one shard's size and traffic counters.
+type ShardStat struct {
+	Len          int
+	Hits, Misses uint64
+}
+
+// Purge empties every shard (counters are kept).
+func (c *ShardedCache) Purge() {
+	for i := range c.shards {
+		c.shards[i].purge()
+	}
 }

@@ -3,17 +3,22 @@
 // Planner turns an M-task graph and a machine description into a physical
 // mapping, searching the per-layer group counts of Algorithm 1 on a
 // bounded worker pool, memoizing the cost model evaluations, and serving
-// repeated requests from an LRU schedule cache keyed by graph and machine
-// fingerprints.
+// repeated requests from a fingerprint-sharded LRU schedule cache keyed by
+// graph and machine fingerprints. Concurrent cold plans of the same key
+// are coalesced: one request leads the search, the others adopt its
+// result (singleflight), so a burst of identical requests costs one
+// planner invocation.
 //
 // The engine is deliberately deterministic: the parallel search breaks
 // ties exactly like the sequential loop (smallest group count wins), so a
 // Planner produces bit-identical schedules regardless of its parallelism,
-// and a cache hit returns the same mapping a cold plan would compute.
+// and a cache hit or a coalesced request returns the same mapping a cold
+// plan would compute.
 package plan
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -47,7 +52,8 @@ type Options struct {
 	// (0 = unbounded); ForceGroups pins it (see core.Scheduler).
 	MinGroups, MaxGroups, ForceGroups int
 
-	// DisableCache bypasses the planner's schedule cache.
+	// DisableCache bypasses the planner's schedule cache and the
+	// singleflight coalescing (both are keyed by the same fingerprint).
 	DisableCache bool
 
 	// DisableMemo turns off cost-model memoization.
@@ -59,6 +65,23 @@ type Options struct {
 	// gauges for cost-model memoization hits/misses. Tracing never
 	// alters planning decisions.
 	Trace *obs.Recorder
+
+	// Info, when non-nil, is filled with how the request was served;
+	// see Info.
+	Info *Info
+}
+
+// Info reports how one Plan request was served — the per-request signal
+// the serving layer turns into its admission and cache metrics. Exactly
+// one of the three fields is set on success; all are false on error.
+type Info struct {
+	// CacheHit reports that the mapping came from the schedule cache.
+	CacheHit bool
+	// Coalesced reports that the request joined a concurrent identical
+	// request's cold plan and adopted its result without planning.
+	Coalesced bool
+	// Cold reports that this request ran scheduling and mapping itself.
+	Cold bool
 }
 
 // Option mutates one planning option.
@@ -70,8 +93,9 @@ func WithStrategy(s core.Strategy) Option { return func(o *Options) { o.Strategy
 // WithCores schedules on p symbolic cores instead of the whole machine.
 func WithCores(p int) Option { return func(o *Options) { o.Cores = p } }
 
-// WithModel overrides the cost model (e.g. for hybrid MPI+OpenMP planning).
-func WithModel(m *cost.Model) Option { return func(o *Options) { o.Model = m } }
+// WithCostModel overrides the cost model (e.g. for hybrid MPI+OpenMP
+// planning).
+func WithCostModel(m *cost.Model) Option { return func(o *Options) { o.Model = m } }
 
 // WithParallelism sets the worker count of the group-count search;
 // WithParallelism(1) forces the sequential reference path.
@@ -87,7 +111,8 @@ func WithGroupBounds(min, max int) Option {
 // data-parallel schedule, a large value the maximally task-parallel one.
 func WithForceGroups(g int) Option { return func(o *Options) { o.ForceGroups = g } }
 
-// WithoutCache bypasses the schedule cache for this request.
+// WithoutCache bypasses the schedule cache (and with it the singleflight
+// coalescing) for this request.
 func WithoutCache() Option { return func(o *Options) { o.DisableCache = true } }
 
 // WithoutMemo disables cost-model memoization for this request.
@@ -97,20 +122,26 @@ func WithoutMemo() Option { return func(o *Options) { o.DisableMemo = true } }
 // Options.Trace.
 func WithTrace(rec *obs.Recorder) Option { return func(o *Options) { o.Trace = rec } }
 
+// WithInfo fills *i with how the request was served (cache hit, coalesced
+// or cold); see Info.
+func WithInfo(i *Info) Option { return func(o *Options) { o.Info = i } }
+
 // Defaults returns the planner's default options.
 func Defaults() Options {
 	return Options{Strategy: core.Consecutive{}}
 }
 
 // Planner is a concurrent, cache-backed scheduling engine. A Planner is
-// safe for concurrent use; all requests share its schedule cache.
+// safe for concurrent use; all requests share its schedule cache and its
+// singleflight table.
 type Planner struct {
-	base  Options
-	cache *Cache
+	base    Options
+	cache   Cache
+	flights flightGroup
 }
 
 // New returns a Planner whose per-request defaults are Defaults()
-// overridden by the given options, with a schedule cache of
+// overridden by the given options, with a sharded schedule cache of
 // DefaultCacheSize mappings.
 func New(opts ...Option) *Planner {
 	o := Defaults()
@@ -121,8 +152,8 @@ func New(opts ...Option) *Planner {
 }
 
 // NewWithCache returns a Planner using the given schedule cache (e.g. a
-// larger one, or one shared between planners).
-func NewWithCache(c *Cache, opts ...Option) *Planner {
+// larger one, one with more shards, or one shared between planners).
+func NewWithCache(c Cache, opts ...Option) *Planner {
 	p := New(opts...)
 	if c != nil {
 		p.cache = c
@@ -131,18 +162,22 @@ func NewWithCache(c *Cache, opts ...Option) *Planner {
 }
 
 // Cache returns the planner's schedule cache (for stats and purging).
-func (p *Planner) Cache() *Cache { return p.cache }
+func (p *Planner) Cache() Cache { return p.cache }
 
 // Plan schedules the graph on the machine and maps it with the configured
 // strategy. It validates both inputs (errors wrap arch.ErrInvalidMachine /
 // graph.ErrCyclicGraph), honours ctx cancellation throughout the search
-// (errors wrap core.ErrCanceled), and serves repeated requests from the
-// schedule cache. The returned mapping may be shared with other callers
-// and must be treated as read-only.
+// (errors wrap core.ErrCanceled), serves repeated requests from the
+// schedule cache, and coalesces concurrent identical requests into one
+// cold plan. The returned mapping may be shared with other callers and
+// must be treated as read-only.
 func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opts ...Option) (*core.Mapping, error) {
 	o := p.base
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.Info != nil {
+		*o.Info = Info{}
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -167,28 +202,86 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 		model = &cost.Model{Machine: m}
 	}
 
-	var key Key
-	useCache := !o.DisableCache && p.cache != nil
-	if useCache {
-		key = Key{
-			Graph:          GraphFingerprint(g),
-			Machine:        MachineFingerprint(m),
-			Strategy:       o.Strategy.Name(),
-			P:              P,
-			ModelMachine:   MachineFingerprint(model.Machine),
-			Hybrid:         model.Hybrid,
-			ThreadsPerRank: model.ThreadsPerRank,
-			ForceGroups:    o.ForceGroups,
-			MinGroups:      o.MinGroups,
-			MaxGroups:      o.MaxGroups,
+	if o.DisableCache || p.cache == nil {
+		mp, err := p.planCold(ctx, g, m, P, model, &o)
+		if err == nil && o.Info != nil {
+			o.Info.Cold = true
 		}
+		return mp, err
+	}
+
+	key := Key{
+		Graph:          GraphFingerprint(g),
+		Machine:        MachineFingerprint(m),
+		Strategy:       o.Strategy.Name(),
+		P:              P,
+		ModelMachine:   MachineFingerprint(model.Machine),
+		Hybrid:         model.Hybrid,
+		ThreadsPerRank: model.ThreadsPerRank,
+		ForceGroups:    o.ForceGroups,
+		MinGroups:      o.MinGroups,
+		MaxGroups:      o.MaxGroups,
+	}
+	for {
 		if mp, ok := p.cache.Get(key); ok {
 			o.Trace.Counter("plan.cache_hits").Add(1)
 			o.Trace.Instant("cache-hit:"+g.Name, "plan", obs.ControlRank, o.Trace.Now())
+			if o.Info != nil {
+				o.Info.CacheHit = true
+			}
 			return mp, nil
 		}
 		o.Trace.Counter("plan.cache_misses").Add(1)
+
+		f, leader := p.flights.join(key)
+		if leader {
+			// Re-check the cache: a previous leader may have published
+			// between our miss and our join, and planning again here
+			// would break the one-cold-plan-per-fingerprint guarantee.
+			if mp, ok := p.cache.Peek(key); ok {
+				p.flights.finish(key, f, mp, nil)
+				o.Trace.Counter("plan.cache_hits").Add(1)
+				if o.Info != nil {
+					o.Info.CacheHit = true
+				}
+				return mp, nil
+			}
+			mp, err := p.planCold(ctx, g, m, P, model, &o)
+			if err == nil {
+				p.cache.Add(key, mp)
+			}
+			p.flights.finish(key, f, mp, err)
+			if err == nil && o.Info != nil {
+				o.Info.Cold = true
+			}
+			return mp, err
+		}
+		select {
+		case <-f.done:
+			if f.err != nil {
+				// A leader canceled by its own caller must not poison
+				// followers whose contexts are still live: loop and
+				// either hit the cache or lead a fresh flight.
+				if errors.Is(f.err, core.ErrCanceled) && ctx.Err() == nil {
+					continue
+				}
+				return nil, f.err
+			}
+			o.Trace.Counter("plan.coalesced").Add(1)
+			if o.Info != nil {
+				o.Info.Coalesced = true
+			}
+			return f.res.(*core.Mapping), nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("planning %q: %w (%v)", g.Name, core.ErrCanceled, ctx.Err())
+		}
 	}
+}
+
+// planCold runs the actual scheduling and mapping of one request — the
+// work the cache and the singleflight exist to avoid repeating.
+func (p *Planner) planCold(ctx context.Context, g *graph.Graph, m *arch.Machine, P int,
+	model *cost.Model, o *Options) (*core.Mapping, error) {
 
 	planStart := o.Trace.Now()
 	if !o.DisableMemo {
@@ -212,9 +305,6 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 	mp, err := core.MapCtx(ctx, sched, m, o.Strategy)
 	if err != nil {
 		return nil, err
-	}
-	if useCache {
-		p.cache.Add(key, mp)
 	}
 	if o.Trace != nil {
 		o.Trace.Span("plan:"+g.Name, "plan", obs.ControlRank, -1, -1, planStart, o.Trace.Now())

@@ -235,9 +235,10 @@ func TestFingerprints(t *testing.T) {
 	}
 }
 
-// TestCacheLRU checks capacity-bounded eviction order.
+// TestCacheLRU checks capacity-bounded eviction order within one shard
+// (a single-shard cache is the pre-sharding LRU).
 func TestCacheLRU(t *testing.T) {
-	c := NewCache(2)
+	c := NewShardedCache(2, 1)
 	mk := func(i int) (Key, *core.Mapping) {
 		return Key{Graph: uint64(i)}, &core.Mapping{}
 	}

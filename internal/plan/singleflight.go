@@ -1,0 +1,61 @@
+package plan
+
+import "sync"
+
+// flightGroup coalesces concurrent cold plans of the same Key: the first
+// request becomes the leader and runs the group-count search, every
+// request arriving while the leader is in flight becomes a follower and
+// adopts the leader's result. Under serving traffic this is what turns N
+// simultaneous cache misses on one fingerprint into one planner
+// invocation instead of N.
+//
+// The table is sharded by the same key hash as the cache, so unrelated
+// fingerprints never contend on one mutex even at thousands of in-flight
+// requests.
+type flightGroup struct {
+	shards [flightShards]flightShard
+}
+
+const flightShards = 16 // power of two; see flightGroup
+
+type flightShard struct {
+	mu sync.Mutex
+	m  map[Key]*flight
+}
+
+// flight is one in-progress cold plan. done is closed exactly once, after
+// res and err were written; followers must only read them after <-done.
+type flight struct {
+	done chan struct{}
+	res  interface{}
+	err  error
+}
+
+// join returns the flight for the key and whether the caller is its
+// leader. The leader must call finish exactly once.
+func (g *flightGroup) join(k Key) (f *flight, leader bool) {
+	s := &g.shards[k.hash()&(flightShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[Key]*flight)
+	}
+	if f, ok := s.m[k]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.m[k] = f
+	return f, true
+}
+
+// finish publishes the leader's result and releases the key, so a request
+// arriving after the flight completed starts fresh (it will hit the cache
+// on success, or lead a new flight after a failure).
+func (g *flightGroup) finish(k Key, f *flight, res interface{}, err error) {
+	s := &g.shards[k.hash()&(flightShards-1)]
+	s.mu.Lock()
+	delete(s.m, k)
+	s.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}

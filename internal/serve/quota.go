@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded is the sentinel wrapped by every admission rejection;
+// the HTTP layer maps it to 429 Too Many Requests. Test with errors.Is.
+var ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
+
+// Quotas is the admission layer of the plan server: one token bucket per
+// tenant, refilled at Rate tokens per second up to Burst. A request is
+// admitted when its tenant's bucket holds at least one token; otherwise
+// it is rejected with an error wrapping ErrQuotaExceeded — the server
+// never queues inadmissible work, which keeps one greedy tenant from
+// growing every other tenant's latency (the hierarchical-scheduler
+// admission argument of He et al.).
+//
+// Buckets are created lazily on first use. A Rate <= 0 disables admission
+// control entirely (every request is admitted).
+type Quotas struct {
+	rate  float64 // tokens per second per tenant
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas returns an admission table granting each tenant rate
+// requests per second with bursts up to burst. burst < 1 is raised to 1
+// (a bucket that can never hold a whole token would reject everything).
+func NewQuotas(rate float64, burst int) *Quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Quotas{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Unlimited reports whether admission control is disabled.
+func (q *Quotas) Unlimited() bool { return q == nil || q.rate <= 0 }
+
+// Admit spends one token of the tenant's bucket, or returns an error
+// wrapping ErrQuotaExceeded naming the tenant when the bucket is empty.
+func (q *Quotas) Admit(tenant string) error {
+	if q.Unlimited() {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	now := q.now()
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return fmt.Errorf("tenant %q: %w (rate %g req/s, burst %g)",
+			tenant, ErrQuotaExceeded, q.rate, q.burst)
+	}
+	b.tokens--
+	return nil
+}
+
+// Tenants returns the number of tenants with a materialized bucket.
+func (q *Quotas) Tenants() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

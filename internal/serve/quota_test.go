@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	q := NewQuotas(10, 3) // 10 req/s, burst 3
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if err := q.Admit("a"); err != nil {
+			t.Fatalf("burst request %d rejected: %v", i, err)
+		}
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-burst request: got %v, want ErrQuotaExceeded", err)
+	}
+
+	// 100ms refills exactly one token at 10 req/s.
+	now = now.Add(100 * time.Millisecond)
+	if err := q.Admit("a"); err != nil {
+		t.Fatalf("refilled request rejected: %v", err)
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second request after single refill: got %v, want ErrQuotaExceeded", err)
+	}
+
+	// Refill caps at the burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if err := q.Admit("a"); err != nil {
+			t.Fatalf("post-idle request %d rejected: %v", i, err)
+		}
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("burst not capped after idle period")
+	}
+}
+
+func TestQuotaTenantsIsolated(t *testing.T) {
+	q := NewQuotas(1, 1)
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	if err := q.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit("a"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("tenant a's second request admitted")
+	}
+	// Tenant b has its own bucket, untouched by a's exhaustion.
+	if err := q.Admit("b"); err != nil {
+		t.Fatalf("tenant b rejected by tenant a's exhaustion: %v", err)
+	}
+	if q.Tenants() != 2 {
+		t.Fatalf("Tenants() = %d, want 2", q.Tenants())
+	}
+}
+
+func TestQuotaUnlimited(t *testing.T) {
+	for _, q := range []*Quotas{nil, NewQuotas(0, 5), NewQuotas(-1, 5)} {
+		if !q.Unlimited() {
+			t.Fatalf("%+v not unlimited", q)
+		}
+		for i := 0; i < 100; i++ {
+			if err := q.Admit("x"); err != nil {
+				t.Fatalf("unlimited quotas rejected: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package serve is the multi-tenant planning-as-a-service front door: an
+// HTTP server exposing the concurrent planner engine (internal/plan) and
+// the deterministic cluster simulator (internal/cluster) to many
+// concurrent clients.
+//
+// The request path is engineered for sustained concurrent load, in three
+// stages:
+//
+//  1. Admission — per-tenant token-bucket quotas (Quotas) reject excess
+//     traffic with 429 before it touches the planner, so one tenant
+//     cannot starve the rest.
+//  2. Sharded schedule cache — admitted requests are served from the
+//     planner's fingerprint-sharded LRU (plan.ShardedCache); concurrent
+//     hits on different fingerprints never contend on one mutex.
+//  3. Coalescing — concurrent cold requests for the same fingerprint are
+//     collapsed by the planner's singleflight into one group-count
+//     search; followers adopt the leader's mapping.
+//
+// Every stage publishes counters into an obs.Recorder (serve.requests,
+// serve.rejected, serve.cache_hits, serve.coalesced, serve.plans_cold,
+// per-shard hit/miss gauges), exposed in Prometheus-friendly text form on
+// GET /metricz.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mtask/internal/arch"
+	"mtask/internal/cluster"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+	"mtask/internal/obs"
+	"mtask/internal/plan"
+)
+
+// TenantHeader names the request header carrying the tenant identity.
+// Requests without it are accounted to DefaultTenant.
+const TenantHeader = "X-Mtask-Tenant"
+
+// DefaultTenant is the tenant of requests without a TenantHeader.
+const DefaultTenant = "default"
+
+// DefaultMaxBodyBytes bounds request bodies (graph + machine JSON).
+const DefaultMaxBodyBytes = 64 << 20
+
+// Server is the planning service. Construct with New; serve its
+// Handler() with net/http. A Server is safe for concurrent use.
+type Server struct {
+	planner *plan.Planner
+	sharded *plan.ShardedCache // non-nil when the cache is ours / sharded
+	quotas  *Quotas
+	rec     *obs.Recorder
+	maxBody int64
+
+	capacity, shards int
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQuota grants each tenant rate plan/simulate requests per second
+// with bursts up to burst; rate <= 0 disables admission control (the
+// default).
+func WithQuota(rate float64, burst int) Option {
+	return func(s *Server) { s.quotas = NewQuotas(rate, burst) }
+}
+
+// WithCache sizes the schedule cache: total capacity mappings over the
+// given number of fingerprint shards (0 picks the plan package defaults).
+func WithCache(capacity, shards int) Option {
+	return func(s *Server) { s.capacity, s.shards = capacity, shards }
+}
+
+// WithPlanner serves requests through the given planner instead of a
+// private one (e.g. to share a cache with in-process callers). Overrides
+// WithCache.
+func WithPlanner(p *plan.Planner) Option {
+	return func(s *Server) { s.planner = p }
+}
+
+// WithRecorder publishes the server's counters into rec instead of a
+// private recorder.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(s *Server) { s.rec = rec }
+}
+
+// WithMaxBodyBytes bounds request bodies (default DefaultMaxBodyBytes).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// New returns a Server with a private planner backed by a sharded
+// schedule cache, no quotas, and a private metrics recorder, overridden
+// by the given options.
+func New(opts ...Option) *Server {
+	s := &Server{maxBody: DefaultMaxBodyBytes}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.planner == nil {
+		capacity := s.capacity
+		if capacity < 1 {
+			capacity = plan.DefaultCacheSize
+		}
+		shards := s.shards
+		if shards < 1 {
+			shards = plan.DefaultShards
+		}
+		s.sharded = plan.NewShardedCache(capacity, shards)
+		s.planner = plan.NewWithCache(s.sharded)
+	} else if c, ok := s.planner.Cache().(*plan.ShardedCache); ok {
+		s.sharded = c
+	}
+	if s.rec == nil {
+		s.rec = obs.New(0, obs.WithName("mtaskd"))
+	}
+	return s
+}
+
+// Planner returns the planner serving this server's requests.
+func (s *Server) Planner() *plan.Planner { return s.planner }
+
+// Recorder returns the server's metrics recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/plan      graph+machine+options -> mapping summary
+//	POST /v1/simulate  graph+machine+options -> simulated timing
+//	GET  /healthz      liveness probe
+//	GET  /metricz      counters in "name value" text form
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	return mux
+}
+
+// Metrics snapshots the server's counters, including the per-shard cache
+// gauges (serve.cache.shard<i>.hits/misses/len) when the cache is
+// sharded.
+func (s *Server) Metrics() map[string]int64 {
+	s.publishCacheMetrics()
+	return s.rec.Metrics()
+}
+
+func (s *Server) publishCacheMetrics() {
+	hits, misses := s.planner.Cache().Stats()
+	s.rec.SetMetric("serve.cache.hits", int64(hits))
+	s.rec.SetMetric("serve.cache.misses", int64(misses))
+	s.rec.SetMetric("serve.cache.len", int64(s.planner.Cache().Len()))
+	s.rec.SetMetric("serve.tenants", int64(s.quotas.Tenants()))
+	if s.sharded == nil {
+		return
+	}
+	for i, st := range s.sharded.ShardStats() {
+		s.rec.SetMetric(fmt.Sprintf("serve.cache.shard%03d.hits", i), int64(st.Hits))
+		s.rec.SetMetric(fmt.Sprintf("serve.cache.shard%03d.misses", i), int64(st.Misses))
+		s.rec.SetMetric(fmt.Sprintf("serve.cache.shard%03d.len", i), int64(st.Len))
+	}
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	s.publishCacheMetrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.rec.MetricsString())
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// admitAndDecode runs the shared front half of the plan and simulate
+// endpoints: admission, body decoding and request validation. It writes
+// the error response itself and returns nil when the request was denied.
+func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request) *PlanRequest {
+	s.rec.Counter("serve.requests").Add(1)
+	if err := s.quotas.Admit(tenantOf(r)); err != nil {
+		s.rec.Counter("serve.rejected").Add(1)
+		writeError(w, http.StatusTooManyRequests, "quota_exceeded", err)
+		return nil
+	}
+	var req PlanRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("decoding request: %w", err))
+		return nil
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err)
+		return nil
+	}
+	return &req
+}
+
+// plan runs the planner for an admitted request, counting how it was
+// served. It writes the error response itself and returns nil on failure.
+func (s *Server) plan(w http.ResponseWriter, r *http.Request, req *PlanRequest) (*core.Mapping, plan.Info) {
+	opts, err := req.planOpts()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err)
+		return nil, plan.Info{}
+	}
+	var info plan.Info
+	opts = append(opts, plan.WithInfo(&info))
+	mp, err := s.planner.Plan(r.Context(), req.Graph, req.Machine, opts...)
+	if err != nil {
+		s.writePlanError(w, err)
+		return nil, info
+	}
+	switch {
+	case info.CacheHit:
+		s.rec.Counter("serve.cache_hits").Add(1)
+	case info.Coalesced:
+		s.rec.Counter("serve.coalesced").Add(1)
+	case info.Cold:
+		s.rec.Counter("serve.plans_cold").Add(1)
+	}
+	return mp, info
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	req := s.admitAndDecode(w, r)
+	if req == nil {
+		return
+	}
+	mp, info := s.plan(w, r, req)
+	if mp == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, buildPlanResponse(mp, info))
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req := s.admitAndDecode(w, r)
+	if req == nil {
+		return
+	}
+	mp, info := s.plan(w, r, req)
+	if mp == nil {
+		return
+	}
+	model := (&cost.Model{Machine: mp.Machine}).WithMemo()
+	prog, _, err := cluster.FromMapping(model, mp)
+	if err != nil {
+		s.writePlanError(w, err)
+		return
+	}
+	res, err := cluster.SimulateCtx(r.Context(), model, prog)
+	if err != nil {
+		s.writePlanError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &SimulateResponse{
+		Graph:      mp.Schedule.Source.Name,
+		Machine:    mp.Machine.Name,
+		Makespan:   res.Makespan,
+		CompTime:   res.CompTime,
+		CommTime:   res.CommTime,
+		RedistTime: res.RedistTime,
+		Cached:     info.CacheHit,
+		Coalesced:  info.Coalesced,
+	})
+}
+
+// writePlanError maps planning-pipeline errors to HTTP statuses: invalid
+// inputs are the client's fault (400), cancellation is the client going
+// away (499, nginx-style), everything else is 500.
+func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, arch.ErrInvalidMachine),
+		errors.Is(err, graph.ErrCyclicGraph),
+		errors.Is(err, core.ErrNoCores):
+		writeError(w, http.StatusBadRequest, "invalid_argument", err)
+	case errors.Is(err, core.ErrCanceled):
+		writeError(w, 499, "canceled", err)
+	default:
+		s.rec.Counter("serve.errors").Add(1)
+		writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, &ErrorResponse{Error: err.Error(), Code: code})
+}

@@ -44,10 +44,11 @@
 //   - the paper's workloads: five parallel ODE solvers (internal/ode) and
 //     an NPB-multi-zone-style benchmark (internal/nas), with experiment
 //     runners for every table and figure of the evaluation
-//     (RunExperiment).
-//
-// Deprecated entry point: ScheduleAndMap is the pre-Planner one-call API;
-// it forwards to Plan with default options and remains for compatibility.
+//     (RunExperiment);
+//   - planning as a service: JSON codecs for graphs and machines
+//     (MarshalGraphJSON, UnmarshalMachineJSON, ...) and the multi-tenant
+//     mtaskd HTTP handler with quota admission, a sharded schedule cache
+//     and request coalescing (ServeHandler; see docs/SERVING.md).
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
 // record.
@@ -55,8 +56,10 @@ package mtask
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 
 	"mtask/internal/arch"
 	"mtask/internal/bench"
@@ -70,6 +73,7 @@ import (
 	"mtask/internal/plan"
 	"mtask/internal/redist"
 	"mtask/internal/runtime"
+	"mtask/internal/serve"
 	"mtask/internal/spec"
 )
 
@@ -88,6 +92,9 @@ var (
 	// ErrCanceled reports that planning or simulation was abandoned
 	// because the context was canceled or timed out.
 	ErrCanceled = core.ErrCanceled
+	// ErrQuotaExceeded reports a serving request rejected by its tenant's
+	// token-bucket quota (the HTTP handler answers it with 429).
+	ErrQuotaExceeded = serve.ErrQuotaExceeded
 )
 
 // --- architecture ---
@@ -173,7 +180,7 @@ func WithStrategy(s Strategy) PlanOption { return plan.WithStrategy(s) }
 func WithCores(p int) PlanOption { return plan.WithCores(p) }
 
 // WithCostModel overrides the cost model (e.g. hybrid MPI+OpenMP).
-func WithCostModel(m *CostModel) PlanOption { return plan.WithModel(m) }
+func WithCostModel(m *CostModel) PlanOption { return plan.WithCostModel(m) }
 
 // WithParallelism sets the worker count of the group-count search;
 // WithParallelism(1) forces the sequential reference path and 0 (the
@@ -224,16 +231,82 @@ func Plan(ctx context.Context, g *Graph, m *Machine, opts ...PlanOption) (*Mappi
 	return defaultPlanner.Plan(ctx, g, m, opts...)
 }
 
-// ScheduleAndMap is the one-call combined scheduling and mapping of the
-// paper: it schedules the graph on all cores of the machine with the
-// layer-based algorithm and maps the symbolic cores with the given
-// strategy.
-//
-// Deprecated: use Plan, which adds context cancellation, concurrent
-// search, caching and per-request options. ScheduleAndMap forwards to
-// Plan with default options.
-func ScheduleAndMap(g *Graph, m *Machine, strat Strategy) (*Mapping, error) {
-	return Plan(context.Background(), g, m, WithStrategy(strat))
+// --- serving ---
+
+// ServeOption configures ServeHandler (and NewPlanServer underneath):
+// quota, cache geometry, recorder, body limits.
+type ServeOption = serve.Option
+
+// ServeTenantHeader is the HTTP request header naming the tenant for
+// quota accounting; absent or empty means the "default" tenant.
+const ServeTenantHeader = serve.TenantHeader
+
+// WithServeQuota enforces a per-tenant token bucket of ratePerSec
+// requests per second with the given burst; rate <= 0 disables quotas.
+// Rejected requests get HTTP 429 with an error wrapping ErrQuotaExceeded
+// semantics (code "quota_exceeded").
+func WithServeQuota(ratePerSec float64, burst int) ServeOption {
+	return serve.WithQuota(ratePerSec, burst)
+}
+
+// WithServeCache sets the handler's sharded schedule cache geometry:
+// total capacity in mappings and the shard count (0 picks the defaults).
+func WithServeCache(capacity, shards int) ServeOption {
+	return serve.WithCache(capacity, shards)
+}
+
+// WithServeRecorder attaches a trace recorder to the handler; serving
+// counters (serve.requests, serve.coalesced, serve.rejected, per-shard
+// cache traffic) land on it and are exported by GET /metricz.
+func WithServeRecorder(rec *TraceRecorder) ServeOption {
+	return serve.WithRecorder(rec)
+}
+
+// ServeHandler returns the planning-as-a-service HTTP handler served by
+// cmd/mtaskd: POST /v1/plan and POST /v1/simulate take a JSON graph,
+// machine and options and return the planned mapping summary or the
+// simulated timing; GET /healthz and GET /metricz expose liveness and
+// the serving metrics. The handler is multi-tenant (ServeTenantHeader),
+// admission-controlled (WithServeQuota), backed by a fingerprint-sharded
+// schedule cache, and coalesces concurrent identical cold plans into one
+// planner invocation. See docs/SERVING.md for the wire format.
+func ServeHandler(opts ...ServeOption) http.Handler {
+	return serve.New(opts...).Handler()
+}
+
+// --- JSON codecs ---
+
+// MarshalGraphJSON encodes an M-task graph in the serving wire form:
+// tasks in insertion order (edges by task index), composed tasks with
+// their subgraphs inline. The encoding round-trips through
+// UnmarshalGraphJSON bit-identically fingerprint-wise.
+func MarshalGraphJSON(g *Graph) ([]byte, error) { return json.Marshal(g) }
+
+// UnmarshalGraphJSON decodes a graph encoded by MarshalGraphJSON,
+// re-validating every task and edge (unknown task references, self
+// edges and malformed kinds are rejected).
+func UnmarshalGraphJSON(data []byte) (*Graph, error) {
+	g := new(graph.Graph)
+	if err := json.Unmarshal(data, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MarshalMachineJSON encodes a machine description as JSON.
+func MarshalMachineJSON(m *Machine) ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalMachineJSON decodes and validates a machine description
+// (errors wrap ErrInvalidMachine).
+func UnmarshalMachineJSON(data []byte) (*Machine, error) {
+	m := new(arch.Machine)
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // --- simulation ---

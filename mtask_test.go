@@ -25,10 +25,10 @@ func buildDemoGraph() *Graph {
 	return g
 }
 
-func TestScheduleAndMapEndToEnd(t *testing.T) {
+func TestPlanDemoEndToEnd(t *testing.T) {
 	g := buildDemoGraph()
 	m := CHiC().Subset(16)
-	mp, err := ScheduleAndMap(g, m, Consecutive{})
+	mp, err := Plan(context.Background(), g, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,16 +51,16 @@ func TestScheduleAndMapEndToEnd(t *testing.T) {
 	}
 }
 
-func TestScheduleAndMapInvalidMachine(t *testing.T) {
+func TestPlanInvalidMachine(t *testing.T) {
 	g := buildDemoGraph()
 	bad := &Machine{Name: "bad"}
-	if _, err := ScheduleAndMap(g, bad, Consecutive{}); !errors.Is(err, ErrInvalidMachine) {
+	if _, err := Plan(context.Background(), g, bad); !errors.Is(err, ErrInvalidMachine) {
 		t.Fatalf("invalid machine: got %v, want ErrInvalidMachine", err)
 	}
 }
 
 // TestPlanEndToEnd drives the primary Plan API: options, cache behaviour,
-// equality with the deprecated ScheduleAndMap wrapper, and simulation.
+// cache/cold-path agreement, and simulation.
 func TestPlanEndToEnd(t *testing.T) {
 	g := buildDemoGraph()
 	m := CHiC().Subset(16)
@@ -81,8 +81,8 @@ func TestPlanEndToEnd(t *testing.T) {
 		t.Fatalf("simulate: err=%v makespan=%v", err, res.Makespan)
 	}
 
-	// The deprecated wrapper and the new API agree.
-	old, err := ScheduleAndMap(g, m, Consecutive{})
+	// The cached path and an uncached cold plan agree bit-identically.
+	old, err := Plan(ctx, g, m, WithoutCache())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestPlanEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	if old.Schedule.Time != nw.Schedule.Time {
-		t.Fatalf("ScheduleAndMap %v != Plan %v", old.Schedule.Time, nw.Schedule.Time)
+		t.Fatalf("uncached %v != cached %v", old.Schedule.Time, nw.Schedule.Time)
 	}
 
 	// Core-count and group-count options shape the schedule.
@@ -264,7 +264,7 @@ func TestFacadeDynamicAndRedist(t *testing.T) {
 	}
 
 	g := buildDemoGraph()
-	mp, err := ScheduleAndMap(g, m, Consecutive{})
+	mp, err := Plan(context.Background(), g, m)
 	if err != nil {
 		t.Fatal(err)
 	}
