@@ -1,0 +1,539 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	stdruntime "runtime"
+
+	"mtask/internal/arch"
+	"mtask/internal/fault"
+	"mtask/internal/ode"
+	"mtask/internal/serve"
+)
+
+// hangGrace is the slack added to a request's propagated deadline before
+// the harness declares it hung: scheduling jitter and response encoding
+// happen outside the context's reach, injected cache stalls are
+// deliberately uncancelable, and CI machines wobble.
+const hangGrace = 2 * time.Second
+
+// chaosResult is one request's observation.
+type chaosResult struct {
+	body     int // index into the request mix (one fingerprint each)
+	status   int
+	code     string
+	elapsed  time.Duration
+	makespan float64
+	degraded bool
+	hung     bool
+}
+
+// chaosDoer abstracts the target: the in-process chaotic handler or a
+// live mtaskd over HTTP (-serve-addr).
+type chaosDoer interface {
+	post(path string, body []byte, deadline time.Duration) (status int, respBody []byte, elapsed time.Duration, hung bool)
+	get(path string) (status int, body string)
+}
+
+type inprocDoer struct{ h http.Handler }
+
+func (d inprocDoer) post(path string, body []byte, deadline time.Duration) (int, []byte, time.Duration, bool) {
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	if deadline > 0 {
+		req.Header.Set(serve.DeadlineHeader, deadline.String())
+	}
+	t0 := time.Now()
+	w := httptest.NewRecorder()
+	d.h.ServeHTTP(w, req)
+	elapsed := time.Since(t0)
+	return w.Code, w.Body.Bytes(), elapsed, deadline > 0 && elapsed > deadline+hangGrace
+}
+
+func (d inprocDoer) get(path string) (int, string) {
+	w := httptest.NewRecorder()
+	d.h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w.Code, w.Body.String()
+}
+
+type httpDoer struct {
+	base   string
+	client *http.Client
+}
+
+func newHTTPDoer(addr string) *httpDoer {
+	return &httpDoer{base: "http://" + addr, client: &http.Client{}}
+}
+
+func (d *httpDoer) post(path string, body []byte, deadline time.Duration) (int, []byte, time.Duration, bool) {
+	ctx := context.Background()
+	if deadline > 0 {
+		// The client-side cutoff IS the hang detector: a server honoring
+		// propagated deadlines answers (with 504 at worst) well inside it.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline+hangGrace)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, 0, false
+	}
+	if deadline > 0 {
+		req.Header.Set(serve.DeadlineHeader, deadline.String())
+	}
+	t0 := time.Now()
+	resp, err := d.client.Do(req)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return 0, nil, elapsed, ctx.Err() != nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, elapsed, deadline > 0 && elapsed > deadline+hangGrace
+}
+
+func (d *httpDoer) get(path string) (int, string) {
+	resp, err := d.client.Get(d.base + path)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+// chaosBodies builds the request mix: graphs distinct fingerprints of
+// the PAB solver graph on a cores-core CHiC partition.
+func chaosBodies(graphs, cores, n int) ([][]byte, error) {
+	machine := arch.CHiC().SubsetCores(cores)
+	bodies := make([][]byte, graphs)
+	for i := range bodies {
+		body, err := json.Marshal(&serve.PlanRequest{
+			Graph:   ode.BuildPABGraph(n, 600, 8, 2, i+1),
+			Machine: machine,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	return bodies, nil
+}
+
+// runServeChaos is the service-level chaos harness: it drives a chaotic
+// planning service — an in-process server with a seeded fault injector,
+// or a live mtaskd started with -chaos-seed (via addr) — with clients
+// concurrent clients propagating per-request deadlines, and asserts the
+// overload invariants:
+//
+//  1. no request outlives its propagated deadline (plus hangGrace);
+//  2. the shed rate is bounded (some requests are admitted and served);
+//  3. coalescing never serves a poisoned plan: every 200 for one
+//     fingerprint reports the identical makespan, and only whitelisted
+//     status codes ever appear;
+//  4. under stress the service degrades, it does not die: liveness stays
+//     ok and readiness reports ok or degraded — never unreachable.
+//
+// Faults are injected deterministically from seed, so a failing run
+// reproduces bit-for-bit.
+func runServeChaos(addr string, seed int64, clients, requests, graphs, cores int, deadline time.Duration) error {
+	if clients < 1 || requests < 1 || graphs < 1 {
+		return fmt.Errorf("-serve-clients/-serve-requests/-serve-graphs must be >= 1")
+	}
+	if graphs > 64 {
+		return fmt.Errorf("-serve-graphs %d out of range 1..64", graphs)
+	}
+	if deadline <= 0 {
+		return fmt.Errorf("-serve-deadline must be positive in chaos mode")
+	}
+
+	var doer chaosDoer
+	target := addr
+	if addr == "" {
+		target = "in-process"
+		inj := &fault.ServeInjector{
+			Seed:            seed,
+			PSlowPlan:       0.20,
+			SlowPlanDelay:   30 * time.Millisecond,
+			PLeakLeader:     0.02,
+			LeakDelay:       300 * time.Millisecond,
+			PPlanError:      0.05,
+			PPlanPanic:      0.02,
+			PHandlerPanic:   0.01,
+			PCacheStall:     0.05,
+			CacheStallDelay: 2 * time.Millisecond,
+		}
+		s := serve.New(
+			serve.WithChaos(inj),
+			serve.WithAdmission(serve.AdmissionConfig{}),
+			serve.WithDegraded(50*time.Millisecond, 0),
+		)
+		doer = inprocDoer{h: s.Handler()}
+	} else {
+		doer = newHTTPDoer(addr)
+	}
+	fmt.Printf("chaos harness: %d clients x %d requests over %d graphs on %d cores, deadline %v, seed %d, target %s\n",
+		clients, requests, graphs, cores, deadline, seed, target)
+
+	bodies, err := chaosBodies(graphs, cores, 4000)
+	if err != nil {
+		return err
+	}
+
+	// Readiness poller: liveness must never fail, readiness must never be
+	// unreachable (it may — should — report degraded under this fire).
+	pollStop := make(chan struct{})
+	pollDone := make(chan [2]int)
+	go func() {
+		liveFails, notReady := 0, 0
+		for {
+			select {
+			case <-pollStop:
+				pollDone <- [2]int{liveFails, notReady}
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			if code, _ := doer.get("/healthz"); code != http.StatusOK {
+				liveFails++
+			}
+			if code, _ := doer.get("/readyz"); code != http.StatusOK {
+				notReady++
+			}
+		}
+	}()
+
+	results := make([][]chaosResult, clients)
+	var startGate, wg sync.WaitGroup
+	startGate.Add(1)
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			rs := make([]chaosResult, 0, requests)
+			startGate.Wait()
+			for r := 0; r < requests; r++ {
+				bi := (c + r) % len(bodies)
+				status, respBody, elapsed, hung := doer.post("/v1/plan", bodies[bi], deadline)
+				res := chaosResult{body: bi, status: status, elapsed: elapsed, hung: hung}
+				if status == http.StatusOK {
+					var pr serve.PlanResponse
+					if err := json.Unmarshal(respBody, &pr); err == nil {
+						res.makespan = pr.Makespan
+						res.degraded = pr.Degraded
+					} else {
+						res.status = -1 // malformed 200: counts as a protocol violation
+					}
+				} else {
+					var er serve.ErrorResponse
+					_ = json.Unmarshal(respBody, &er)
+					res.code = er.Code
+				}
+				rs = append(rs, res)
+			}
+			results[c] = rs
+		}(c)
+	}
+	wallStart := time.Now()
+	startGate.Done()
+	wg.Wait()
+	wall := time.Since(wallStart)
+	close(pollStop)
+	probe := <-pollDone
+
+	// Tally and check the invariants.
+	var (
+		total, ok, shed, deadlineExceeded, canceled, quota, internal, degraded int
+		hangs, lateOK, unexpected, malformed                                   int
+		spans                                                                  = make(map[int]map[float64]int)
+	)
+	for _, rs := range results {
+		for _, r := range rs {
+			total++
+			if r.hung {
+				hangs++
+			}
+			switch r.status {
+			case http.StatusOK:
+				ok++
+				if r.degraded {
+					degraded++
+				}
+				if r.elapsed > deadline+hangGrace {
+					lateOK++
+				}
+				if spans[r.body] == nil {
+					spans[r.body] = make(map[float64]int)
+				}
+				spans[r.body][r.makespan]++
+			case http.StatusServiceUnavailable:
+				shed++
+			case http.StatusGatewayTimeout:
+				deadlineExceeded++
+			case 499:
+				canceled++
+			case http.StatusTooManyRequests:
+				quota++
+			case http.StatusInternalServerError:
+				internal++
+			case -1:
+				malformed++
+			default:
+				unexpected++
+			}
+		}
+	}
+	poisoned := 0
+	for bi, ms := range spans {
+		if len(ms) != 1 {
+			poisoned++
+			fmt.Printf("  POISONED fingerprint %d: makespans %v\n", bi, ms)
+		}
+	}
+
+	fmt.Printf("  %d requests in %.2fs: %d ok (%d degraded), %d shed, %d deadline-exceeded, %d internal, %d quota, %d canceled\n",
+		total, wall.Seconds(), ok, degraded, shed, deadlineExceeded, internal, quota, canceled)
+	fmt.Printf("  probes: %d liveness failures, %d not-ready\n", probe[0], probe[1])
+
+	var violations []string
+	if hangs > 0 || lateOK > 0 {
+		violations = append(violations, fmt.Sprintf("%d requests outlived their propagated deadline (+%v grace)", hangs+lateOK, hangGrace))
+	}
+	if ok == 0 {
+		violations = append(violations, "no request was served at all — shed rate unbounded")
+	}
+	if frac := float64(shed) / float64(total); frac > 0.9 {
+		violations = append(violations, fmt.Sprintf("shed rate %.0f%% exceeds the 90%% bound", 100*frac))
+	}
+	if poisoned > 0 {
+		violations = append(violations, fmt.Sprintf("%d fingerprints served inconsistent plans — coalescing adopted a poisoned flight", poisoned))
+	}
+	if malformed > 0 {
+		violations = append(violations, fmt.Sprintf("%d malformed 200 bodies", malformed))
+	}
+	if unexpected > 0 {
+		violations = append(violations, fmt.Sprintf("%d responses outside the allowed status set", unexpected))
+	}
+	if probe[0] > 0 {
+		violations = append(violations, fmt.Sprintf("liveness failed %d times — the server died instead of degrading", probe[0]))
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("  INVARIANT VIOLATED: %s\n", v)
+		}
+		return fmt.Errorf("%d chaos invariants violated (seed %d reproduces)", len(violations), seed)
+	}
+	fmt.Printf("  all chaos invariants hold (seed %d)\n", seed)
+	return nil
+}
+
+// overloadRow is one cell of the overload profile in BENCH_serve.json.
+type overloadRow struct {
+	Admission  bool    `json:"admission"`
+	Multiplier int     `json:"multiplier"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Deadline   int     `json:"deadline_exceeded"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	// P99RatioVsUnloaded compares this cell's admitted-request p99 to the
+	// same configuration's 1x cell (the acceptance bar is <= 2.0 at 16x
+	// with admission on).
+	P99RatioVsUnloaded float64 `json:"p99_ratio_vs_unloaded,omitempty"`
+	ThroughputRPS      float64 `json:"throughput_rps"`
+	// FinalLimit is where the AIMD limit settled by the end of the cell
+	// (0 when admission is off).
+	FinalLimit int `json:"final_limit,omitempty"`
+}
+
+// overloadProfile measures the overload behaviour before vs. after
+// admission control. Every cell plans the identical cold-heavy workload
+// (the same fixed set of distinct cache keys, the same total request
+// count); only the offered concurrency varies — 1x/4x/16x of a small
+// client baseline — so latency differences between cells measure
+// contention and queueing, never a different request mix. The admission
+// cells self-calibrate their AIMD target from the measured unloaded
+// (1x, no-admission) p99. Recorded, not asserted — CI machines are too
+// noisy for a hard latency gate; the chaos harness asserts the
+// behavioural invariants instead.
+func overloadProfile(cores int, deadline time.Duration) ([]overloadRow, error) {
+	base := stdruntime.GOMAXPROCS(0)
+	if base < 4 {
+		base = 4
+	}
+	if deadline <= 0 {
+		deadline = time.Second
+	}
+
+	// Cold-heavy mix: distinct (steps, force_groups) pairs give distinct
+	// cache keys, so the planner keeps doing real work all run.
+	machine := arch.CHiC().SubsetCores(cores)
+	var bodies [][]byte
+	for steps := 1; steps <= 16; steps++ {
+		for fg := 1; fg <= 8; fg++ {
+			body, err := json.Marshal(&serve.PlanRequest{
+				Graph:   ode.BuildPABGraph(2000, 600, 8, 2, steps),
+				Machine: machine,
+				Options: serve.PlanOptions{ForceGroups: fg},
+			})
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, body)
+		}
+	}
+
+	// Warm-up traffic: distinct fingerprints from the measured mix, so
+	// the AIMD limit settles at the cell's concurrency before the clock
+	// starts while the measured keys stay cold.
+	var warmBodies [][]byte
+	for steps := 17; steps <= 20; steps++ {
+		for fg := 1; fg <= 4; fg++ {
+			body, err := json.Marshal(&serve.PlanRequest{
+				Graph:   ode.BuildPABGraph(2000, 600, 8, 2, steps),
+				Machine: machine,
+				Options: serve.PlanOptions{ForceGroups: fg},
+			})
+			if err != nil {
+				return nil, err
+			}
+			warmBodies = append(warmBodies, body)
+		}
+	}
+
+	// Every cell issues totalRequests requests over the same body mix;
+	// only the client count (concurrency) differs. 96*base is divisible
+	// by base*{1,4,16}, so per-client counts stay integral.
+	totalRequests := 96 * base
+
+	var rows []overloadRow
+	// refP99 is the measured unloaded p99 (the 1x, no-admission cell) —
+	// the intrinsic worst-case cost of one request on this machine. The
+	// admission cells use it as the AIMD latency target, so the limiter
+	// clamps concurrency to whatever keeps total latency (queue wait
+	// included) near the unloaded cost and sheds the rest.
+	var refP99 time.Duration
+	for _, admission := range []bool{false, true} {
+		var unloadedP99 float64
+		for _, mult := range []int{1, 4, 16} {
+			clients := base * mult
+			perClient := totalRequests / clients
+			opts := []serve.Option{}
+			if admission {
+				// 2x the unloaded p99: enough headroom that an unloaded
+				// cell's ordinary cold plans don't read as overload, tight
+				// enough that pile-ups do.
+				target := 2 * refP99
+				if target < 5*time.Millisecond {
+					target = 5 * time.Millisecond
+				}
+				// MaxLimit is pinned at the client baseline (~machine
+				// capacity): the planner is CPU-bound, so concurrency past
+				// the core count adds queueing delay, never throughput —
+				// AIMD explores below the cap, and the cap keeps a flood of
+				// sub-target cache hits from voting the limit into the sky
+				// while cold plans pile up behind them. The queue is one
+				// baseline deep — enough to absorb an unloaded cell's
+				// bursts without shedding, small enough that under real
+				// overload the excess sheds at the door with a 503 instead
+				// of relocating its latency into queue wait.
+				opts = append(opts, serve.WithAdmission(serve.AdmissionConfig{
+					InitialLimit: base,
+					MaxLimit:     base,
+					Queue:        base,
+					Target:       target,
+				}))
+			}
+			s := serve.New(opts...)
+			doer := inprocDoer{h: s.Handler()}
+
+			// Warm-up round at the cell's concurrency, results discarded.
+			var warmWG sync.WaitGroup
+			warmWG.Add(clients)
+			for c := 0; c < clients; c++ {
+				go func(c int) {
+					defer warmWG.Done()
+					for r := 0; r < 2; r++ {
+						doer.post("/v1/plan", warmBodies[(c+r)%len(warmBodies)], deadline)
+					}
+				}(c)
+			}
+			warmWG.Wait()
+
+			// Closed-loop clients: each goroutine streams its share of the
+			// workload back-to-back, so latency is measured from submission
+			// and includes every delay the caller would see — scheduler
+			// preemption by other in-flight plans included.
+			var row overloadRow
+			var all []time.Duration
+			var startGate, wg sync.WaitGroup
+			var mu sync.Mutex
+			startGate.Add(1)
+			wg.Add(clients)
+			for c := 0; c < clients; c++ {
+				go func(c int) {
+					defer wg.Done()
+					startGate.Wait()
+					for r := 0; r < perClient; r++ {
+						body := bodies[(c*perClient+r)%len(bodies)]
+						status, _, elapsed, _ := doer.post("/v1/plan", body, deadline)
+						mu.Lock()
+						switch status {
+						case http.StatusOK:
+							row.OK++
+							all = append(all, elapsed)
+						case http.StatusServiceUnavailable:
+							row.Shed++
+						case http.StatusGatewayTimeout:
+							row.Deadline++
+						}
+						mu.Unlock()
+					}
+				}(c)
+			}
+			wallStart := time.Now()
+			startGate.Done()
+			wg.Wait()
+			wall := time.Since(wallStart)
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			pct := func(p float64) float64 {
+				if len(all) == 0 {
+					return 0
+				}
+				return float64(all[int(p*float64(len(all)-1))]) / float64(time.Millisecond)
+			}
+
+			row.Admission = admission
+			row.Multiplier = mult
+			row.Clients = clients
+			row.Requests = totalRequests
+			row.ShedRate = float64(row.Shed) / float64(row.Requests)
+			row.P50MS = pct(0.50)
+			row.P99MS = pct(0.99)
+			row.ThroughputRPS = float64(row.OK) / wall.Seconds()
+			if mult == 1 {
+				unloadedP99 = row.P99MS
+				if !admission {
+					refP99 = time.Duration(row.P99MS * float64(time.Millisecond))
+				}
+			} else if unloadedP99 > 0 {
+				row.P99RatioVsUnloaded = row.P99MS / unloadedP99
+			}
+			row.FinalLimit = int(s.Metrics()["serve.admission.limit"])
+			rows = append(rows, row)
+			fmt.Printf("overload %2dx admission=%-5v: %4d ok %4d shed %4d 504  p50 %7.1fms  p99 %7.1fms  shed %4.0f%%  limit %d\n",
+				mult, admission, row.OK, row.Shed, row.Deadline, row.P50MS, row.P99MS, 100*row.ShedRate, row.FinalLimit)
+		}
+	}
+	return rows, nil
+}

@@ -67,10 +67,20 @@ func main() {
 	serveGraphs := flag.Int("serve-graphs", 4, "serve: distinct graph fingerprints in the request mix")
 	serveCores := flag.Int("serve-cores", 16, "serve: cores of the CHiC partition in every request")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "serve: write the JSON benchmark record here (empty = skip)")
+	serveChaos := flag.Bool("chaos", false, "serve: run the chaos harness instead — drive a chaotic server (in-process, or -serve-addr) and assert the overload invariants")
+	serveAddr := flag.String("serve-addr", "", "serve -chaos: drive a live mtaskd at this host:port instead of an in-process server")
+	serveDeadline := flag.Duration("serve-deadline", 2*time.Second, "serve: propagated per-request deadline (X-Request-Deadline) in chaos and overload runs")
+	serveOverload := flag.Bool("serve-overload", false, "serve: also record the 1x/4x/16x overload profile (before vs. after admission control) in the benchmark record")
 	flag.Parse()
 
 	if *serveMode {
-		if err := runServe(*serveClients, *serveReqs, *serveGraphs, *serveCores, *serveOut); err != nil {
+		var err error
+		if *serveChaos {
+			err = runServeChaos(*serveAddr, *seed, *serveClients, *serveReqs, *serveGraphs, *serveCores, *serveDeadline)
+		} else {
+			err = runServe(*serveClients, *serveReqs, *serveGraphs, *serveCores, *serveOut, *serveOverload, *serveDeadline)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mtaskbench: serve: %v\n", err)
 			os.Exit(1)
 		}

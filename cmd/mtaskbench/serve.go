@@ -44,6 +44,9 @@ type serveRecord struct {
 		Max float64 `json:"max"`
 	} `json:"latency_us"`
 	Serve map[string]int64 `json:"serve_metrics"`
+	// Overload is the 1x/4x/16x overload profile before vs. after
+	// admission control (-serve-overload).
+	Overload []overloadRow `json:"overload,omitempty"`
 }
 
 // runServe load-tests the planning service handler in process: clients
@@ -53,7 +56,7 @@ type serveRecord struct {
 // and response encode, but no sockets. It verifies the coalescing
 // invariant — exactly one cold plan per distinct fingerprint, coalesced
 // followers observed — and records latency percentiles and throughput.
-func runServe(clients, requests, graphs, cores int, out string) error {
+func runServe(clients, requests, graphs, cores int, out string, overload bool, deadline time.Duration) error {
 	if clients < 1 || requests < 1 || graphs < 1 {
 		return fmt.Errorf("-serve-clients/-serve-requests/-serve-graphs must be >= 1")
 	}
@@ -177,6 +180,15 @@ func runServe(clients, requests, graphs, cores int, out string) error {
 	}
 	if clients > graphs && m["serve.coalesced"] == 0 {
 		return fmt.Errorf("no request was coalesced under %d concurrent clients — singleflight inert", clients)
+	}
+
+	if overload {
+		fmt.Println()
+		rows, err := overloadProfile(cores, deadline)
+		if err != nil {
+			return err
+		}
+		rec.Overload = rows
 	}
 
 	if out != "" {

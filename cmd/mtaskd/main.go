@@ -1,6 +1,7 @@
 // Command mtaskd serves the planning engine over HTTP: a long-running,
 // multi-tenant daemon exposing the paper's combined scheduling and
-// mapping as a service, with per-tenant token-bucket quotas, a
+// mapping as a service, with per-tenant token-bucket quotas, an adaptive
+// global admission limit, deadline propagation, graceful degradation, a
 // fingerprint-sharded schedule cache and singleflight coalescing of
 // concurrent identical requests.
 //
@@ -8,10 +9,15 @@
 //
 //	mtaskd -addr :8080
 //	mtaskd -addr :8080 -cache 1024 -shards 32 -quota-rate 50 -quota-burst 100
+//	mtaskd -addr :8080 -admission -admission-limit 32 -degrade-after 250ms
+//	mtaskd -addr :8080 -chaos-seed 42 -chaos-slow-plans 0.1 -chaos-panics 0.01
 //	mtaskd -print-request pab | curl -s -d @- localhost:8080/v1/plan
 //
-// Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz,
-// GET /metricz. See docs/SERVING.md for the wire format.
+// Endpoints: POST /v1/plan, POST /v1/simulate, GET /healthz (liveness),
+// GET /readyz (readiness), GET /metricz. On SIGINT/SIGTERM the daemon
+// flips readiness to "draining", waits -drain-grace so load balancers
+// notice, then drains in-flight requests. See docs/SERVING.md for the
+// wire format and the overload runbook.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"mtask/internal/arch"
+	"mtask/internal/fault"
 	"mtask/internal/graph"
 	"mtask/internal/obs"
 	"mtask/internal/ode"
@@ -40,6 +47,25 @@ func main() {
 	quotaRate := flag.Float64("quota-rate", 0, "per-tenant admission rate in requests/second (0 = unlimited)")
 	quotaBurst := flag.Int("quota-burst", 1, "per-tenant token-bucket burst")
 	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = default 64 MiB)")
+
+	admission := flag.Bool("admission", false, "enable the adaptive global concurrency limit")
+	admLimit := flag.Int("admission-limit", 0, "admission: initial concurrency limit (0 = default)")
+	admMax := flag.Int("admission-max", 0, "admission: upper bound of the adaptive limit (0 = default)")
+	admQueue := flag.Int("admission-queue", 0, "admission: bounded wait-queue capacity (0 = default, negative disables queueing)")
+	admTarget := flag.Duration("admission-target", 0, "admission: plan-latency target of the AIMD controller (0 = default)")
+	degradeAfter := flag.Duration("degrade-after", 0, "serve a stale same-family mapping flagged degraded when a cold plan runs longer than this (0 = disabled)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client X-Request-Deadline budgets (0 = default)")
+	drainGrace := flag.Duration("drain-grace", 0, "how long readiness reports draining before the listener shuts down")
+
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaos: deterministic injection seed (0 = chaos disabled)")
+	chaosSlow := flag.Float64("chaos-slow-plans", 0, "chaos: probability of a slowed cold plan")
+	chaosSlowDelay := flag.Duration("chaos-slow-delay", 0, "chaos: injected cold-plan delay (0 = default)")
+	chaosLeak := flag.Float64("chaos-leak-leaders", 0, "chaos: probability of a leaked (long-stalled) singleflight leader")
+	chaosErrors := flag.Float64("chaos-plan-errors", 0, "chaos: probability of a failed cold plan")
+	chaosPanics := flag.Float64("chaos-plan-panics", 0, "chaos: probability of a panicking cold plan (leader crash)")
+	chaosHandlerPanics := flag.Float64("chaos-handler-panics", 0, "chaos: probability of a handler panic")
+	chaosCacheStalls := flag.Float64("chaos-cache-stalls", 0, "chaos: probability of a stalled cache-shard access")
+
 	printReq := flag.String("print-request", "", "print a sample /v1/plan JSON body for a solver graph (epol|irk|diirk|pab|pabm) and exit")
 	reqCores := flag.Int("request-cores", 16, "print-request: cores of the CHiC partition in the sample body")
 	reqN := flag.Int("request-n", 4000, "print-request: ODE system size of the sample graph")
@@ -54,24 +80,56 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *cache, *shards, *quotaRate, *quotaBurst, *maxBody); err != nil {
+	var opts []serve.Option
+	if *cache > 0 || *shards > 0 {
+		opts = append(opts, serve.WithCache(*cache, *shards))
+	}
+	if *quotaRate > 0 {
+		opts = append(opts, serve.WithQuota(*quotaRate, *quotaBurst))
+	}
+	if *maxBody > 0 {
+		opts = append(opts, serve.WithMaxBodyBytes(*maxBody))
+	}
+	if *admission {
+		opts = append(opts, serve.WithAdmission(serve.AdmissionConfig{
+			InitialLimit: *admLimit,
+			MaxLimit:     *admMax,
+			Queue:        *admQueue,
+			Target:       *admTarget,
+		}))
+	}
+	if *degradeAfter > 0 {
+		opts = append(opts, serve.WithDegraded(*degradeAfter, 0))
+	}
+	if *maxDeadline > 0 {
+		opts = append(opts, serve.WithMaxDeadline(*maxDeadline))
+	}
+	if *chaosSeed != 0 {
+		opts = append(opts, serve.WithChaos(&fault.ServeInjector{
+			Seed:            *chaosSeed,
+			PSlowPlan:       *chaosSlow,
+			SlowPlanDelay:   *chaosSlowDelay,
+			PLeakLeader:     *chaosLeak,
+			PPlanError:      *chaosErrors,
+			PPlanPanic:      *chaosPanics,
+			PHandlerPanic:   *chaosHandlerPanics,
+			PCacheStall:     *chaosCacheStalls,
+			CacheStallDelay: 0,
+		}))
+		fmt.Fprintf(os.Stderr, "mtaskd: CHAOS MODE seed=%d (slow %g leak %g error %g panic %g handler-panic %g cache-stall %g)\n",
+			*chaosSeed, *chaosSlow, *chaosLeak, *chaosErrors, *chaosPanics, *chaosHandlerPanics, *chaosCacheStalls)
+	}
+
+	if err := run(*addr, *quotaRate, *quotaBurst, *drainGrace, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "mtaskd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until SIGINT/SIGTERM, then drains in-flight requests.
-func run(addr string, cache, shards int, quotaRate float64, quotaBurst int, maxBody int64) error {
-	var opts []serve.Option
-	if cache > 0 || shards > 0 {
-		opts = append(opts, serve.WithCache(cache, shards))
-	}
-	if quotaRate > 0 {
-		opts = append(opts, serve.WithQuota(quotaRate, quotaBurst))
-	}
-	if maxBody > 0 {
-		opts = append(opts, serve.WithMaxBodyBytes(maxBody))
-	}
+// run serves until SIGINT/SIGTERM, then flips readiness to draining,
+// waits the drain grace so load balancers stop routing here, and drains
+// in-flight requests.
+func run(addr string, quotaRate float64, quotaBurst int, drainGrace time.Duration, opts []serve.Option) error {
 	opts = append(opts, serve.WithRecorder(obs.New(0, obs.WithName("mtaskd"))))
 	s := serve.New(opts...)
 
@@ -97,7 +155,15 @@ func run(addr string, cache, shards int, quotaRate float64, quotaBurst int, maxB
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintln(os.Stderr, "mtaskd: shutting down")
+
+	// Drain: readiness flips first, so /readyz answers 503 "draining"
+	// while the listener still accepts (and finishes) requests; only
+	// after the grace does the listener itself shut down.
+	s.SetDraining(true)
+	fmt.Fprintf(os.Stderr, "mtaskd: draining (grace %v)\n", drainGrace)
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
+	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
@@ -107,7 +173,9 @@ func run(addr string, cache, shards int, quotaRate float64, quotaBurst int, maxB
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "mtaskd: served %d requests\n", s.Metrics()["serve.requests"])
+	m := s.Metrics()
+	fmt.Fprintf(os.Stderr, "mtaskd: served %d requests (shed %d, degraded %d, deadline-exceeded %d)\n",
+		m["serve.requests"], m["serve.shed"], m["serve.degraded"], m["serve.deadline_exceeded"])
 	return nil
 }
 

@@ -174,7 +174,7 @@ func SimulateCtx(ctx context.Context, m *cost.Model, p *Program) (*Result, error
 	for len(queue) > 0 {
 		if done%1024 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("simulating %q: %w (%v)", p.Name, core.ErrCanceled, err)
+				return nil, fmt.Errorf("simulating %q: %w (%w)", p.Name, core.ErrCanceled, err)
 			}
 		}
 		i := queue[0]

@@ -110,7 +110,7 @@ func (s *Scheduler) scheduleLayersSequential(ctx context.Context, g *graph.Graph
 	out := make([]*LayerSchedule, len(layers))
 	for li, layer := range layers {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("scheduling %q: %w (%v)", g.Name, ErrCanceled, err)
+			return nil, fmt.Errorf("scheduling %q: %w (%w)", g.Name, ErrCanceled, err)
 		}
 		start := s.Trace.Now()
 		out[li] = s.scheduleLayer(g, layer, P)
@@ -170,7 +170,7 @@ func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, 
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("scheduling %q: %w (%v)", g.Name, ErrCanceled, err)
+		return nil, fmt.Errorf("scheduling %q: %w (%w)", g.Name, ErrCanceled, err)
 	}
 
 	out := make([]*LayerSchedule, len(layers))

@@ -131,7 +131,7 @@ func Map(s *Schedule, m *arch.Machine, strat Strategy) (*Mapping, error) {
 // an error wrapping ErrCanceled without touching the schedule.
 func MapCtx(ctx context.Context, s *Schedule, m *arch.Machine, strat Strategy) (*Mapping, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("mapping %q: %w (%v)", s.Source.Name, ErrCanceled, err)
+		return nil, fmt.Errorf("mapping %q: %w (%w)", s.Source.Name, ErrCanceled, err)
 	}
 	if m.TotalCores() < s.P {
 		return nil, fmt.Errorf("schedule needs %d cores, machine %q has %d: %w",

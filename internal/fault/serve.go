@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Serve-path injection points. The serving layer (internal/serve) asks
+// the ServeInjector for a decision at each point it passes; the task
+// executor's Injector knows nothing about them, so the same fault
+// package covers both halves of the system with the same deterministic
+// seeding discipline.
+const (
+	// PointHandler fires before routing: Panic crashes the handler
+	// goroutine (the server's recovery middleware must turn it into a
+	// 500, not a dead process).
+	PointHandler = "handler"
+	// PointColdPlan fires inside the singleflight leader at the start
+	// of a cold plan: Delay models a slow or leaked leader, Error a
+	// planning failure, Panic a leader crash mid-flight.
+	PointColdPlan = "coldplan"
+	// PointCacheGet / PointCacheAdd fire on schedule-cache lookups and
+	// publishes: Delay models a stalled cache shard.
+	PointCacheGet = "cache.get"
+	PointCacheAdd = "cache.add"
+)
+
+// ServeScript is one scripted serve-path fault: kind strikes the given
+// injection point on the request with the given sequence number
+// (sequence numbers are assigned per admitted request by NextSeq,
+// starting at 1). Scripted entries are checked before the probabilistic
+// model; the first match wins.
+type ServeScript struct {
+	Point string
+	Seq   uint64
+	Kind  Kind
+	Delay time.Duration // for Kind == Delay (0 = the point's default)
+}
+
+// ServeInjector decides, deterministically, which requests suffer which
+// serve-path faults. A nil *ServeInjector injects nothing. Decisions are
+// pure hashes of (seed, point, sequence number), so a fixed seed
+// reproduces the same fault set for a fixed request count regardless of
+// goroutine interleaving — the chaos bench's invariants can therefore be
+// asserted on every CI run with one seed.
+//
+// A ServeInjector contains an atomic sequence counter and must not be
+// copied after first use.
+type ServeInjector struct {
+	// Seed selects the reproducible fault pattern.
+	Seed int64
+
+	// PHandlerPanic is the per-request probability of a handler panic.
+	PHandlerPanic float64
+
+	// PSlowPlan / SlowPlanDelay: probability and stall of a slow cold
+	// plan (default DefaultSlowPlanDelay). The stall happens inside the
+	// singleflight leader, so coalesced followers feel it too.
+	PSlowPlan     float64
+	SlowPlanDelay time.Duration
+
+	// PLeakLeader / LeakDelay: probability and stall of a leaked
+	// singleflight leader — a cold plan stuck far beyond any sane
+	// deadline (default DefaultLeakDelay). Followers must re-elect.
+	PLeakLeader float64
+	LeakDelay   time.Duration
+
+	// PPlanError / PPlanPanic: probabilities of the cold plan failing
+	// with an injected error, or panicking mid-flight.
+	PPlanError float64
+	PPlanPanic float64
+
+	// PCacheStall / CacheStallDelay: probability and stall of a
+	// schedule-cache shard access (default DefaultCacheStallDelay).
+	PCacheStall     float64
+	CacheStallDelay time.Duration
+
+	// Script lists scripted faults checked before the probabilistic
+	// model; the first match wins.
+	Script []ServeScript
+
+	seq atomic.Uint64
+}
+
+// Default stall durations of the serve-path delay faults.
+const (
+	DefaultSlowPlanDelay   = 50 * time.Millisecond
+	DefaultLeakDelay       = 2 * time.Second
+	DefaultCacheStallDelay = 5 * time.Millisecond
+)
+
+// Active reports whether the injector can produce any fault at all.
+func (in *ServeInjector) Active() bool {
+	if in == nil {
+		return false
+	}
+	return len(in.Script) > 0 || in.PHandlerPanic > 0 || in.PSlowPlan > 0 ||
+		in.PLeakLeader > 0 || in.PPlanError > 0 || in.PPlanPanic > 0 || in.PCacheStall > 0
+}
+
+// NextSeq returns the next request sequence number (1-based). The serving
+// layer assigns one per request and passes it to every Decide call that
+// request makes, so all of one request's fault decisions key off the same
+// sequence number.
+func (in *ServeInjector) NextSeq() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seq.Add(1)
+}
+
+// Decide returns the fault to inject at the given point for the request
+// with the given sequence number, or nil for clean passage.
+func (in *ServeInjector) Decide(point string, seq uint64) *Fault {
+	if in == nil {
+		return nil
+	}
+	for i := range in.Script {
+		s := &in.Script[i]
+		if s.Point != point || s.Seq != seq {
+			continue
+		}
+		return in.serveFault(point, s.Kind, s.Delay)
+	}
+	type probe struct {
+		kind  Kind
+		p     float64
+		salt  string
+		delay time.Duration
+	}
+	var probes []probe
+	switch point {
+	case PointHandler:
+		probes = []probe{{Panic, in.PHandlerPanic, "handlerpanic", 0}}
+	case PointColdPlan:
+		probes = []probe{
+			{Panic, in.PPlanPanic, "planpanic", 0},
+			{Error, in.PPlanError, "planerror", 0},
+			{Delay, in.PLeakLeader, "leakleader", in.leakDelay()},
+			{Delay, in.PSlowPlan, "slowplan", in.slowPlanDelay()},
+		}
+	case PointCacheGet, PointCacheAdd:
+		probes = []probe{{Delay, in.PCacheStall, "cachestall", in.cacheStallDelay()}}
+	}
+	for _, pr := range probes {
+		if pr.p > 0 && unit(in.Seed, point+":"+pr.salt, "", int(seq), 0) < pr.p {
+			return in.serveFault(point, pr.kind, pr.delay)
+		}
+	}
+	return nil
+}
+
+// serveFault materialises a serve-path decision into a Fault value.
+func (in *ServeInjector) serveFault(point string, kind Kind, delay time.Duration) *Fault {
+	f := &Fault{Kind: kind}
+	switch kind {
+	case None:
+		return nil
+	case Delay:
+		f.Delay = delay
+		if f.Delay <= 0 {
+			f.Delay = in.defaultDelay(point)
+		}
+	case Error, CoreLoss:
+		f.Err = serveErr(point)
+	}
+	return f
+}
+
+func (in *ServeInjector) defaultDelay(point string) time.Duration {
+	switch point {
+	case PointColdPlan:
+		return in.slowPlanDelay()
+	case PointCacheGet, PointCacheAdd:
+		return in.cacheStallDelay()
+	}
+	return DefaultDelay
+}
+
+func (in *ServeInjector) slowPlanDelay() time.Duration {
+	if in.SlowPlanDelay > 0 {
+		return in.SlowPlanDelay
+	}
+	return DefaultSlowPlanDelay
+}
+
+func (in *ServeInjector) leakDelay() time.Duration {
+	if in.LeakDelay > 0 {
+		return in.LeakDelay
+	}
+	return DefaultLeakDelay
+}
+
+func (in *ServeInjector) cacheStallDelay() time.Duration {
+	if in.CacheStallDelay > 0 {
+		return in.CacheStallDelay
+	}
+	return DefaultCacheStallDelay
+}
+
+func serveErr(point string) error {
+	return &servePointError{point: point}
+}
+
+// servePointError wraps ErrInjected with the injection point.
+type servePointError struct{ point string }
+
+func (e *servePointError) Error() string { return "fault: injected failure at " + e.point }
+func (e *servePointError) Unwrap() error { return ErrInjected }
+
+// Sleep stalls for d or until ctx is done, whichever comes first — the
+// cancelable sleep every delay-kind serve fault must use, so an injected
+// stall never outlives the request deadline it is supposed to exercise.
+func Sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

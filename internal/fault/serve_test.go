@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestServeInjectorNilAndInactive(t *testing.T) {
+	var nilInj *ServeInjector
+	if nilInj.Active() {
+		t.Fatal("nil injector reports active")
+	}
+	if f := nilInj.Decide(PointColdPlan, 1); f != nil {
+		t.Fatalf("nil injector injected %+v", f)
+	}
+	if s := nilInj.NextSeq(); s != 0 {
+		t.Fatalf("nil injector seq %d", s)
+	}
+	zero := &ServeInjector{Seed: 42}
+	if zero.Active() {
+		t.Fatal("zero injector reports active")
+	}
+	for seq := uint64(1); seq <= 100; seq++ {
+		for _, pt := range []string{PointHandler, PointColdPlan, PointCacheGet, PointCacheAdd} {
+			if f := zero.Decide(pt, seq); f != nil {
+				t.Fatalf("zero injector injected %+v at %s seq %d", f, pt, seq)
+			}
+		}
+	}
+}
+
+// TestServeInjectorDeterministic is the seeding contract: two injectors
+// with the same seed and probabilities make identical decisions at every
+// (point, seq), and a different seed makes different ones somewhere.
+func TestServeInjectorDeterministic(t *testing.T) {
+	mk := func(seed int64) *ServeInjector {
+		return &ServeInjector{
+			Seed:          seed,
+			PHandlerPanic: 0.05,
+			PSlowPlan:     0.2,
+			PLeakLeader:   0.05,
+			PPlanError:    0.1,
+			PPlanPanic:    0.05,
+			PCacheStall:   0.2,
+		}
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	points := []string{PointHandler, PointColdPlan, PointCacheGet, PointCacheAdd}
+	differs := false
+	for seq := uint64(1); seq <= 500; seq++ {
+		for _, pt := range points {
+			fa, fb, fc := a.Decide(pt, seq), b.Decide(pt, seq), c.Decide(pt, seq)
+			if (fa == nil) != (fb == nil) {
+				t.Fatalf("same seed disagrees at %s seq %d", pt, seq)
+			}
+			if fa != nil && (fa.Kind != fb.Kind || fa.Delay != fb.Delay) {
+				t.Fatalf("same seed, different fault at %s seq %d: %+v vs %+v", pt, seq, fa, fb)
+			}
+			if (fa == nil) != (fc == nil) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 7 and 8 produced identical decisions over 2000 probes")
+	}
+}
+
+// TestServeInjectorRates sanity-checks the probabilistic model: observed
+// injection rates land near the configured probabilities.
+func TestServeInjectorRates(t *testing.T) {
+	in := &ServeInjector{Seed: 3, PSlowPlan: 0.3}
+	hits := 0
+	const n = 4000
+	for seq := uint64(1); seq <= n; seq++ {
+		if f := in.Decide(PointColdPlan, seq); f != nil {
+			if f.Kind != Delay || f.Delay != DefaultSlowPlanDelay {
+				t.Fatalf("unexpected fault %+v", f)
+			}
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("slow-plan rate %.3f, want ~0.3", rate)
+	}
+}
+
+func TestServeInjectorScriptWins(t *testing.T) {
+	in := &ServeInjector{
+		Seed: 1,
+		Script: []ServeScript{
+			{Point: PointColdPlan, Seq: 3, Kind: Panic},
+			{Point: PointColdPlan, Seq: 4, Kind: Delay, Delay: 123 * time.Millisecond},
+			{Point: PointHandler, Seq: 5, Kind: Panic},
+			{Point: PointCacheGet, Seq: 6, Kind: Delay},
+		},
+	}
+	if !in.Active() {
+		t.Fatal("scripted injector reports inactive")
+	}
+	if f := in.Decide(PointColdPlan, 2); f != nil {
+		t.Fatalf("unscripted seq hit: %+v", f)
+	}
+	if f := in.Decide(PointColdPlan, 3); f == nil || f.Kind != Panic {
+		t.Fatalf("scripted panic missing: %+v", f)
+	}
+	if f := in.Decide(PointColdPlan, 4); f == nil || f.Kind != Delay || f.Delay != 123*time.Millisecond {
+		t.Fatalf("scripted delay wrong: %+v", f)
+	}
+	if f := in.Decide(PointHandler, 3); f != nil {
+		t.Fatalf("point mismatch hit: %+v", f)
+	}
+	if f := in.Decide(PointCacheGet, 6); f == nil || f.Delay != DefaultCacheStallDelay {
+		t.Fatalf("scripted cache stall default delay wrong: %+v", f)
+	}
+}
+
+func TestServeInjectorSeqMonotonic(t *testing.T) {
+	in := &ServeInjector{Seed: 1}
+	for want := uint64(1); want <= 5; want++ {
+		if got := in.NextSeq(); got != want {
+			t.Fatalf("NextSeq = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestServeInjectorErrorWrapsInjected(t *testing.T) {
+	in := &ServeInjector{Seed: 1, Script: []ServeScript{{Point: PointColdPlan, Seq: 1, Kind: Error}}}
+	f := in.Decide(PointColdPlan, 1)
+	if f == nil || f.Err == nil {
+		t.Fatalf("no error fault: %+v", f)
+	}
+	if !errors.Is(f.Err, ErrInjected) {
+		t.Fatalf("injected serve error does not wrap ErrInjected: %v", f.Err)
+	}
+}
+
+func TestSleepCancelable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	Sleep(ctx, time.Minute)
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Sleep ignored canceled context (%v)", d)
+	}
+	Sleep(context.Background(), 0) // no-op, must not block
+}

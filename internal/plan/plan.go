@@ -69,6 +69,15 @@ type Options struct {
 	// Info, when non-nil, is filled with how the request was served;
 	// see Info.
 	Info *Info
+
+	// ColdPlanHook, when non-nil, runs at the start of every cold plan
+	// (inside the singleflight leader, after cache miss and flight
+	// acquisition). A non-nil return fails the cold plan with that
+	// error; a panic is recovered and converted into an error wrapping
+	// ErrPlanPanic. The serving layer's chaos harness uses it to inject
+	// slow plans, leaked singleflight leaders, and leader crashes at
+	// exactly the point where they hurt.
+	ColdPlanHook func(ctx context.Context) error
 }
 
 // Info reports how one Plan request was served — the per-request signal
@@ -82,7 +91,19 @@ type Info struct {
 	Coalesced bool
 	// Cold reports that this request ran scheduling and mapping itself.
 	Cold bool
+	// Degraded reports that the serving layer answered with a stale
+	// mapping of the same fingerprint family because the cold plan
+	// exceeded its budget; the planner itself never sets it.
+	Degraded bool
 }
+
+// ErrPlanPanic is wrapped by the error a cold plan returns when
+// scheduling or mapping panicked. The panic is recovered inside the
+// planner so a crashing singleflight leader finishes its flight instead
+// of leaving followers blocked forever; followers whose contexts are
+// still live re-elect a fresh leader rather than adopting the poisoned
+// flight.
+var ErrPlanPanic = errors.New("plan: panic during cold plan")
 
 // Option mutates one planning option.
 type Option func(*Options)
@@ -125,6 +146,12 @@ func WithTrace(rec *obs.Recorder) Option { return func(o *Options) { o.Trace = r
 // WithInfo fills *i with how the request was served (cache hit, coalesced
 // or cold); see Info.
 func WithInfo(i *Info) Option { return func(o *Options) { o.Info = i } }
+
+// WithColdPlanHook runs fn at the start of every cold plan; see
+// Options.ColdPlanHook.
+func WithColdPlanHook(fn func(ctx context.Context) error) Option {
+	return func(o *Options) { o.ColdPlanHook = fn }
+}
 
 // Defaults returns the planner's default options.
 func Defaults() Options {
@@ -186,7 +213,7 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 	// skips the O(V+E) revalidation, since only valid graphs are cached
 	// and the fingerprint identifies the graph structurally.
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("planning %q: %w (%v)", g.Name, core.ErrCanceled, err)
+		return nil, fmt.Errorf("planning %q: %w (%w)", g.Name, core.ErrCanceled, err)
 	}
 
 	P := o.Cores
@@ -259,10 +286,11 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 		select {
 		case <-f.done:
 			if f.err != nil {
-				// A leader canceled by its own caller must not poison
-				// followers whose contexts are still live: loop and
-				// either hit the cache or lead a fresh flight.
-				if errors.Is(f.err, core.ErrCanceled) && ctx.Err() == nil {
+				// A leader canceled by its own caller — or one that
+				// crashed mid-plan — must not poison followers whose
+				// contexts are still live: loop and either hit the
+				// cache or re-elect a fresh leader.
+				if (errors.Is(f.err, core.ErrCanceled) || errors.Is(f.err, ErrPlanPanic)) && ctx.Err() == nil {
 					continue
 				}
 				return nil, f.err
@@ -273,16 +301,28 @@ func (p *Planner) Plan(ctx context.Context, g *graph.Graph, m *arch.Machine, opt
 			}
 			return f.res.(*core.Mapping), nil
 		case <-ctx.Done():
-			return nil, fmt.Errorf("planning %q: %w (%v)", g.Name, core.ErrCanceled, ctx.Err())
+			return nil, fmt.Errorf("planning %q: %w (%w)", g.Name, core.ErrCanceled, ctx.Err())
 		}
 	}
 }
 
 // planCold runs the actual scheduling and mapping of one request — the
-// work the cache and the singleflight exist to avoid repeating.
+// work the cache and the singleflight exist to avoid repeating. Panics
+// in the pipeline (or the hook) are recovered into an error wrapping
+// ErrPlanPanic so a crashing leader still finishes its flight.
 func (p *Planner) planCold(ctx context.Context, g *graph.Graph, m *arch.Machine, P int,
-	model *cost.Model, o *Options) (*core.Mapping, error) {
+	model *cost.Model, o *Options) (mp *core.Mapping, err error) {
 
+	defer func() {
+		if r := recover(); r != nil {
+			mp, err = nil, fmt.Errorf("planning %q: %w: %v", g.Name, ErrPlanPanic, r)
+		}
+	}()
+	if o.ColdPlanHook != nil {
+		if err := o.ColdPlanHook(ctx); err != nil {
+			return nil, fmt.Errorf("planning %q: cold-plan hook: %w", g.Name, err)
+		}
+	}
 	planStart := o.Trace.Now()
 	if !o.DisableMemo {
 		model = model.WithMemo()
@@ -302,7 +342,7 @@ func (p *Planner) planCold(ctx context.Context, g *graph.Graph, m *arch.Machine,
 	if err != nil {
 		return nil, err
 	}
-	mp, err := core.MapCtx(ctx, sched, m, o.Strategy)
+	mp, err = core.MapCtx(ctx, sched, m, o.Strategy)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -131,6 +132,169 @@ func TestSingleflightCanceledLeaderDoesNotPoison(t *testing.T) {
 	cancel()
 	if _, err := p.Plan(canceled, g, machine, WithoutCache()); !errors.Is(err, core.ErrCanceled) {
 		t.Fatalf("canceled caller: got %v, want ErrCanceled", err)
+	}
+}
+
+// selfCancelKey smuggles each client's own cancel func into the cold
+// plan, so the chaos hook can kill whichever client won leadership.
+type selfCancelKey struct{}
+
+// TestSingleflightChaosKilledLeaders is the re-election property under
+// chaos: the first K singleflight leaders are killed mid-plan (their own
+// contexts canceled, the way a vanished client dies), and every
+// surviving follower must still receive exactly one live re-elected cold
+// plan — the identical mapping, never the dead leaders' cancellation.
+// Run under -race.
+func TestSingleflightChaosKilledLeaders(t *testing.T) {
+	machine := arch.CHiC().SubsetCores(32)
+	g := ode.BuildPABGraph(4000, 600, 8, 2, 3)
+
+	const (
+		clients = 24
+		kills   = 3
+	)
+	var killed atomic.Int32
+	p := New(WithColdPlanHook(func(ctx context.Context) error {
+		if int(killed.Add(1)) <= kills {
+			if cancel, ok := ctx.Value(selfCancelKey{}).(context.CancelFunc); ok {
+				cancel()
+			}
+			<-ctx.Done()
+			// Return nil: the canonical kill path is the planner itself
+			// observing the dead context, exactly like a real vanished
+			// leader mid-search.
+		}
+		return nil
+	}))
+
+	var (
+		start sync.WaitGroup
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		fails []error
+		infos []Info
+		maps  []*core.Mapping
+	)
+	start.Add(1)
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ctx = context.WithValue(ctx, selfCancelKey{}, cancel)
+			var info Info
+			start.Wait()
+			mp, err := p.Plan(ctx, g, machine, WithInfo(&info))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fails = append(fails, err)
+				return
+			}
+			infos = append(infos, info)
+			maps = append(maps, mp)
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	// Exactly the killed leaders fail, and they fail as cancellations —
+	// visible both as the package sentinel and the context cause.
+	if len(fails) != kills {
+		t.Fatalf("%d failures, want exactly the %d killed leaders: %v", len(fails), kills, fails)
+	}
+	for _, err := range fails {
+		if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("killed leader error %v must wrap core.ErrCanceled and context.Canceled", err)
+		}
+	}
+
+	// Every survivor holds the same mapping from the one live cold plan.
+	if len(maps) != clients-kills {
+		t.Fatalf("%d survivors, want %d", len(maps), clients-kills)
+	}
+	for _, mp := range maps[1:] {
+		if mp != maps[0] {
+			t.Fatal("survivors received different mapping objects")
+		}
+	}
+	cold := 0
+	for _, info := range infos {
+		switch {
+		case info.Cold:
+			cold++
+		case info.Coalesced, info.CacheHit:
+		default:
+			t.Error("survivor served by no path at all")
+		}
+	}
+	if cold != 1 {
+		t.Fatalf("%d live cold plans, want exactly 1", cold)
+	}
+}
+
+// TestSingleflightPanickedLeaderReElection kills leaders the violent
+// way: the cold plan panics. The flight must still finish (no follower
+// may hang on a dead leader), the panicking caller gets ErrPlanPanic,
+// and followers re-elect until a live plan lands. Run under -race.
+func TestSingleflightPanickedLeaderReElection(t *testing.T) {
+	machine := arch.CHiC().SubsetCores(32)
+	g := ode.BuildPABGraph(4000, 600, 8, 2, 5)
+
+	const (
+		clients = 16
+		panics  = 2
+	)
+	var attempts atomic.Int32
+	p := New(WithColdPlanHook(func(ctx context.Context) error {
+		if int(attempts.Add(1)) <= panics {
+			panic("chaos: leader killed mid-plan")
+		}
+		return nil
+	}))
+
+	var (
+		start sync.WaitGroup
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		fails []error
+		maps  []*core.Mapping
+	)
+	start.Add(1)
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			mp, err := p.Plan(context.Background(), g, machine)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fails = append(fails, err)
+				return
+			}
+			maps = append(maps, mp)
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	if len(fails) != panics {
+		t.Fatalf("%d failures, want exactly the %d panicked leaders: %v", len(fails), panics, fails)
+	}
+	for _, err := range fails {
+		if !errors.Is(err, ErrPlanPanic) {
+			t.Fatalf("panicked leader error %v must wrap ErrPlanPanic", err)
+		}
+	}
+	if len(maps) != clients-panics {
+		t.Fatalf("%d survivors, want %d", len(maps), clients-panics)
+	}
+	for _, mp := range maps[1:] {
+		if mp != maps[0] {
+			t.Fatal("survivors received different mapping objects")
+		}
 	}
 }
 

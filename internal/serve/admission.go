@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is the sentinel wrapped by every load-shedding rejection:
+// the global concurrency limit is saturated and the wait queue is full.
+// The HTTP layer maps it to 503 Service Unavailable with a Retry-After
+// hint. Test with errors.Is.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// AdmissionConfig configures the adaptive global concurrency limit that
+// sits in front of the per-tenant quotas. Zero fields take the defaults
+// below.
+type AdmissionConfig struct {
+	// InitialLimit is the concurrency limit the AIMD controller starts
+	// from (default DefaultInitialLimit).
+	InitialLimit int
+	// MinLimit / MaxLimit bound the adaptive limit (defaults 1 and
+	// DefaultMaxLimit).
+	MinLimit, MaxLimit int
+	// Queue is the bounded wait-queue capacity; requests arriving with
+	// the limit saturated wait here (FIFO) until a slot frees or their
+	// deadline expires, and are shed with ErrOverloaded once the queue
+	// is full. 0 means DefaultQueue; negative disables queueing.
+	Queue int
+	// Target is the latency target of the AIMD controller, measured
+	// from request arrival (queue wait included): completions under it
+	// grow the limit additively, completions over it shrink it
+	// multiplicatively (default DefaultLatencyTarget). Counting queue
+	// wait is deliberate — a growing queue is itself the proof that the
+	// current limit exceeds what the machine sustains, even when every
+	// admitted request (cache hits) individually stays fast.
+	Target time.Duration
+	// DecreaseFactor is the multiplicative backoff applied to the limit
+	// on an over-target or overload-signalling completion (default
+	// DefaultDecreaseFactor; clamped to (0, 1)).
+	DecreaseFactor float64
+	// Cooldown spaces multiplicative decreases so one burst of slow
+	// completions costs one backoff, not a collapse to MinLimit
+	// (default: Target).
+	Cooldown time.Duration
+}
+
+// Admission defaults.
+const (
+	DefaultInitialLimit   = 16
+	DefaultMaxLimit       = 1024
+	DefaultQueue          = 128
+	DefaultLatencyTarget  = 100 * time.Millisecond
+	DefaultDecreaseFactor = 0.7
+)
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.InitialLimit < 1 {
+		c.InitialLimit = DefaultInitialLimit
+	}
+	if c.MinLimit < 1 {
+		c.MinLimit = 1
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = DefaultMaxLimit
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.InitialLimit > c.MaxLimit {
+		c.InitialLimit = c.MaxLimit
+	}
+	if c.InitialLimit < c.MinLimit {
+		c.InitialLimit = c.MinLimit
+	}
+	if c.Queue == 0 {
+		c.Queue = DefaultQueue
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.Target <= 0 {
+		c.Target = DefaultLatencyTarget
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = DefaultDecreaseFactor
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Target
+	}
+	return c
+}
+
+// admission is the AIMD global concurrency limiter: at most limit
+// requests are planning at once; excess requests wait in a bounded FIFO
+// queue and are shed with ErrOverloaded when it overflows. Every
+// completed request reports its latency, steering the limit toward the
+// highest concurrency the observed plan latency sustains:
+//
+//   - completion under Target  -> limit += 1/limit  (one step per
+//     limit-many good completions, the classic additive increase)
+//   - completion over Target, or one carrying an overload signal
+//     (deadline blown, chaos stall) -> limit *= DecreaseFactor, at most
+//     once per Cooldown.
+//
+// A nil *admission admits everything (admission control disabled).
+type admission struct {
+	cfg AdmissionConfig
+
+	mu           sync.Mutex
+	limit        float64
+	inflight     int
+	queue        []*waiter // FIFO; granted waiters are removed from the head
+	lastDecrease time.Time
+	shed         uint64
+	now          func() time.Time // injectable clock for tests
+}
+
+// waiter is one queued request. grant is closed with inflight already
+// incremented on its behalf; abandoned waiters are unlinked by marking
+// (the queue slice drops them lazily on the next grant sweep).
+type waiter struct {
+	grant     chan struct{}
+	abandoned bool
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg = cfg.withDefaults()
+	return &admission{cfg: cfg, limit: float64(cfg.InitialLimit), now: time.Now}
+}
+
+// Acquire admits the request (nil), sheds it (ErrOverloaded), or fails
+// with the context's error if its deadline expires while queued. Every
+// nil return must be paired with exactly one Release.
+func (a *admission) Acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	if a.inflight < a.intLimit() {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.cfg.Queue {
+		a.shed++
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &waiter{grant: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.grant:
+			// Granted concurrently with the deadline: keep the slot —
+			// the caller observes its dead context immediately and
+			// Releases; dropping it here would leak the inflight count.
+			a.mu.Unlock()
+			return nil
+		default:
+			w.abandoned = true
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+}
+
+// Release returns the request's slot and feeds the AIMD controller:
+// latency is the request's total duration from arrival (queue wait
+// included), overloaded marks completions that should shrink the limit
+// regardless of latency (deadline blown mid-plan, shed-equivalent
+// failures).
+func (a *admission) Release(latency time.Duration, overloaded bool) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.inflight--
+	if overloaded || latency > a.cfg.Target {
+		if now := a.now(); now.Sub(a.lastDecrease) >= a.cfg.Cooldown {
+			a.limit = math.Max(float64(a.cfg.MinLimit), a.limit*a.cfg.DecreaseFactor)
+			a.lastDecrease = now
+		}
+	} else {
+		a.limit = math.Min(float64(a.cfg.MaxLimit), a.limit+1/a.limit)
+	}
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// ReleaseNoSample returns the request's slot without feeding the AIMD
+// controller — for requests that never reached the planner (quota
+// rejections, malformed bodies), whose near-zero latency would otherwise
+// pollute the limit upward during an overload of garbage.
+func (a *admission) ReleaseNoSample() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.inflight--
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked hands freed slots to queued waiters in FIFO order,
+// skipping abandoned ones.
+func (a *admission) grantLocked() {
+	for a.inflight < a.intLimit() && len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue[0] = nil
+		a.queue = a.queue[1:]
+		if w.abandoned {
+			continue
+		}
+		a.inflight++
+		close(w.grant)
+	}
+}
+
+func (a *admission) intLimit() int {
+	l := int(a.limit)
+	if l < a.cfg.MinLimit {
+		l = a.cfg.MinLimit
+	}
+	return l
+}
+
+// Limit returns the current adaptive concurrency limit.
+func (a *admission) Limit() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.intLimit()
+}
+
+// QueueDepth returns the number of queued (non-abandoned) requests.
+func (a *admission) QueueDepth() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, w := range a.queue {
+		if !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// Inflight returns the number of admitted, unreleased requests.
+func (a *admission) Inflight() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Shed returns the number of requests shed with ErrOverloaded.
+func (a *admission) Shed() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shed
+}
+
+// RetryAfter estimates how long a shed client should wait before
+// retrying: one latency-target's worth of drain per queued request
+// ahead of it, at least a second (the HTTP Retry-After granularity).
+func (a *admission) RetryAfter() time.Duration {
+	if a == nil {
+		return time.Second
+	}
+	a.mu.Lock()
+	depth := len(a.queue)
+	limit := a.intLimit()
+	a.mu.Unlock()
+	if limit < 1 {
+		limit = 1
+	}
+	d := time.Duration(depth/limit+1) * a.cfg.Target
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func admitN(t *testing.T, a *admission, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := a.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d/%d: %v", i, n, err)
+		}
+	}
+}
+
+// waitDepth polls until the queue holds want live waiters (enqueueing
+// happens on goroutines the test cannot join).
+func waitDepth(t *testing.T, a *admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.QueueDepth() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d, want %d", a.QueueDepth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionCapQueueAndShed(t *testing.T) {
+	a := newAdmission(AdmissionConfig{InitialLimit: 2, MaxLimit: 2, Queue: 1})
+	admitN(t, a, 2)
+
+	// Third request queues.
+	granted := make(chan error, 1)
+	go func() { granted <- a.Acquire(context.Background()) }()
+	waitDepth(t, a, 1)
+
+	// Fourth overflows the queue: shed, not blocked.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire with full queue: %v, want ErrOverloaded", err)
+	}
+	if a.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", a.Shed())
+	}
+
+	// A release hands the freed slot to the queued waiter.
+	a.Release(time.Millisecond, false)
+	if err := <-granted; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+}
+
+func TestAdmissionShedImmediatelyWithoutQueue(t *testing.T) {
+	a := newAdmission(AdmissionConfig{InitialLimit: 1, MaxLimit: 1, Queue: -1})
+	admitN(t, a, 1)
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire over limit: %v, want ErrOverloaded", err)
+	}
+}
+
+func TestAdmissionAIMD(t *testing.T) {
+	a := newAdmission(AdmissionConfig{
+		InitialLimit: 10, MinLimit: 1, MaxLimit: 100,
+		Target: 100 * time.Millisecond, DecreaseFactor: 0.5, Cooldown: time.Second,
+	})
+	clock := time.Unix(1000, 0)
+	a.now = func() time.Time { return clock }
+
+	// Fast completions grow the limit additively: about limit-many good
+	// completions per added slot (limit ~ sqrt(100 + 2n)).
+	for i := 0; i < 12; i++ {
+		admitN(t, a, 1)
+		a.Release(time.Millisecond, false)
+	}
+	if got := a.Limit(); got != 11 {
+		t.Fatalf("limit after 12 fast completions = %d, want 11", got)
+	}
+
+	// One over-target completion takes half (of ~11.1) away.
+	admitN(t, a, 1)
+	a.Release(500*time.Millisecond, false)
+	if got := a.Limit(); got != 5 {
+		t.Fatalf("limit after slow completion = %d, want 5", got)
+	}
+
+	// A second slow completion inside the cooldown does not compound.
+	admitN(t, a, 1)
+	a.Release(500*time.Millisecond, false)
+	if got := a.Limit(); got != 5 {
+		t.Fatalf("limit decreased twice inside cooldown: %d, want 5", got)
+	}
+
+	// After the cooldown, an overload-signalling completion (fast but
+	// flagged) halves it again, and never below MinLimit.
+	clock = clock.Add(2 * time.Second)
+	admitN(t, a, 1)
+	a.Release(time.Millisecond, true)
+	if got := a.Limit(); got != 2 {
+		t.Fatalf("limit after overload signal = %d, want 2", got)
+	}
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(2 * time.Second)
+		admitN(t, a, 1)
+		a.Release(time.Second, true)
+	}
+	if got := a.Limit(); got != 1 {
+		t.Fatalf("limit = %d, want floor 1", got)
+	}
+}
+
+func TestAdmissionReleaseNoSampleKeepsLimit(t *testing.T) {
+	a := newAdmission(AdmissionConfig{InitialLimit: 4, MaxLimit: 8})
+	before := a.Limit()
+	for i := 0; i < 100; i++ {
+		admitN(t, a, 1)
+		a.ReleaseNoSample()
+	}
+	if got := a.Limit(); got != before {
+		t.Fatalf("limit moved %d -> %d on unsampled releases", before, got)
+	}
+	if a.Inflight() != 0 {
+		t.Fatalf("inflight = %d, want 0", a.Inflight())
+	}
+}
+
+func TestAdmissionAbandonedWaiter(t *testing.T) {
+	a := newAdmission(AdmissionConfig{InitialLimit: 1, MaxLimit: 1, Queue: 4})
+	admitN(t, a, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() { res <- a.Acquire(ctx) }()
+	waitDepth(t, a, 1)
+	cancel()
+	if err := <-res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v, want context.Canceled", err)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatalf("abandoned waiter still counted: depth %d", a.QueueDepth())
+	}
+
+	// The freed slot must not be burned on the abandoned waiter.
+	a.Release(time.Millisecond, false)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after abandoned waiter: %v", err)
+	}
+}
+
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(AdmissionConfig{InitialLimit: 1, MaxLimit: 1, Queue: 4})
+	admitN(t, a, 1)
+
+	first := make(chan error, 1)
+	go func() { first <- a.Acquire(context.Background()) }()
+	waitDepth(t, a, 1)
+	second := make(chan error, 1)
+	go func() { second <- a.Acquire(context.Background()) }()
+	waitDepth(t, a, 2)
+
+	a.Release(time.Millisecond, false)
+	if err := <-first; err != nil {
+		t.Fatalf("first waiter: %v", err)
+	}
+	select {
+	case err := <-second:
+		t.Fatalf("second waiter granted before first released: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release(time.Millisecond, false)
+	if err := <-second; err != nil {
+		t.Fatalf("second waiter: %v", err)
+	}
+}
+
+func TestNilAdmissionAdmitsEverything(t *testing.T) {
+	var a *admission
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("nil admission rejected: %v", err)
+	}
+	a.Release(time.Hour, true)
+	a.ReleaseNoSample()
+	if a.Limit() != 0 || a.QueueDepth() != 0 || a.Inflight() != 0 || a.Shed() != 0 {
+		t.Fatal("nil admission reported non-zero state")
+	}
+	if a.RetryAfter() < time.Second {
+		t.Fatal("nil RetryAfter under a second")
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"mtask/internal/core"
+	"mtask/internal/fault"
+	"mtask/internal/plan"
+)
+
+// seqKey carries the request's chaos sequence number through the context
+// so every injection point of one request keys off the same number.
+type seqKey struct{}
+
+func withChaosSeq(ctx context.Context, seq uint64) context.Context {
+	return context.WithValue(ctx, seqKey{}, seq)
+}
+
+func chaosSeq(ctx context.Context) uint64 {
+	seq, _ := ctx.Value(seqKey{}).(uint64)
+	return seq
+}
+
+// chaosColdPlanHook adapts the serve injector to plan.WithColdPlanHook:
+// it fires inside the singleflight leader, so an injected stall is a
+// slow (or leaked) leader and an injected panic is a leader crash —
+// exactly the failure modes the coalescing path must survive.
+func (s *Server) chaosColdPlanHook(ctx context.Context) error {
+	f := s.chaos.Decide(fault.PointColdPlan, chaosSeq(ctx))
+	if f == nil {
+		return nil
+	}
+	s.rec.Counter("serve.chaos.injected").Add(1)
+	s.health.Stress()
+	switch f.Kind {
+	case fault.Delay:
+		fault.Sleep(ctx, f.Delay)
+		return nil
+	case fault.Panic:
+		panic(fmt.Sprintf("chaos: injected cold-plan panic (seq %d)", chaosSeq(ctx)))
+	case fault.Error, fault.CoreLoss:
+		return f.Err
+	}
+	return nil
+}
+
+// chaosCache wraps the planner's schedule cache with injectable shard
+// stalls. Stalls are uncancelable (plan.Cache has no context), so they
+// model a mutex held too long — the admission layer and deadlines above
+// must absorb them. Only lookups and publishes stall; stats and purges
+// stay clean. Accesses draw from their own sequence counter (the Cache
+// interface carries no request identity), still fully determined by the
+// seed and the access ordinal.
+type chaosCache struct {
+	plan.Cache
+	inj *fault.ServeInjector
+	seq atomic.Uint64
+}
+
+func (c *chaosCache) stall(point string) {
+	if f := c.inj.Decide(point, c.seq.Add(1)); f != nil && f.Kind == fault.Delay {
+		fault.Sleep(context.Background(), f.Delay)
+	}
+}
+
+func (c *chaosCache) Get(k plan.Key) (*core.Mapping, bool) {
+	c.stall(fault.PointCacheGet)
+	return c.Cache.Get(k)
+}
+
+func (c *chaosCache) Add(k plan.Key, mp *core.Mapping) {
+	c.stall(fault.PointCacheAdd)
+	c.Cache.Add(k, mp)
+}

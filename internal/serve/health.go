@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Health states of the readiness probe. The state machine (documented in
+// docs/SERVING.md) is:
+//
+//	      stress observed                window elapses
+//	ok ───────────────────────▶ degraded ───────────────▶ ok
+//	 │                              │
+//	 │ SetDraining(true)            │ SetDraining(true)
+//	 ▼                              ▼
+//	               draining  (terminal until SetDraining(false))
+//
+// "Stress" is any of: a shed request, a degraded (stale-plan) response, a
+// recovered handler panic, or an injected chaos fault. Degraded is a
+// self-healing state — it reports that the server is deliberately
+// trading answer quality or availability for survival, not that it is
+// dead; liveness stays "ok" throughout. Draining is entered by the
+// daemon on SIGTERM before the listener shuts down, so load balancers
+// stop routing new work while in-flight requests finish.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthDraining = "draining"
+)
+
+// DefaultDegradedWindow is how long after the last stress signal the
+// readiness probe keeps reporting degraded.
+const DefaultDegradedWindow = 5 * time.Second
+
+// health tracks the server's readiness state. All methods are safe for
+// concurrent use and wait-free (one atomic each).
+type health struct {
+	draining   atomic.Bool
+	lastStress atomic.Int64 // unix nanos of the last stress signal; 0 = never
+	window     time.Duration
+	now        func() time.Time // injectable clock for tests
+}
+
+func newHealth(window time.Duration) *health {
+	if window <= 0 {
+		window = DefaultDegradedWindow
+	}
+	return &health{window: window, now: time.Now}
+}
+
+// Stress records a stress signal (shed, degraded response, panic,
+// injected fault); readiness reports degraded until the window elapses.
+func (h *health) Stress() {
+	h.lastStress.Store(h.now().UnixNano())
+}
+
+// SetDraining flips the draining state; while draining, readiness fails
+// so load balancers stop routing here.
+func (h *health) SetDraining(v bool) {
+	h.draining.Store(v)
+}
+
+// Readiness returns the current readiness state.
+func (h *health) Readiness() string {
+	if h.draining.Load() {
+		return HealthDraining
+	}
+	if last := h.lastStress.Load(); last != 0 &&
+		h.now().Sub(time.Unix(0, last)) < h.window {
+		return HealthDegraded
+	}
+	return HealthOK
+}

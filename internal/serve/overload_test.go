@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/fault"
+	"mtask/internal/graph"
+	"mtask/internal/plan"
+)
+
+func postWithDeadline(h http.Handler, path string, body []byte, deadline string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", path, strings.NewReader(string(body)))
+	if deadline != "" {
+		req.Header.Set(DeadlineHeader, deadline)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w
+}
+
+func errorCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatalf("non-JSON error body %q: %v", w.Body, err)
+	}
+	return er.Code
+}
+
+// blockingPlanner returns a server planner whose cold plans park until
+// release is closed (or their context dies) — a controllable stand-in
+// for a slow group-count search.
+func blockingPlanner(release <-chan struct{}) *plan.Planner {
+	return plan.NewWithCache(plan.NewCache(plan.DefaultCacheSize),
+		plan.WithColdPlanHook(func(ctx context.Context) error {
+			select {
+			case <-release:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}))
+}
+
+func TestDeadlineHeaderHappyPath(t *testing.T) {
+	s := New()
+	w := postWithDeadline(s.Handler(), "/v1/plan", testRequestBody(t, 2, PlanOptions{}), "30s")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestInvalidDeadlineHeader(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	for _, bad := range []string{"soon", "-5s", "0"} {
+		w := postWithDeadline(h, "/v1/plan", testRequestBody(t, 2, PlanOptions{}), bad)
+		if w.Code != http.StatusBadRequest || errorCode(t, w) != "invalid_argument" {
+			t.Fatalf("deadline %q: status %d code %q, want 400 invalid_argument",
+				bad, w.Code, errorCode(t, w))
+		}
+	}
+}
+
+// TestDeadlineExpiredDuringDecode pins the satellite fix: a deadline
+// expiring while the body is still being read must map to 504, not to
+// the generic 400/500 decode path.
+func TestDeadlineExpiredDuringDecode(t *testing.T) {
+	s := New()
+	w := postWithDeadline(s.Handler(), "/v1/plan", testRequestBody(t, 2, PlanOptions{}), "1ns")
+	if w.Code != http.StatusGatewayTimeout || errorCode(t, w) != "deadline_exceeded" {
+		t.Fatalf("status %d code %q, want 504 deadline_exceeded (%s)", w.Code, errorCode(t, w), w.Body)
+	}
+	if m := s.Metrics(); m["serve.deadline_exceeded"] != 1 {
+		t.Fatalf("serve.deadline_exceeded = %d, want 1", m["serve.deadline_exceeded"])
+	}
+}
+
+// TestPlanDeadlineReturns504 injects a scripted slow cold plan and a
+// shorter request deadline: the expiry must surface as 504 through the
+// planner's error wrapping.
+func TestPlanDeadlineReturns504(t *testing.T) {
+	s := New(WithChaos(&fault.ServeInjector{Seed: 1, Script: []fault.ServeScript{
+		{Point: fault.PointColdPlan, Seq: 1, Kind: fault.Delay, Delay: 2 * time.Second},
+	}}))
+	w := postWithDeadline(s.Handler(), "/v1/plan", testRequestBody(t, 2, PlanOptions{}), "30ms")
+	if w.Code != http.StatusGatewayTimeout || errorCode(t, w) != "deadline_exceeded" {
+		t.Fatalf("status %d code %q, want 504 deadline_exceeded (%s)", w.Code, errorCode(t, w), w.Body)
+	}
+	m := s.Metrics()
+	if m["serve.deadline_exceeded"] != 1 || m["serve.chaos.injected"] != 1 {
+		t.Fatalf("metrics: deadline_exceeded=%d chaos.injected=%d",
+			m["serve.deadline_exceeded"], m["serve.chaos.injected"])
+	}
+}
+
+func TestShedReturns503WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	s := New(WithPlanner(blockingPlanner(release)),
+		WithAdmission(AdmissionConfig{InitialLimit: 1, MaxLimit: 1, Queue: -1}))
+	h := s.Handler()
+	body := testRequestBody(t, 2, PlanOptions{})
+
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { firstDone <- post(h, "/v1/plan", body, "") }()
+	waitInflight(t, s, 1)
+
+	w := post(h, "/v1/plan", body, "")
+	if w.Code != http.StatusServiceUnavailable || errorCode(t, w) != "overloaded" {
+		t.Fatalf("status %d code %q, want 503 overloaded (%s)", w.Code, errorCode(t, w), w.Body)
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q, want integer seconds >= 1", w.Header().Get("Retry-After"))
+	}
+	if m := s.Metrics(); m["serve.shed"] != 1 {
+		t.Fatalf("serve.shed = %d, want 1", m["serve.shed"])
+	}
+	if got := s.Readiness(); got != HealthDegraded {
+		t.Fatalf("readiness after shed = %q, want degraded", got)
+	}
+
+	close(release)
+	if w := <-firstDone; w.Code != http.StatusOK {
+		t.Fatalf("admitted request: status %d: %s", w.Code, w.Body)
+	}
+}
+
+// waitInflight polls until n requests hold admission slots.
+func waitInflight(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Inflight() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight %d, want %d", s.adm.Inflight(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueuedRequestHonorsDeadline parks a request in the admission queue
+// until its propagated deadline expires: it must come back 504, never
+// hang, and never steal the slot later.
+func TestQueuedRequestHonorsDeadline(t *testing.T) {
+	release := make(chan struct{})
+	s := New(WithPlanner(blockingPlanner(release)),
+		WithAdmission(AdmissionConfig{InitialLimit: 1, MaxLimit: 1, Queue: 4}))
+	h := s.Handler()
+	body := testRequestBody(t, 2, PlanOptions{})
+
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { firstDone <- post(h, "/v1/plan", body, "") }()
+	waitInflight(t, s, 1)
+
+	start := time.Now()
+	w := postWithDeadline(h, "/v1/plan", body, "50ms")
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("queued request hung %v past its 50ms deadline", waited)
+	}
+	if w.Code != http.StatusGatewayTimeout || errorCode(t, w) != "deadline_exceeded" {
+		t.Fatalf("status %d code %q, want 504 deadline_exceeded (%s)", w.Code, errorCode(t, w), w.Body)
+	}
+
+	close(release)
+	if w := <-firstDone; w.Code != http.StatusOK {
+		t.Fatalf("admitted request: status %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestDegradedServing: once a family has a known-good mapping, a cold
+// plan blowing its budget is answered by the stale mapping flagged
+// degraded:true instead of timing out.
+func TestDegradedServing(t *testing.T) {
+	s := New(
+		WithDegraded(20*time.Millisecond, 0),
+		WithChaos(&fault.ServeInjector{Seed: 7, Script: []fault.ServeScript{
+			// Request #2's cold plan stalls far past the degrade budget.
+			{Point: fault.PointColdPlan, Seq: 2, Kind: fault.Delay, Delay: 2 * time.Second},
+		}}))
+	h := s.Handler()
+
+	// Request 1 warms the family (group-count search, no faults).
+	w := post(h, "/v1/plan", testRequestBody(t, 2, PlanOptions{}), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("warm request: status %d: %s", w.Code, w.Body)
+	}
+	var warm PlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Degraded {
+		t.Fatal("warm request reported degraded")
+	}
+
+	// Request 2: same family (same graph/machine/strategy/cores), new
+	// cache key (forced group count), stalled cold plan.
+	start := time.Now()
+	w = post(h, "/v1/plan", testRequestBody(t, 2, PlanOptions{ForceGroups: 2}), "")
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("degraded response took %v, budget was 20ms", elapsed)
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded request: status %d: %s", w.Code, w.Body)
+	}
+	var deg PlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &deg); err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded {
+		t.Fatalf("response not flagged degraded: %+v", deg)
+	}
+	if deg.Makespan != warm.Makespan {
+		t.Fatalf("degraded makespan %v != family's stale %v", deg.Makespan, warm.Makespan)
+	}
+	m := s.Metrics()
+	if m["serve.degraded"] != 1 {
+		t.Fatalf("serve.degraded = %d, want 1", m["serve.degraded"])
+	}
+	if m["serve.fallback.len"] != 1 {
+		t.Fatalf("serve.fallback.len = %d, want 1", m["serve.fallback.len"])
+	}
+	if got := s.Readiness(); got != HealthDegraded {
+		t.Fatalf("readiness after degraded serve = %q, want degraded", got)
+	}
+}
+
+// TestDegradedDisabledWaitsOut: without a fallback for the family the
+// degrade path keeps waiting (and the deadline still rules).
+func TestDegradedNoFallbackWaits(t *testing.T) {
+	s := New(
+		WithDegraded(5*time.Millisecond, 0),
+		WithChaos(&fault.ServeInjector{Seed: 7, Script: []fault.ServeScript{
+			{Point: fault.PointColdPlan, Seq: 1, Kind: fault.Delay, Delay: 60 * time.Millisecond},
+		}}))
+	// First ever request: no fallback exists; the stalled plan must
+	// complete normally after its 60ms injected delay.
+	w := post(s.Handler(), "/v1/plan", testRequestBody(t, 2, PlanOptions{}), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatal("response flagged degraded with no fallback to serve")
+	}
+}
+
+func TestHandlerPanicRecovery(t *testing.T) {
+	s := New(WithChaos(&fault.ServeInjector{Seed: 3, Script: []fault.ServeScript{
+		{Point: fault.PointHandler, Seq: 1, Kind: fault.Panic},
+	}}))
+	h := s.Handler()
+
+	w := post(h, "/v1/plan", testRequestBody(t, 2, PlanOptions{}), "")
+	if w.Code != http.StatusInternalServerError || errorCode(t, w) != "internal" {
+		t.Fatalf("status %d code %q, want 500 internal (%s)", w.Code, errorCode(t, w), w.Body)
+	}
+	if m := s.Metrics(); m["serve.panics"] != 1 {
+		t.Fatalf("serve.panics = %d, want 1", m["serve.panics"])
+	}
+	// The process degrades, it does not die: liveness stays ok,
+	// readiness reports degraded, and the next request is served.
+	if w := get(h, "/healthz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healthz after panic: %d %q", w.Code, w.Body)
+	}
+	if w := get(h, "/readyz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), HealthDegraded) {
+		t.Fatalf("readyz after panic: %d %q, want 200 degraded", w.Code, w.Body)
+	}
+	if w := post(h, "/v1/plan", testRequestBody(t, 2, PlanOptions{}), ""); w.Code != http.StatusOK {
+		t.Fatalf("request after panic: status %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestReadyzStateMachine(t *testing.T) {
+	s := New(WithHealthWindow(50 * time.Millisecond))
+	h := s.Handler()
+
+	if w := get(h, "/readyz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), HealthOK) {
+		t.Fatalf("fresh readyz: %d %q, want 200 ok", w.Code, w.Body)
+	}
+
+	s.health.Stress()
+	if w := get(h, "/readyz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), HealthDegraded) {
+		t.Fatalf("stressed readyz: %d %q, want 200 degraded", w.Code, w.Body)
+	}
+
+	// Degraded self-heals once the window elapses.
+	time.Sleep(70 * time.Millisecond)
+	if w := get(h, "/readyz"); !strings.Contains(w.Body.String(), HealthOK) {
+		t.Fatalf("readyz after window: %q, want ok", w.Body)
+	}
+
+	// Draining wins over everything and flips readiness to 503 while
+	// liveness stays up.
+	s.SetDraining(true)
+	s.health.Stress()
+	if w := get(h, "/readyz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), HealthDraining) {
+		t.Fatalf("draining readyz: %d %q, want 503 draining", w.Code, w.Body)
+	}
+	if w := get(h, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", w.Code)
+	}
+	s.SetDraining(false)
+}
+
+// TestStatusOf is the satellite's table-driven sweep over every branch
+// of the error-code mapping, including the planner's double-wrapped
+// context causes.
+func TestStatusOf(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"invalid machine", fmt.Errorf("x: %w", arch.ErrInvalidMachine), 400, "invalid_argument"},
+		{"cyclic graph", fmt.Errorf("x: %w", graph.ErrCyclicGraph), 400, "invalid_argument"},
+		{"no cores", fmt.Errorf("x: %w", core.ErrNoCores), 400, "invalid_argument"},
+		{"quota", fmt.Errorf("tenant a: %w", ErrQuotaExceeded), 429, "quota_exceeded"},
+		{"overloaded", fmt.Errorf("x: %w", ErrOverloaded), 503, "overloaded"},
+		{"bare deadline", context.DeadlineExceeded, 504, "deadline_exceeded"},
+		{"planner-wrapped deadline",
+			fmt.Errorf("planning %q: %w (%w)", "g", core.ErrCanceled, context.DeadlineExceeded),
+			504, "deadline_exceeded"},
+		{"bare canceled", context.Canceled, 499, "canceled"},
+		{"planner-wrapped canceled",
+			fmt.Errorf("planning %q: %w (%w)", "g", core.ErrCanceled, context.Canceled),
+			499, "canceled"},
+		{"sentinel canceled only", fmt.Errorf("x: %w", core.ErrCanceled), 499, "canceled"},
+		{"plan panic", fmt.Errorf("planning %q: %w: boom", "g", plan.ErrPlanPanic), 500, "internal"},
+		{"generic", errors.New("kaboom"), 500, "internal"},
+	} {
+		status, code := statusOf(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("%s: statusOf(%v) = %d %q, want %d %q",
+				tc.name, tc.err, status, code, tc.status, tc.code)
+		}
+	}
+}
+
+func TestFamilyKey(t *testing.T) {
+	g := testGraph(t, 3)
+	m := arch.CHiC().SubsetCores(16)
+	base := familyOf(g, m, "", 0)
+	if base.p != 16 || base.strategy != (core.Consecutive{}).Name() {
+		t.Fatalf("defaults not applied: %+v", base)
+	}
+	if familyOf(g, m, "", 0) != base {
+		t.Fatal("familyOf not deterministic")
+	}
+	if familyOf(g, m, "scattered", 0) == base {
+		t.Fatal("strategy not part of the family")
+	}
+	if familyOf(g, m, "", 8) == base {
+		t.Fatal("core count not part of the family")
+	}
+	if familyOf(testGraph(t, 4), m, "", 0) == base {
+		t.Fatal("graph fingerprint not part of the family")
+	}
+}
+
+func testGraph(t *testing.T, steps int) *graph.Graph {
+	t.Helper()
+	var req PlanRequest
+	if err := json.Unmarshal(testRequestBody(t, steps, PlanOptions{}), &req); err != nil {
+		t.Fatal(err)
+	}
+	return req.Graph
+}

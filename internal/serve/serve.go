@@ -1,37 +1,64 @@
 // Package serve is the multi-tenant planning-as-a-service front door: an
 // HTTP server exposing the concurrent planner engine (internal/plan) and
 // the deterministic cluster simulator (internal/cluster) to many
-// concurrent clients.
+// concurrent clients, engineered to survive overload and injected
+// failure.
 //
-// The request path is engineered for sustained concurrent load, in three
-// stages:
+// The request path is staged so each layer protects the ones below it:
 //
-//  1. Admission — per-tenant token-bucket quotas (Quotas) reject excess
-//     traffic with 429 before it touches the planner, so one tenant
-//     cannot starve the rest.
-//  2. Sharded schedule cache — admitted requests are served from the
-//     planner's fingerprint-sharded LRU (plan.ShardedCache); concurrent
-//     hits on different fingerprints never contend on one mutex.
-//  3. Coalescing — concurrent cold requests for the same fingerprint are
-//     collapsed by the planner's singleflight into one group-count
-//     search; followers adopt the leader's mapping.
+//  1. Deadline propagation — a client deadline (X-Request-Deadline, a Go
+//     duration) bounds the request context end to end: queueing, decode,
+//     planning and simulation all stop the moment it expires, so
+//     abandoned requests stop burning cores. Expiry maps to 504, a
+//     client going away to 499.
+//  2. Global admission — an adaptive concurrency limit (AIMD on observed
+//     plan latency) with a small bounded FIFO wait queue; when the queue
+//     overflows, requests are shed with 503 + Retry-After instead of
+//     piling onto the planner.
+//  3. Per-tenant quotas — token buckets reject excess traffic with 429
+//     before it is decoded, so one tenant cannot starve the rest.
+//  4. Sharded schedule cache — admitted requests are served from the
+//     planner's fingerprint-sharded LRU (plan.ShardedCache).
+//  5. Coalescing — concurrent cold requests for the same fingerprint
+//     collapse into one group-count search (singleflight); crashed or
+//     canceled leaders are re-elected, never adopted.
+//  6. Graceful degradation — when a cold plan blows its budget and a
+//     stale-but-valid mapping of the same fingerprint family is on
+//     hand, it is served flagged degraded:true instead of timing out.
+//
+// Liveness (GET /healthz) and readiness (GET /readyz) are split:
+// readiness reports "degraded" while the server is shedding, serving
+// stale plans or absorbing injected faults, and "draining" once shutdown
+// began; liveness stays "ok" throughout — the server degrades, it does
+// not die. A deterministic chaos injector (fault.ServeInjector, see
+// WithChaos) can strike every stage: slow and leaked singleflight
+// leaders, cache-shard stalls, cold-plan errors/panics and handler
+// panics, all seeded and reproducible.
 //
 // Every stage publishes counters into an obs.Recorder (serve.requests,
-// serve.rejected, serve.cache_hits, serve.coalesced, serve.plans_cold,
-// per-shard hit/miss gauges), exposed in Prometheus-friendly text form on
-// GET /metricz.
+// serve.shed, serve.rejected, serve.deadline_exceeded, serve.degraded,
+// serve.panics, serve.cache_hits, serve.coalesced, serve.plans_cold,
+// serve.queue_depth and admission gauges, per-shard cache traffic),
+// exposed in Prometheus-friendly text form on GET /metricz.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"mtask/internal/arch"
 	"mtask/internal/cluster"
 	"mtask/internal/core"
 	"mtask/internal/cost"
+	"mtask/internal/fault"
 	"mtask/internal/graph"
 	"mtask/internal/obs"
 	"mtask/internal/plan"
@@ -44,8 +71,18 @@ const TenantHeader = "X-Mtask-Tenant"
 // DefaultTenant is the tenant of requests without a TenantHeader.
 const DefaultTenant = "default"
 
+// DeadlineHeader names the request header carrying the client's
+// end-to-end budget as a Go duration (e.g. "250ms", "2s"). The server
+// derives the request context's deadline from it (clamped to
+// WithMaxDeadline) and propagates it through queueing, decode, planning
+// and simulation.
+const DeadlineHeader = "X-Request-Deadline"
+
 // DefaultMaxBodyBytes bounds request bodies (graph + machine JSON).
 const DefaultMaxBodyBytes = 64 << 20
+
+// DefaultMaxDeadline caps client-requested deadlines.
+const DefaultMaxDeadline = 5 * time.Minute
 
 // Server is the planning service. Construct with New; serve its
 // Handler() with net/http. A Server is safe for concurrent use.
@@ -53,10 +90,18 @@ type Server struct {
 	planner *plan.Planner
 	sharded *plan.ShardedCache // non-nil when the cache is ours / sharded
 	quotas  *Quotas
+	adm     *admission // nil = global admission disabled
+	health  *health
+	chaos   *fault.ServeInjector // nil = no chaos
 	rec     *obs.Recorder
 	maxBody int64
 
+	fallback     *fallbackStore
+	degradeAfter time.Duration // 0 = degradation disabled
+	maxDeadline  time.Duration
+
 	capacity, shards int
+	healthWindow     time.Duration
 }
 
 // Option configures a Server.
@@ -67,6 +112,49 @@ type Option func(*Server)
 // default).
 func WithQuota(rate float64, burst int) Option {
 	return func(s *Server) { s.quotas = NewQuotas(rate, burst) }
+}
+
+// WithAdmission enables the adaptive global concurrency limit in front
+// of the per-tenant quotas; see AdmissionConfig.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.adm = newAdmission(cfg) }
+}
+
+// WithDegraded enables graceful degradation: when a cold plan runs
+// longer than after (or than half the request's remaining deadline,
+// whichever is smaller) and a stale mapping of the same fingerprint
+// family is retained (capacity families, 0 = DefaultFallbackCapacity),
+// the stale mapping is served flagged degraded:true while the cold plan
+// finishes in the background to warm the cache.
+func WithDegraded(after time.Duration, capacity int) Option {
+	return func(s *Server) {
+		s.degradeAfter = after
+		s.fallback = newFallbackStore(capacity)
+	}
+}
+
+// WithChaos injects deterministic serve-path faults (slow/leaked/crashed
+// singleflight leaders, cache-shard stalls, handler panics) for chaos
+// testing; see fault.ServeInjector. Cache stalls require the server to
+// own its cache (they are skipped under WithPlanner).
+func WithChaos(inj *fault.ServeInjector) Option {
+	return func(s *Server) { s.chaos = inj }
+}
+
+// WithMaxDeadline caps client-requested deadlines (default
+// DefaultMaxDeadline).
+func WithMaxDeadline(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.maxDeadline = d
+		}
+	}
+}
+
+// WithHealthWindow sets how long readiness reports degraded after the
+// last stress signal (default DefaultDegradedWindow).
+func WithHealthWindow(d time.Duration) Option {
+	return func(s *Server) { s.healthWindow = d }
 }
 
 // WithCache sizes the schedule cache: total capacity mappings over the
@@ -98,10 +186,10 @@ func WithMaxBodyBytes(n int64) Option {
 }
 
 // New returns a Server with a private planner backed by a sharded
-// schedule cache, no quotas, and a private metrics recorder, overridden
-// by the given options.
+// schedule cache, no quotas, no global admission limit, no degradation
+// and a private metrics recorder, overridden by the given options.
 func New(opts ...Option) *Server {
-	s := &Server{maxBody: DefaultMaxBodyBytes}
+	s := &Server{maxBody: DefaultMaxBodyBytes, maxDeadline: DefaultMaxDeadline}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -115,13 +203,18 @@ func New(opts ...Option) *Server {
 			shards = plan.DefaultShards
 		}
 		s.sharded = plan.NewShardedCache(capacity, shards)
-		s.planner = plan.NewWithCache(s.sharded)
+		var cache plan.Cache = s.sharded
+		if s.chaos.Active() {
+			cache = &chaosCache{Cache: s.sharded, inj: s.chaos}
+		}
+		s.planner = plan.NewWithCache(cache)
 	} else if c, ok := s.planner.Cache().(*plan.ShardedCache); ok {
 		s.sharded = c
 	}
 	if s.rec == nil {
 		s.rec = obs.New(0, obs.WithName("mtaskd"))
 	}
+	s.health = newHealth(s.healthWindow)
 	return s
 }
 
@@ -131,11 +224,22 @@ func (s *Server) Planner() *plan.Planner { return s.planner }
 // Recorder returns the server's metrics recorder.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
+// SetDraining flips the server's draining state: while draining,
+// GET /readyz answers 503 "draining" so load balancers stop routing new
+// work here, while in-flight requests keep being served. The daemon
+// calls it on SIGTERM before shutting the listener down.
+func (s *Server) SetDraining(v bool) { s.health.SetDraining(v) }
+
+// Readiness returns the current readiness state: HealthOK,
+// HealthDegraded or HealthDraining.
+func (s *Server) Readiness() string { return s.health.Readiness() }
+
 // Handler returns the service's HTTP handler:
 //
 //	POST /v1/plan      graph+machine+options -> mapping summary
 //	POST /v1/simulate  graph+machine+options -> simulated timing
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (always "ok" while the process serves)
+//	GET  /readyz       readiness probe ("ok" | "degraded" | 503 "draining")
 //	GET  /metricz      counters in "name value" text form
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -145,24 +249,85 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
-	return mux
+	return s.middleware(mux)
+}
+
+// middleware is the outermost request stage: panic recovery (injected or
+// real handler panics become 500s and a stress signal, never a dead
+// process), chaos sequence assignment, and deadline propagation from
+// DeadlineHeader into the request context.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.rec.Counter("serve.panics").Add(1)
+				s.health.Stress()
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Errorf("handler panic: %v", rec))
+			}
+		}()
+		ctx := r.Context()
+		// Chaos strikes the serve path only: health and metrics probes are
+		// the instruments the harness observes the blast with.
+		if s.chaos.Active() && r.Method == http.MethodPost {
+			seq := s.chaos.NextSeq()
+			ctx = withChaosSeq(ctx, seq)
+			if f := s.chaos.Decide(fault.PointHandler, seq); f != nil && f.Kind == fault.Panic {
+				s.rec.Counter("serve.chaos.injected").Add(1)
+				panic(fmt.Sprintf("chaos: injected handler panic (seq %d)", seq))
+			}
+		}
+		if h := r.Header.Get(DeadlineHeader); h != "" {
+			d, err := time.ParseDuration(h)
+			if err != nil || d <= 0 {
+				writeError(w, http.StatusBadRequest, "invalid_argument",
+					fmt.Errorf("invalid %s %q: want a positive Go duration", DeadlineHeader, h))
+				return
+			}
+			if s.maxDeadline > 0 && d > s.maxDeadline {
+				d = s.maxDeadline
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := s.health.Readiness()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if state == HealthDraining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, state)
 }
 
 // Metrics snapshots the server's counters, including the per-shard cache
 // gauges (serve.cache.shard<i>.hits/misses/len) when the cache is
-// sharded.
+// sharded, and the admission gauges.
 func (s *Server) Metrics() map[string]int64 {
-	s.publishCacheMetrics()
+	s.publishGauges()
 	return s.rec.Metrics()
 }
 
-func (s *Server) publishCacheMetrics() {
+func (s *Server) publishGauges() {
 	hits, misses := s.planner.Cache().Stats()
 	s.rec.SetMetric("serve.cache.hits", int64(hits))
 	s.rec.SetMetric("serve.cache.misses", int64(misses))
 	s.rec.SetMetric("serve.cache.len", int64(s.planner.Cache().Len()))
 	s.rec.SetMetric("serve.tenants", int64(s.quotas.Tenants()))
+	if s.adm != nil {
+		s.rec.SetMetric("serve.queue_depth", int64(s.adm.QueueDepth()))
+		s.rec.SetMetric("serve.admission.limit", int64(s.adm.Limit()))
+		s.rec.SetMetric("serve.admission.inflight", int64(s.adm.Inflight()))
+	}
+	if s.fallback != nil {
+		s.rec.SetMetric("serve.fallback.len", int64(s.fallback.Len()))
+	}
 	if s.sharded == nil {
 		return
 	}
@@ -174,7 +339,7 @@ func (s *Server) publishCacheMetrics() {
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	s.publishCacheMetrics()
+	s.publishGauges()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.rec.MetricsString())
 }
@@ -186,45 +351,88 @@ func tenantOf(r *http.Request) string {
 	return DefaultTenant
 }
 
-// admitAndDecode runs the shared front half of the plan and simulate
-// endpoints: admission, body decoding and request validation. It writes
-// the error response itself and returns nil when the request was denied.
-func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request) *PlanRequest {
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request)     { s.serveAPI(w, r, false) }
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) { s.serveAPI(w, r, true) }
+
+// serveAPI is the shared plan/simulate pipeline: global admission,
+// per-tenant quota, decode+validate, plan (with degradation), and for
+// simulate the cluster simulator on top.
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, simulate bool) {
 	s.rec.Counter("serve.requests").Add(1)
+	ctx := r.Context()
+
+	// Stage 1: global admission — shed or queue before any per-request
+	// work is done. The AIMD latency sample starts at arrival, not at
+	// admission: time spent queued is exactly the signal that the
+	// current limit exceeds what the machine sustains, and it must push
+	// the limit down even when the admitted work itself (cache hits)
+	// stays fast.
+	start := time.Now()
+	if err := s.adm.Acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.rec.Counter("serve.shed").Add(1)
+			s.health.Stress()
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(math.Ceil(s.adm.RetryAfter().Seconds()))))
+			writeError(w, http.StatusServiceUnavailable, "overloaded", err)
+			return
+		}
+		// The deadline expired (or the client left) while queued.
+		s.writeCtxError(w, err)
+		return
+	}
+	sample, overloaded := false, false
+	defer func() {
+		if sample {
+			s.adm.Release(time.Since(start), overloaded)
+		} else {
+			s.adm.ReleaseNoSample()
+		}
+	}()
+
+	// Stage 2: per-tenant quota.
 	if err := s.quotas.Admit(tenantOf(r)); err != nil {
 		s.rec.Counter("serve.rejected").Add(1)
 		writeError(w, http.StatusTooManyRequests, "quota_exceeded", err)
-		return nil
+		return
 	}
+
+	// Stage 3: decode and validate under the request deadline.
 	var req PlanRequest
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	body := ctxReader{ctx: ctx, r: http.MaxBytesReader(w, r.Body, s.maxBody)}
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The deadline expired mid-decode: that is the client's
+			// budget, not a malformed body — map it like every other
+			// context expiry instead of the generic 400/500 path.
+			s.writeCtxError(w, ctxErr)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("decoding request: %w", err))
-		return nil
+		return
 	}
 	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", err)
-		return nil
+		return
 	}
-	return &req
-}
-
-// plan runs the planner for an admitted request, counting how it was
-// served. It writes the error response itself and returns nil on failure.
-func (s *Server) plan(w http.ResponseWriter, r *http.Request, req *PlanRequest) (*core.Mapping, plan.Info) {
 	opts, err := req.planOpts()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", err)
-		return nil, plan.Info{}
+		return
 	}
-	var info plan.Info
-	opts = append(opts, plan.WithInfo(&info))
-	mp, err := s.planner.Plan(r.Context(), req.Graph, req.Machine, opts...)
+
+	// Stage 4: plan — admitted work; its latency feeds the AIMD limit.
+	sample = true
+	mp, info, err := s.planMapping(ctx, &req, opts)
 	if err != nil {
+		overloaded = isOverloadSignal(err)
 		s.writePlanError(w, err)
-		return nil, info
+		return
 	}
 	switch {
+	case info.Degraded:
+		s.rec.Counter("serve.degraded").Add(1)
+		s.health.Stress()
 	case info.CacheHit:
 		s.rec.Counter("serve.cache_hits").Add(1)
 	case info.Coalesced:
@@ -232,28 +440,9 @@ func (s *Server) plan(w http.ResponseWriter, r *http.Request, req *PlanRequest) 
 	case info.Cold:
 		s.rec.Counter("serve.plans_cold").Add(1)
 	}
-	return mp, info
-}
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	req := s.admitAndDecode(w, r)
-	if req == nil {
-		return
-	}
-	mp, info := s.plan(w, r, req)
-	if mp == nil {
-		return
-	}
-	writeJSON(w, http.StatusOK, buildPlanResponse(mp, info))
-}
-
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	req := s.admitAndDecode(w, r)
-	if req == nil {
-		return
-	}
-	mp, info := s.plan(w, r, req)
-	if mp == nil {
+	if !simulate {
+		writeJSON(w, http.StatusOK, buildPlanResponse(mp, info))
 		return
 	}
 	model := (&cost.Model{Machine: mp.Machine}).WithMemo()
@@ -262,8 +451,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writePlanError(w, err)
 		return
 	}
-	res, err := cluster.SimulateCtx(r.Context(), model, prog)
+	res, err := cluster.SimulateCtx(ctx, model, prog)
 	if err != nil {
+		overloaded = isOverloadSignal(err)
 		s.writePlanError(w, err)
 		return
 	}
@@ -276,24 +466,186 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		RedistTime: res.RedistTime,
 		Cached:     info.CacheHit,
 		Coalesced:  info.Coalesced,
+		Degraded:   info.Degraded,
 	})
 }
 
-// writePlanError maps planning-pipeline errors to HTTP statuses: invalid
-// inputs are the client's fault (400), cancellation is the client going
-// away (499, nginx-style), everything else is 500.
-func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+// planMapping runs the planner for an admitted, decoded request, with
+// graceful degradation when configured: a cold plan that exceeds its
+// budget is answered by the family's stale fallback mapping (flagged
+// Degraded) while the cold plan finishes in the background to warm the
+// cache. The request context bounds everything; the background
+// completion alone survives it, bounded by its own warm budget.
+func (s *Server) planMapping(ctx context.Context, req *PlanRequest, opts []plan.Option) (*core.Mapping, plan.Info, error) {
+	if s.chaos.Active() {
+		opts = append(opts, plan.WithColdPlanHook(s.chaosColdPlanHook))
+	}
+	fam := familyOf(req.Graph, req.Machine, req.strategyName(), req.Options.Cores)
+
+	if s.degradeAfter <= 0 {
+		var info plan.Info
+		opts = append(opts, plan.WithInfo(&info))
+		mp, err := s.planner.Plan(ctx, req.Graph, req.Machine, opts...)
+		if err == nil {
+			s.fallback.Store(fam, mp)
+		}
+		return mp, info, err
+	}
+
+	budget := s.degradeAfter
+	if dl, ok := ctx.Deadline(); ok {
+		if half := time.Until(dl) / 2; half < budget {
+			budget = half
+		}
+	}
+	if budget <= 0 {
+		budget = time.Millisecond
+	}
+
+	// The plan runs on a context detached from the request: if we end up
+	// serving the stale fallback, the cold plan keeps going (bounded by
+	// the warm budget) so the cache warms and the family heals. Until
+	// that moment, the request context's demise cancels it — abandoned
+	// requests must not burn cores.
+	type planRes struct {
+		mp   *core.Mapping
+		info plan.Info
+		err  error
+	}
+	planCtx, cancelPlan := context.WithCancel(context.WithoutCancel(ctx))
+	var servedStale atomic.Bool
+	stopWatch := context.AfterFunc(ctx, func() {
+		if !servedStale.Load() {
+			cancelPlan()
+		}
+	})
+	ch := make(chan planRes, 1)
+	go func() {
+		var info plan.Info
+		o := append(opts[:len(opts):len(opts)], plan.WithInfo(&info))
+		mp, err := s.planner.Plan(planCtx, req.Graph, req.Machine, o...)
+		ch <- planRes{mp, info, err}
+	}()
+	finish := func(r planRes) (*core.Mapping, plan.Info, error) {
+		stopWatch()
+		cancelPlan()
+		if r.err == nil {
+			s.fallback.Store(fam, r.mp)
+		}
+		return r.mp, r.info, r.err
+	}
+
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return finish(r)
+	case <-ctx.Done():
+		stopWatch()
+		cancelPlan()
+		return nil, plan.Info{}, fmt.Errorf("planning %q: %w", req.Graph.Name, ctx.Err())
+	case <-timer.C:
+	}
+
+	// Budget blown: degrade if the family has a stale answer.
+	if mp, ok := s.fallback.Peek(fam); ok {
+		servedStale.Store(true)
+		stopWatch()
+		time.AfterFunc(s.warmBudget(), cancelPlan)
+		return mp, plan.Info{Degraded: true}, nil
+	}
+
+	// Nothing to degrade to: keep waiting out the deadline.
+	select {
+	case r := <-ch:
+		return finish(r)
+	case <-ctx.Done():
+		stopWatch()
+		cancelPlan()
+		return nil, plan.Info{}, fmt.Errorf("planning %q: %w", req.Graph.Name, ctx.Err())
+	}
+}
+
+// warmBudget bounds how long a cold plan may keep running after its
+// request was answered with a stale fallback.
+func (s *Server) warmBudget() time.Duration {
+	w := 10 * s.degradeAfter
+	if w < time.Second {
+		w = time.Second
+	}
+	if w > 30*time.Second {
+		w = 30 * time.Second
+	}
+	return w
+}
+
+// ctxReader fails reads once the request context is done, so a deadline
+// expiring mid-decode surfaces as context.DeadlineExceeded instead of
+// blocking on the body.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (cr ctxReader) Read(p []byte) (int, error) {
+	if err := cr.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cr.r.Read(p)
+}
+
+// statusOf maps an error from any stage of the pipeline to its HTTP
+// status and stable machine-readable code. Deadline expiry is checked
+// before generic cancellation: the planner wraps both the sentinel
+// core.ErrCanceled and the context cause, so errors.Is sees through to
+// the root.
+func statusOf(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, arch.ErrInvalidMachine),
 		errors.Is(err, graph.ErrCyclicGraph),
 		errors.Is(err, core.ErrNoCores):
-		writeError(w, http.StatusBadRequest, "invalid_argument", err)
-	case errors.Is(err, core.ErrCanceled):
-		writeError(w, 499, "canceled", err)
+		return http.StatusBadRequest, "invalid_argument"
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota_exceeded"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCanceled):
+		return 499, "canceled"
 	default:
-		s.rec.Counter("serve.errors").Add(1)
-		writeError(w, http.StatusInternalServerError, "internal", err)
+		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// isOverloadSignal reports whether a failed request should shrink the
+// adaptive concurrency limit: deadline expiry means the server was too
+// slow for the offered load; a client canceling early does not.
+func isOverloadSignal(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeCtxError maps a bare context error (from queueing or decoding) to
+// 504/499 and counts deadline expiries.
+func (s *Server) writeCtxError(w http.ResponseWriter, err error) {
+	status, code := statusOf(err)
+	if code == "deadline_exceeded" {
+		s.rec.Counter("serve.deadline_exceeded").Add(1)
+	}
+	writeError(w, status, code, err)
+}
+
+// writePlanError maps planning-pipeline errors to HTTP statuses via
+// statusOf and keeps the failure counters.
+func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+	status, code := statusOf(err)
+	switch code {
+	case "deadline_exceeded":
+		s.rec.Counter("serve.deadline_exceeded").Add(1)
+	case "internal":
+		s.rec.Counter("serve.errors").Add(1)
+	}
+	writeError(w, status, code, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -75,6 +75,19 @@ func (r *PlanRequest) planOpts() ([]plan.Option, error) {
 	return opts, nil
 }
 
+// strategyName returns the resolved mapping-strategy name, used to key
+// the request's fingerprint family. Call only after planOpts succeeded.
+func (r *PlanRequest) strategyName() string {
+	if r.Options.Strategy == "" {
+		return core.Consecutive{}.Name()
+	}
+	strat, err := core.StrategyByName(r.Options.Strategy)
+	if err != nil {
+		return r.Options.Strategy
+	}
+	return strat.Name()
+}
+
 // TaskPlacement is one scheduled task's physical placement.
 type TaskPlacement struct {
 	Task  string   `json:"task"`
@@ -102,9 +115,12 @@ type PlanResponse struct {
 
 	Placements []TaskPlacement `json:"placements"`
 
-	// How the request was served.
+	// How the request was served. Degraded marks a stale fallback
+	// mapping of the request's fingerprint family, served because the
+	// cold plan exceeded its budget (see the serve package doc).
 	Cached    bool `json:"cached"`
 	Coalesced bool `json:"coalesced"`
+	Degraded  bool `json:"degraded,omitempty"`
 }
 
 // SimulateResponse is the body of a successful POST /v1/simulate: the
@@ -122,13 +138,16 @@ type SimulateResponse struct {
 
 	Cached    bool `json:"cached"`
 	Coalesced bool `json:"coalesced"`
+	Degraded  bool `json:"degraded,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable classification:
-	// "invalid_argument", "quota_exceeded", "canceled" or "internal".
+	// "invalid_argument" (400), "quota_exceeded" (429),
+	// "overloaded" (503, load shed — retry after Retry-After),
+	// "deadline_exceeded" (504), "canceled" (499) or "internal" (500).
 	Code string `json:"code"`
 }
 
@@ -147,6 +166,7 @@ func buildPlanResponse(mp *core.Mapping, info plan.Info) *PlanResponse {
 		Makespan:           s.Time,
 		Cached:             info.CacheHit,
 		Coalesced:          info.Coalesced,
+		Degraded:           info.Degraded,
 	}
 	for li, layer := range s.Layers {
 		resp.LayerGroups[li] = layer.NumGroups()

@@ -60,6 +60,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"mtask/internal/arch"
 	"mtask/internal/bench"
@@ -241,6 +242,36 @@ type ServeOption = serve.Option
 // quota accounting; absent or empty means the "default" tenant.
 const ServeTenantHeader = serve.TenantHeader
 
+// ServeDeadlineHeader is the HTTP request header carrying the client's
+// per-request deadline as a Go duration (e.g. "250ms"); it propagates
+// as a context deadline through admission, planning and encoding, and
+// expiry anywhere along the way answers 504 deadline_exceeded.
+const ServeDeadlineHeader = serve.DeadlineHeader
+
+// ServeAdmissionConfig configures WithServeAdmission: the adaptive
+// (AIMD) global concurrency limit, its latency target, and the bounded
+// wait queue in front of it.
+type ServeAdmissionConfig = serve.AdmissionConfig
+
+// WithServeAdmission puts an adaptive global concurrency limit in front
+// of the per-tenant quotas: at most limit requests plan at once, excess
+// requests wait in a bounded FIFO queue, and overflow is shed with HTTP
+// 503 and a Retry-After hint. The limit tracks observed request latency
+// (AIMD) between cfg.MinLimit and cfg.MaxLimit. The zero config takes
+// the serve package defaults.
+func WithServeAdmission(cfg ServeAdmissionConfig) ServeOption {
+	return serve.WithAdmission(cfg)
+}
+
+// WithServeDegraded serves a stale cached plan for the same
+// (graph, machine, strategy, cores) family — flagged "degraded": true —
+// when a cold plan exceeds after, instead of making the client wait out
+// the full planning time. capacity bounds the stale-plan store
+// (0 = default). after <= 0 disables degradation.
+func WithServeDegraded(after time.Duration, capacity int) ServeOption {
+	return serve.WithDegraded(after, capacity)
+}
+
 // WithServeQuota enforces a per-tenant token bucket of ratePerSec
 // requests per second with the given burst; rate <= 0 disables quotas.
 // Rejected requests get HTTP 429 with an error wrapping ErrQuotaExceeded
@@ -265,11 +296,14 @@ func WithServeRecorder(rec *TraceRecorder) ServeOption {
 // ServeHandler returns the planning-as-a-service HTTP handler served by
 // cmd/mtaskd: POST /v1/plan and POST /v1/simulate take a JSON graph,
 // machine and options and return the planned mapping summary or the
-// simulated timing; GET /healthz and GET /metricz expose liveness and
-// the serving metrics. The handler is multi-tenant (ServeTenantHeader),
-// admission-controlled (WithServeQuota), backed by a fingerprint-sharded
-// schedule cache, and coalesces concurrent identical cold plans into one
-// planner invocation. See docs/SERVING.md for the wire format.
+// simulated timing; GET /healthz, GET /readyz and GET /metricz expose
+// liveness, readiness and the serving metrics. The handler is
+// multi-tenant (ServeTenantHeader), admission-controlled
+// (WithServeAdmission, WithServeQuota), deadline-aware
+// (ServeDeadlineHeader), backed by a fingerprint-sharded schedule
+// cache, and coalesces concurrent identical cold plans into one planner
+// invocation. See docs/SERVING.md for the wire format and the overload
+// and degradation behaviour.
 func ServeHandler(opts ...ServeOption) http.Handler {
 	return serve.New(opts...).Handler()
 }
