@@ -154,15 +154,16 @@ func planBenchWorkload() (*Graph, *Machine) {
 	return ode.BuildPABGraph(40000, 600, 8, 2, 24), CHiC().SubsetCores(256)
 }
 
-// benchmarkPlanCold measures a cold Plan call (no schedule-cache reuse
-// between iterations) at the given search parallelism.
+// benchmarkPlanCold measures a cold Plan call (no schedule-cache reuse and
+// no incremental layer reuse between iterations) at the given search
+// parallelism.
 func benchmarkPlanCold(b *testing.B, workers int) {
 	b.Helper()
 	g, m := planBenchWorkload()
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mp, err := Plan(ctx, g, m, WithParallelism(workers), WithoutCache())
+		mp, err := Plan(ctx, g, m, WithParallelism(workers), WithoutCache(), WithoutIncremental())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,6 +204,65 @@ func BenchmarkPlanCached(b *testing.B) {
 	hits, misses := p.Cache().Stats()
 	if misses != 1 || hits < uint64(b.N) {
 		b.Fatalf("cache stats %d hits / %d misses for N=%d", hits, misses, b.N)
+	}
+}
+
+// benchmarkPlanScaled cold-plans a generated time-step-unrolled solver
+// graph of approximately `tasks` M-tasks on 256 CHiC cores, with both the
+// schedule cache and incremental layer reuse off so every iteration pays
+// the full pipeline: streaming chain contraction, layering, the arena-
+// backed group-count search, and mapping.
+func benchmarkPlanScaled(b *testing.B, tasks int) {
+	b.Helper()
+	g := ode.ScaledSolverGraph(tasks)
+	m := CHiC().SubsetCores(256)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := Plan(ctx, g, m, WithoutCache(), WithoutIncremental())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mp.Schedule.Time <= 0 {
+			b.Fatal("zero makespan")
+		}
+	}
+}
+
+// BenchmarkPlanScaled100k cold-plans a ~100k-task unrolled solver graph.
+func BenchmarkPlanScaled100k(b *testing.B) { benchmarkPlanScaled(b, 100_000) }
+
+// BenchmarkPlanScaled1M cold-plans a ~1M-task unrolled solver graph — the
+// ROADMAP item 4 target scale.
+func BenchmarkPlanScaled1M(b *testing.B) { benchmarkPlanScaled(b, 1_000_000) }
+
+// BenchmarkPlanIncremental measures the incremental replanning path: the
+// planner is warmed with the 24-step PABM workload, then every timed
+// iteration replans its 25-step time-step extension with the whole-mapping
+// cache bypassed, so each iteration runs the cold pipeline but adopts
+// every layer schedule from the family index instead of searching.
+func BenchmarkPlanIncremental(b *testing.B) {
+	g, m := planBenchWorkload()
+	ext := ode.BuildPABGraph(40000, 600, 8, 2, 25)
+	ctx := context.Background()
+	p := NewPlanner()
+	if _, err := p.Plan(ctx, g, m); err != nil {
+		b.Fatal(err)
+	}
+	var info PlanInfo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := p.Plan(ctx, ext, m, WithoutCache(), WithPlanInfo(&info))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mp.Schedule.Time <= 0 {
+			b.Fatal("zero makespan")
+		}
+	}
+	b.StopTimer()
+	if !info.Incremental || info.ReusedLayers == 0 || info.PatchedLayers != 0 {
+		b.Fatalf("incremental path not taken: %+v", info)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	mtaskbench -exp fig14
 //	mtaskbench -exp all
 //	mtaskbench -plan pabm -cores 256 -steps 16 -repeat 5
+//	mtaskbench -scale 1000000 -repeat 2
 //	mtaskbench -faults -fault-solver pab -kill 'stage[1](0)@1' -seed 7
 //	mtaskbench -exec -exec-iters 5000
 package main
@@ -36,6 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
 	planSolver := flag.String("plan", "", "plan a solver graph (epol|irk|diirk|pab|pabm) through the Planner engine")
+	scale := flag.Int("scale", 0, "plan: generate a deterministic time-step-unrolled solver graph of ~N tasks instead of the named solver (implies -plan)")
 	cores := flag.Int("cores", 256, "plan: cores of the CHiC partition")
 	n := flag.Int("n", 40000, "plan: ODE system size")
 	steps := flag.Int("steps", 8, "plan: time steps in the task graph")
@@ -110,8 +112,8 @@ func main() {
 		return
 	}
 
-	if *planSolver != "" {
-		if err := runPlan(*planSolver, *cores, *n, *steps, *strategy, *parallel, *repeat, *nocache, *timeout, *traceOut); err != nil {
+	if *planSolver != "" || *scale > 0 {
+		if err := runPlan(*planSolver, *scale, *cores, *n, *steps, *strategy, *parallel, *repeat, *nocache, *timeout, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mtaskbench: plan: %v\n", err)
 			os.Exit(1)
 		}
@@ -409,14 +411,23 @@ func parseKill(s string) (task string, attempt int, err error) {
 }
 
 // runPlan drives the Planner engine once cold and `repeat` times warm,
+// generating a scaled solver graph when scale > 0,
 // reporting per-request latency, the schedule shape and the simulated
 // makespan. With traceOut set, planner activity (per-layer g-search
 // spans, cache hit instants, cost-model memo counters) is exported as a
 // Chrome trace.
-func runPlan(solver string, cores, n, steps int, strategy string, parallel, repeat int, nocache bool, timeout time.Duration, traceOut string) error {
-	g, err := solverGraph(solver, n, steps)
-	if err != nil {
-		return err
+func runPlan(solver string, scale, cores, n, steps int, strategy string, parallel, repeat int, nocache bool, timeout time.Duration, traceOut string) error {
+	var g *graph.Graph
+	var err error
+	if scale > 0 {
+		build := time.Now()
+		g = ode.ScaledSolverGraph(scale)
+		fmt.Printf("generated %s: %d tasks, %d edges in %v\n", g.Name, g.Len(), g.NumEdges(), time.Since(build))
+	} else {
+		g, err = solverGraph(solver, n, steps)
+		if err != nil {
+			return err
+		}
 	}
 	strat, err := mtask.StrategyByName(strategy)
 	if err != nil {
@@ -450,6 +461,8 @@ func runPlan(solver string, cores, n, steps int, strategy string, parallel, repe
 	}
 
 	var mp *mtask.Mapping
+	var info mtask.PlanInfo
+	opts = append(opts, mtask.WithPlanInfo(&info))
 	for i := 0; i <= repeat; i++ {
 		start := time.Now()
 		mp, err = planner.Plan(ctx, g, machine, opts...)
@@ -457,8 +470,13 @@ func runPlan(solver string, cores, n, steps int, strategy string, parallel, repe
 			return err
 		}
 		kind := "cold"
-		if i > 0 {
-			kind = "warm"
+		switch {
+		case info.CacheHit:
+			kind = "cache-hit"
+		case info.Coalesced:
+			kind = "coalesced"
+		case info.Incremental:
+			kind = fmt.Sprintf("incremental, %d reused / %d searched layers", info.ReusedLayers, info.PatchedLayers)
 		}
 		fmt.Printf("plan %d (%s): %v\n", i, kind, time.Since(start))
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -49,6 +48,17 @@ type Scheduler struct {
 	// RoundRobin replaces the LPT task-to-group assignment by a naive
 	// round-robin assignment.
 	RoundRobin bool
+
+	// Reuse, when non-nil, is consulted before a layer is searched: a
+	// non-nil result is adopted verbatim as the layer's schedule — no
+	// candidate evaluation, no adjustment — on both the sequential and
+	// the parallel path. The graph passed to the hook is the graph being
+	// scheduled (after chain contraction). The caller guarantees the
+	// reused schedule is exactly what the search would produce (the
+	// planner's incremental path matches layers by cost-field
+	// fingerprint, which implies identical search results). The hook
+	// runs sequentially in layer order on both paths.
+	Reuse func(g *graph.Graph, li int, layer graph.Layer) *LayerSchedule
 
 	// Trace, when non-nil, records the g-search on the recorder's
 	// control track: one span per layer on the sequential path (the
@@ -108,12 +118,20 @@ func (s *Scheduler) ScheduleCtx(ctx context.Context, g *graph.Graph, P int) (*Sc
 // a cancellation check between layers.
 func (s *Scheduler) scheduleLayersSequential(ctx context.Context, g *graph.Graph, layers []graph.Layer, P int) ([]*LayerSchedule, error) {
 	out := make([]*LayerSchedule, len(layers))
+	sc := getSearchScratch()
+	defer putSearchScratch(sc)
 	for li, layer := range layers {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("scheduling %q: %w (%w)", g.Name, ErrCanceled, err)
 		}
+		if s.Reuse != nil {
+			if ls := s.Reuse(g, li, layer); ls != nil {
+				out[li] = ls
+				continue
+			}
+		}
 		start := s.Trace.Now()
-		out[li] = s.scheduleLayer(g, layer, P)
+		out[li] = s.scheduleLayer(g, layer, P, sc)
 		s.Trace.Span("g-search", "plan", obs.ControlRank, li, len(out[li].Groups), start, s.Trace.Now())
 		lo, hi := s.groupBounds(layer, P)
 		s.Trace.Counter("plan.candidates").Add(int64(hi - lo + 1))
@@ -133,16 +151,25 @@ type searchItem struct {
 // by construction, so the search is embarrassingly parallel; the per-layer
 // reduction afterwards replays the sequential loop's tie-breaking (strictly
 // smaller time wins, ties keep the smaller group count) so the result is
-// bit-identical to the sequential path.
+// bit-identical to the sequential path. Workers evaluate candidate layer
+// times only (allocation-free, on pooled scratch); the winning candidate
+// of each layer is materialized once after the reduction.
 func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, layers []graph.Layer, P int) ([]*LayerSchedule, error) {
 	searchStart := s.Trace.Now()
+	out := make([]*LayerSchedule, len(layers))
 	lo := make([]int, len(layers))
-	candidates := make([][]*LayerSchedule, len(layers))
+	times := make([][]float64, len(layers))
 	var items []searchItem
 	for li, layer := range layers {
+		if s.Reuse != nil {
+			if ls := s.Reuse(g, li, layer); ls != nil {
+				out[li] = ls
+				continue
+			}
+		}
 		l, h := s.groupBounds(layer, P)
 		lo[li] = l
-		candidates[li] = make([]*LayerSchedule, h-l+1)
+		times[li] = make([]float64, h-l+1)
 		for gc := l; gc <= h; gc++ {
 			items = append(items, searchItem{li: li, g: gc})
 		}
@@ -158,13 +185,15 @@ func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := getSearchScratch()
+			defer putSearchScratch(sc)
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
 				it := items[i]
-				candidates[it.li][it.g-lo[it.li]] = s.assign(g, layers[it.li], P, it.g)
+				times[it.li][it.g-lo[it.li]] = s.candidateTime(g, layers[it.li], P, it.g, sc)
 			}
 		}()
 	}
@@ -173,17 +202,21 @@ func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, 
 		return nil, fmt.Errorf("scheduling %q: %w (%w)", g.Name, ErrCanceled, err)
 	}
 
-	out := make([]*LayerSchedule, len(layers))
+	sc := getSearchScratch()
+	defer putSearchScratch(sc)
 	for li := range layers {
+		if out[li] != nil {
+			continue // reused
+		}
 		best := math.Inf(1)
-		var bestLS *LayerSchedule
-		for _, ls := range candidates[li] {
-			if ls.Time < best {
-				best = ls.Time
-				bestLS = ls
+		bestG := lo[li]
+		for i, t := range times[li] {
+			if t < best {
+				best = t
+				bestG = lo[li] + i
 			}
 		}
-		out[li] = s.adjusted(g, bestLS, P)
+		out[li] = s.adjusted(g, s.assign(g, layers[li], P, bestG, sc), P)
 		if s.Trace != nil {
 			s.Trace.Instant(fmt.Sprintf("layer %d: %d groups", li, len(out[li].Groups)),
 				"plan", obs.ControlRank, s.Trace.Now())
@@ -192,33 +225,6 @@ func (s *Scheduler) scheduleLayersParallel(ctx context.Context, g *graph.Graph, 
 	s.Trace.Span("g-search-parallel", "plan", obs.ControlRank, -1, -1, searchStart, s.Trace.Now())
 	s.Trace.Counter("plan.candidates").Add(int64(len(items)))
 	return out, nil
-}
-
-// groupHeap orders group indices by accumulated execution time (then by
-// index for determinism), implementing the "assign to the subset with the
-// smallest accumulated execution time" rule of the modified greedy
-// scheduling algorithm for independent tasks.
-type groupHeap struct {
-	load []float64
-	idx  []int
-}
-
-func (h *groupHeap) Len() int { return len(h.idx) }
-func (h *groupHeap) Less(i, j int) bool {
-	a, b := h.idx[i], h.idx[j]
-	if h.load[a] != h.load[b] {
-		return h.load[a] < h.load[b]
-	}
-	return a < b
-}
-func (h *groupHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *groupHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-func (h *groupHeap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	x := old[n-1]
-	h.idx = old[:n-1]
-	return x
 }
 
 // groupBounds returns the candidate group-count range [lo, hi] of a layer:
@@ -251,19 +257,20 @@ func (s *Scheduler) groupBounds(layer graph.Layer, P int) (lo, hi int) {
 	return lo, hi
 }
 
-// scheduleLayer implements Algorithm 1 for a single layer.
-func (s *Scheduler) scheduleLayer(g *graph.Graph, layer graph.Layer, P int) *LayerSchedule {
+// scheduleLayer implements Algorithm 1 for a single layer: candidates are
+// evaluated allocation-free on the scratch arena and only the winning group
+// count is materialized into a LayerSchedule.
+func (s *Scheduler) scheduleLayer(g *graph.Graph, layer graph.Layer, P int, sc *searchScratch) *LayerSchedule {
 	lo, hi := s.groupBounds(layer, P)
 	best := math.Inf(1)
-	var bestLS *LayerSchedule
+	bestG := lo
 	for gCount := lo; gCount <= hi; gCount++ {
-		ls := s.assign(g, layer, P, gCount)
-		if ls.Time < best {
-			best = ls.Time
-			bestLS = ls
+		if t := s.candidateTime(g, layer, P, gCount, sc); t < best {
+			best = t
+			bestG = gCount
 		}
 	}
-	return s.adjusted(g, bestLS, P)
+	return s.adjusted(g, s.assign(g, layer, P, bestG, sc), P)
 }
 
 // adjusted applies the group size adjustment step to the winning candidate
@@ -280,53 +287,72 @@ func (s *Scheduler) adjusted(g *graph.Graph, bestLS *LayerSchedule, P int) *Laye
 
 // assign partitions the P symbolic cores into gCount equal subsets and
 // assigns the layer's tasks to subsets greedily in decreasing order of
-// execution time (LPT), or round-robin if the ablation switch is set.
-func (s *Scheduler) assign(g *graph.Graph, layer graph.Layer, P, gCount int) *LayerSchedule {
-	sizes := equalSizes(P, gCount)
-	ls := &LayerSchedule{
-		Layer:  layer,
-		Groups: make([][]graph.TaskID, gCount),
-		Sizes:  sizes,
-	}
+// execution time (LPT), or round-robin if the ablation switch is set. Only
+// the returned LayerSchedule is allocated (sizes, one task slab, the group
+// headers); all working state lives on the scratch arena. The per-group
+// task order matches the former per-group appends: LPT order restricted to
+// each group.
+func (s *Scheduler) assign(g *graph.Graph, layer graph.Layer, P, gCount int, sc *searchScratch) *LayerSchedule {
+	sc.prepare(gCount, len(layer))
+	sizes := make([]int, gCount) // retained by the LayerSchedule
+	equalSizesInto(sizes, P, gCount)
+
 	// Task execution times on their prospective group sizes. Groups
 	// are equal-sized up to rounding; use each group's actual size when
 	// accumulating.
-	type taskTime struct {
-		id graph.TaskID
-		t  float64 // on the smallest group size, for ordering
-	}
-	tts := make([]taskTime, len(layer))
+	tts := sc.tts[:len(layer)]
 	minSize := sizes[gCount-1]
 	for i, id := range layer {
 		tts[i] = taskTime{id: id, t: s.Model.SymbolicTaskTime(g.Task(id), minSize)}
 	}
-	sort.SliceStable(tts, func(i, j int) bool {
-		if tts[i].t != tts[j].t {
-			return tts[i].t > tts[j].t // decreasing execution time
-		}
-		return tts[i].id < tts[j].id
-	})
+	sortTaskTimes(tts)
 
-	load := make([]float64, gCount)
+	load := sc.load[:gCount]
+	for i := range load {
+		load[i] = 0
+	}
+	asg := sc.asg[:len(layer)]
 	if s.RoundRobin {
 		for i, tt := range tts {
 			gi := i % gCount
-			ls.Groups[gi] = append(ls.Groups[gi], tt.id)
+			asg[i] = int32(gi)
 			load[gi] += s.Model.SymbolicTaskTime(g.Task(tt.id), sizes[gi])
 		}
 	} else {
-		h := &groupHeap{load: load, idx: make([]int, gCount)}
-		for i := range h.idx {
-			h.idx[i] = i
+		h := sc.heap[:gCount]
+		for i := range h {
+			h[i] = int32(i)
 		}
-		heap.Init(h)
-		for _, tt := range tts {
-			gi := heap.Pop(h).(int)
-			ls.Groups[gi] = append(ls.Groups[gi], tt.id)
+		for i, tt := range tts {
+			gi := h[0]
+			asg[i] = gi
 			load[gi] += s.Model.SymbolicTaskTime(g.Task(tt.id), sizes[gi])
-			heap.Push(h, gi)
+			siftDown(h, load, 0)
 		}
 	}
+
+	// Materialize the partition from a single backing slab: count group
+	// populations, carve zero-length full-capacity windows, fill in LPT
+	// order.
+	counts := sc.heap[:gCount] // the heap is spent; reuse as counters
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, gi := range asg {
+		counts[gi]++
+	}
+	backing := make([]graph.TaskID, len(layer))
+	groups := make([][]graph.TaskID, gCount)
+	off := 0
+	for gi, c := range counts {
+		groups[gi] = backing[off : off : off+int(c)]
+		off += int(c)
+	}
+	for i, gi := range asg {
+		groups[gi] = append(groups[gi], tts[i].id)
+	}
+
+	ls := &LayerSchedule{Layer: layer, Groups: groups, Sizes: sizes}
 	for _, l := range load {
 		if l > ls.Time {
 			ls.Time = l
@@ -371,6 +397,12 @@ func (s *Scheduler) adjust(g *graph.Graph, ls *LayerSchedule, P int) *LayerSched
 // P%g groups receive one extra core.
 func equalSizes(P, g int) []int {
 	sizes := make([]int, g)
+	equalSizesInto(sizes, P, g)
+	return sizes
+}
+
+// equalSizesInto is equalSizes into a caller-provided buffer.
+func equalSizesInto(sizes []int, P, g int) {
 	base, rem := P/g, P%g
 	for i := range sizes {
 		sizes[i] = base
@@ -378,7 +410,6 @@ func equalSizes(P, g int) []int {
 			sizes[i]++
 		}
 	}
-	return sizes
 }
 
 // ProportionalGroupSizes computes group sizes proportional to the given

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+)
+
+// allocBenchGraph builds a layered graph of depth layers times width
+// independent tasks per layer, linked layer-to-layer so Layers recovers
+// exactly the intended partition. Work varies per task so the LPT order is
+// non-trivial.
+func allocBenchGraph(depth, width int) *graph.Graph {
+	g := graph.New("alloc-bench")
+	g.Grow(depth*width+2, depth*width)
+	prev := make([]graph.TaskID, 0, width)
+	for l := 0; l < depth; l++ {
+		cur := make([]graph.TaskID, 0, width)
+		for w := 0; w < width; w++ {
+			id := g.AddTask(&graph.Task{
+				Name:      fmt.Sprintf("t%d.%d", l, w),
+				Kind:      graph.KindBasic,
+				Work:      float64(1000 + (w*37+l*11)%500),
+				CommBytes: 4096,
+				CommCount: 1,
+				OutBytes:  4096,
+			})
+			if l > 0 {
+				g.MustEdge(prev[w], id, 4096)
+			}
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	g.AddStartStop()
+	return g
+}
+
+// TestCandidateTimeAllocFree gates the arena-backed g-search at its core
+// invariant: evaluating one (layer, group count) candidate on a warm
+// scratch performs zero heap allocations.
+func TestCandidateTimeAllocFree(t *testing.T) {
+	g := allocBenchGraph(1, 64)
+	layers := graph.Layers(g)
+	if len(layers) != 1 || len(layers[0]) != 64 {
+		t.Fatalf("unexpected layering: %d layers", len(layers))
+	}
+	layer := layers[0]
+	s := &Scheduler{Model: &cost.Model{Machine: arch.CHiC().SubsetCores(64)}}
+	sc := getSearchScratch()
+	defer putSearchScratch(sc)
+	for _, gc := range []int{1, 7, 32, 64} {
+		gc := gc
+		s.candidateTime(g, layer, 64, gc, sc) // warm the scratch classes
+		n := testing.AllocsPerRun(50, func() {
+			s.candidateTime(g, layer, 64, gc, sc)
+		})
+		if n != 0 {
+			t.Errorf("candidateTime(g=%d) allocates %v objects per run, want 0", gc, n)
+		}
+	}
+}
+
+// TestScheduleAllocRegression gates the whole-schedule allocation budget.
+// Before the arena scratch, every candidate of the group-count search
+// materialized its partition (task-time slices, per-group appends, a boxed
+// heap), putting allocations at O(candidates x width); with candidates
+// evaluated on pooled scratch, allocations are O(layers x width) — only
+// result structures. The bound below sits ~2x above the measured cost of
+// the search (roughly 15 allocations per layer plus contraction, layering
+// and result slabs) and ~2x below the pre-arena figure, so a regression
+// to per-candidate allocation trips it immediately.
+func TestScheduleAllocRegression(t *testing.T) {
+	const depth, width, P = 8, 64, 64
+	g := allocBenchGraph(depth, width)
+	s := &Scheduler{Model: &cost.Model{Machine: arch.CHiC().SubsetCores(P)}}
+	if _, err := s.Schedule(g, P); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := s.Schedule(g, P); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured ~1.1e3 allocs/run on the recording host; the pre-arena
+	// search cost ~5.6e3 for the same workload (64 candidates/layer, each
+	// materializing its partition).
+	const budget = 2500
+	if n > budget {
+		t.Errorf("Schedule allocates %v objects per run, budget %d", n, budget)
+	}
+}

@@ -139,8 +139,18 @@ func MapCtx(ctx context.Context, s *Schedule, m *arch.Machine, strat Strategy) (
 	}
 	seq := strat.Sequence(m)
 	mp := &Mapping{Schedule: s, Machine: m, Strategy: strat}
+	// All per-layer group headers come from one slab sized to the total
+	// group count, so mapping an L-layer schedule costs two allocations
+	// instead of one per layer plus append growth.
+	totalGroups := 0
 	for _, ls := range s.Layers {
-		layerCores := make([][]arch.CoreID, ls.NumGroups())
+		totalGroups += ls.NumGroups()
+	}
+	hdrSlab := make([][]arch.CoreID, totalGroups)
+	mp.Cores = make([][][]arch.CoreID, 0, len(s.Layers))
+	for _, ls := range s.Layers {
+		layerCores := hdrSlab[:ls.NumGroups():ls.NumGroups()]
+		hdrSlab = hdrSlab[ls.NumGroups():]
 		off := 0
 		for gi, sz := range ls.Sizes {
 			layerCores[gi] = seq[off : off+sz]

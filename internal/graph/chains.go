@@ -1,6 +1,8 @@
 package graph
 
-import "fmt"
+import (
+	"slices"
+)
 
 // ContractionResult is the output of ContractChains: the contracted graph
 // and the mapping from original task ids to the id of the contracted node
@@ -23,6 +25,14 @@ type ContractionResult struct {
 // except the entry has exactly one predecessor (its chain predecessor) and
 // every node except the exit has exactly one successor (its chain
 // successor). Start and stop markers and composed nodes are never merged.
+//
+// The contraction is a streaming single pass over the input: output nodes
+// and the members slab are sized exactly up front, edges are emitted by
+// walking the per-source adjacency lists directly (no intermediate edge
+// slice, no sort) and appended to the output without any map lookups —
+// external out-edges leave only chain exits and external in-edges enter
+// only chain heads, so a contracted (from, to) pair can never repeat and
+// no merge map is needed. Contracting an E-edge graph is O(V+E).
 func ContractChains(g *Graph) *ContractionResult {
 	n := g.Len()
 	mergeable := func(id TaskID) bool {
@@ -31,12 +41,13 @@ func ContractChains(g *Graph) *ContractionResult {
 	}
 	// next[u] = v if u -> v is a chain link: u has exactly one
 	// successor v, v has exactly one predecessor u, both mergeable.
-	next := make([]TaskID, n)
-	prev := make([]TaskID, n)
-	for i := range next {
-		next[i] = None
-		prev[i] = None
+	// Both arrays come from one allocation.
+	linkBuf := make([]TaskID, 2*n)
+	next, prev := linkBuf[:n:n], linkBuf[n:]
+	for i := range linkBuf {
+		linkBuf[i] = None
 	}
+	links := 0
 	for u := 0; u < n; u++ {
 		uid := TaskID(u)
 		if !mergeable(uid) || len(g.Succ(uid)) != 1 {
@@ -48,38 +59,73 @@ func ContractChains(g *Graph) *ContractionResult {
 		}
 		next[uid] = v
 		prev[v] = uid
+		links++
+	}
+
+	// Chain-free graphs (common for solver methods whose micro steps are
+	// already fused) contract to themselves: share the input instead of
+	// copying it, exactly as the scheduler's DisableChainContraction path
+	// does. The input is treated as immutable after planning either way
+	// (cached mappings reference it through Schedule.Source).
+	if links == 0 {
+		res := &ContractionResult{Graph: g, NodeOf: make([]TaskID, n)}
+		for i := range res.NodeOf {
+			res.NodeOf[i] = TaskID(i)
+		}
+		return res
+	}
+
+	// Every node with no chain predecessor heads exactly one output node
+	// (a chain of length >= 2, or itself); size the output exactly.
+	outNodes := 0
+	for u := 0; u < n; u++ {
+		if prev[u] == None {
+			outNodes++
+		}
 	}
 
 	res := &ContractionResult{Graph: New(g.Name + "/contracted"), NodeOf: make([]TaskID, n)}
+	res.Graph.Grow(outNodes, g.NumEdges())
 	for i := range res.NodeOf {
 		res.NodeOf[i] = None
 	}
+
+	// Node and member storage come from two exactly-sized slabs: every
+	// original task appears in exactly one Members list, and every output
+	// node is one Task. Appending within fixed capacity never reallocates,
+	// so &taskSlab[i] stays valid.
+	taskSlab := make([]Task, outNodes)
+	memberSlab := make([]TaskID, 0, n)
+	emitted := 0
 
 	// Walk each maximal chain from its head (a node with no chain
 	// predecessor) and emit one node per chain; non-chain tasks are
 	// copied as-is. Iterate in id order for determinism.
 	for u := 0; u < n; u++ {
 		uid := TaskID(u)
-		if res.NodeOf[uid] != None || prev[uid] != None {
-			continue // already emitted, or interior of some chain
+		if prev[uid] != None {
+			continue // interior of some chain
 		}
+		node := &taskSlab[emitted]
+		emitted++
 		if next[uid] == None {
 			// Singleton: copy the task.
-			t := *g.Task(uid)
-			t.Members = []TaskID{uid}
-			nid := res.Graph.AddTask(&t)
+			*node = *g.Task(uid)
+			memberSlab = append(memberSlab, uid)
+			node.Members = memberSlab[len(memberSlab)-1 : len(memberSlab) : len(memberSlab)]
+			nid := res.Graph.AddTask(node)
 			res.NodeOf[uid] = nid
 			continue
 		}
 		// Head of a chain of length >= 2: accumulate members.
-		var members []TaskID
+		start := len(memberSlab)
 		var work float64
 		var commCount, bcastCount int
 		commBytes, bcastBytes := 0, 0
 		maxWidth := 0
 		for id := uid; id != None; id = next[id] {
 			t := g.Task(id)
-			members = append(members, id)
+			memberSlab = append(memberSlab, id)
 			work += t.Work
 			commCount += t.CommCount
 			bcastCount += t.BcastCount
@@ -93,9 +139,10 @@ func ContractChains(g *Graph) *ContractionResult {
 				maxWidth = t.MaxWidth
 			}
 		}
+		members := memberSlab[start:len(memberSlab):len(memberSlab)]
 		exit := members[len(members)-1]
-		node := &Task{
-			Name:       fmt.Sprintf("chain[%s..%s]", g.Task(uid).Name, g.Task(exit).Name),
+		*node = Task{
+			Name:       "chain[" + g.Task(uid).Name + ".." + g.Task(exit).Name + "]",
 			Kind:       KindBasic,
 			Work:       work,
 			CommBytes:  commBytes,
@@ -112,18 +159,39 @@ func ContractChains(g *Graph) *ContractionResult {
 		}
 	}
 
-	// Re-create edges between contracted nodes. Chain-internal edges
-	// vanish; parallel edges merge (AddEdge accumulates bytes).
-	for _, e := range g.Edges() {
-		cf, ct := res.NodeOf[e.From], res.NodeOf[e.To]
-		if cf == ct {
-			continue
+	// Exact-degree prepass so edge emission appends into slabs carved by
+	// PresizeAdjacency instead of growing per-node adjacency lists one
+	// edge at a time.
+	degBuf := make([]int, 2*outNodes)
+	outDeg, inDeg := degBuf[:outNodes:outNodes], degBuf[outNodes:]
+	for u := 0; u < n; u++ {
+		for _, e := range g.out[u] {
+			cf, ct := res.NodeOf[e.From], res.NodeOf[e.To]
+			if cf == ct {
+				continue
+			}
+			outDeg[cf]++
+			inDeg[ct]++
 		}
-		bytes := e.Bytes
-		if bytes == 0 {
-			bytes = g.Task(e.From).OutBytes
+	}
+	res.Graph.PresizeAdjacency(outDeg, inDeg)
+
+	// Re-create edges between contracted nodes by streaming over the
+	// per-source adjacency lists in id order. Chain-internal edges vanish;
+	// the remaining pairs are unique (see above), so they are appended
+	// without duplicate-merging.
+	for u := 0; u < n; u++ {
+		for _, e := range g.out[u] {
+			cf, ct := res.NodeOf[e.From], res.NodeOf[e.To]
+			if cf == ct {
+				continue
+			}
+			bytes := e.Bytes
+			if bytes == 0 {
+				bytes = g.Task(e.From).OutBytes
+			}
+			res.Graph.AddUniqueEdge(cf, ct, bytes)
 		}
-		res.Graph.MustEdge(cf, ct, bytes)
 	}
 	return res
 }
@@ -137,6 +205,11 @@ type Layer []TaskID
 // the current layer — i.e. every task enters the earliest layer in which
 // all of its predecessors have already been placed. Start and stop markers
 // carry no computation and are not assigned to any layer.
+//
+// The partition runs in O(V + E + V log w) for maximum layer width w: each
+// level's ready set is carried forward and sorted, instead of rescanning
+// every task per level (which made layering time-step-unrolled graphs
+// quadratic in the step count).
 func Layers(g *Graph) []Layer {
 	n := g.Len()
 	indeg := make([]int, n)
@@ -144,39 +217,42 @@ func Layers(g *Graph) []Layer {
 		k := g.Task(id).Kind
 		return k == KindStart || k == KindStop
 	}
+	// ready and next are the two halves of one buffer, swapped per level.
+	readyBuf := make([]TaskID, 0, 2*n)
+	ready, next := readyBuf[0:0:n], readyBuf[n:n:2*n]
 	for id := 0; id < n; id++ {
 		indeg[id] = len(g.Pred(TaskID(id)))
+		if indeg[id] == 0 {
+			ready = append(ready, TaskID(id))
+		}
 	}
-	placed := make([]bool, n)
-	// Start/stop markers are released immediately: treat them as placed
-	// once their predecessors are, but never emit them.
+	// Every task lands in at most one layer, so all layers are carved
+	// from one exactly-sized slab (capacity never grows, so the windows
+	// stay valid).
+	layerSlab := make([]TaskID, 0, n)
 	var layers []Layer
-	remaining := n
-	for remaining > 0 {
-		var ready []TaskID
-		for id := 0; id < n; id++ {
-			if !placed[id] && indeg[id] == 0 {
-				ready = append(ready, TaskID(id))
-			}
-		}
-		if len(ready) == 0 {
-			// Cycle: give up (Validate reports this properly).
-			break
-		}
-		var layer Layer
+	for len(ready) > 0 {
+		// Emit in ascending id order, matching the former full scan.
+		slices.Sort(ready)
+		start := len(layerSlab)
+		next = next[:0]
 		for _, id := range ready {
-			placed[id] = true
-			remaining--
-			for _, s := range g.Succ(id) {
+			for _, s := range g.succ[id] {
 				indeg[s]--
+				if indeg[s] == 0 {
+					next = append(next, s)
+				}
 			}
 			if !skip(id) {
-				layer = append(layer, id)
+				layerSlab = append(layerSlab, id)
 			}
 		}
-		if len(layer) > 0 {
-			layers = append(layers, layer)
+		if len(layerSlab) > start {
+			layers = append(layers, Layer(layerSlab[start:len(layerSlab):len(layerSlab)]))
 		}
+		ready, next = next, ready
+		// A cycle leaves tasks with positive in-degree unplaced; the
+		// loop simply ends (Validate reports cycles properly).
 	}
 	return layers
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // ErrCyclicGraph is the sentinel wrapped by TopoOrder and Validate when the
@@ -115,21 +116,46 @@ type Graph struct {
 	pred  [][]TaskID
 	// out mirrors succ with the *Edge values, so edge enumeration does
 	// not have to go through the edges map.
-	out   [][]*Edge
+	out    [][]*Edge
+	nedges int
+
+	// edges is the (from, to) -> *Edge lookup index. It is built lazily
+	// from out on the first point lookup (Edge, AddEdge), so graphs
+	// assembled through the streaming path (AddUniqueEdge, chain
+	// contraction) never pay for a per-edge map insert they may never
+	// need. idxMu makes the lazy build safe when an immutable graph is
+	// shared between goroutines (cached mappings are).
 	edges map[[2]TaskID]*Edge
+	idxMu sync.Mutex
+
+	// edgeSlab, when carved by PresizeAdjacency, backs Edge values so
+	// streaming builders allocate edges in one block instead of one
+	// object each. Its capacity is fixed at carve time, so *Edge
+	// pointers into it stay valid.
+	edgeSlab []Edge
 }
 
 // New returns an empty named graph.
 func New(name string) *Graph {
-	return &Graph{Name: name, edges: make(map[[2]TaskID]*Edge)}
+	return &Graph{Name: name}
+}
+
+// Grow preallocates capacity for n additional tasks and hints at e
+// additional edges, so bulk builders (generated benchmark graphs, chain
+// contraction, JSON decoding) append without intermediate reallocations.
+func (g *Graph) Grow(n, e int) {
+	if n > 0 {
+		g.tasks = slices.Grow(g.tasks, n)
+		g.succ = slices.Grow(g.succ, n)
+		g.pred = slices.Grow(g.pred, n)
+		g.out = slices.Grow(g.out, n)
+	}
+	_ = e // succ/pred/out grow per task; the edge index is lazy
 }
 
 // AddTask adds a task and returns its id. The task's ID field is set by the
 // graph; any preset value is ignored.
 func (g *Graph) AddTask(t *Task) TaskID {
-	if g.edges == nil {
-		g.edges = make(map[[2]TaskID]*Edge)
-	}
 	id := TaskID(len(g.tasks))
 	t.ID = id
 	g.tasks = append(g.tasks, t)
@@ -154,17 +180,111 @@ func (g *Graph) AddEdge(from, to TaskID, bytes int) error {
 	if from == to {
 		return fmt.Errorf("graph %s: self edge on task %d", g.Name, from)
 	}
+	idx := g.edgeIndex()
 	key := [2]TaskID{from, to}
-	if e, ok := g.edges[key]; ok {
+	if e, ok := idx[key]; ok {
 		e.Bytes += bytes
 		return nil
 	}
 	e := &Edge{From: from, To: to, Bytes: bytes}
-	g.edges[key] = e
-	g.succ[from] = append(g.succ[from], to)
-	g.pred[to] = append(g.pred[to], from)
-	g.out[from] = append(g.out[from], e)
+	idx[key] = e
+	g.appendEdge(e)
 	return nil
+}
+
+// AddUniqueEdge is the streaming counterpart of AddEdge for bulk builders:
+// it appends the edge from -> to without consulting (or building) the edge
+// lookup index, so ingesting an E-edge graph is O(E) with no intermediate
+// maps. The caller guarantees that both ids are valid, from != to, and
+// that the edge does not duplicate an existing one — duplicates are NOT
+// merged on this path (Validate and the lazy index would then see the
+// first occurrence only). Chain contraction and the generated benchmark
+// graphs satisfy this by construction.
+func (g *Graph) AddUniqueEdge(from, to TaskID, bytes int) {
+	e := g.newEdge(from, to, bytes)
+	if g.edges != nil {
+		g.edges[[2]TaskID{from, to}] = e
+	}
+	g.appendEdge(e)
+}
+
+// newEdge allocates an Edge, carving from the presized slab while it has
+// room (the slab's capacity never changes, so pointers into it are
+// stable).
+func (g *Graph) newEdge(from, to TaskID, bytes int) *Edge {
+	if len(g.edgeSlab) < cap(g.edgeSlab) {
+		g.edgeSlab = g.edgeSlab[:len(g.edgeSlab)+1]
+		e := &g.edgeSlab[len(g.edgeSlab)-1]
+		e.From, e.To, e.Bytes = from, to, bytes
+		return e
+	}
+	return &Edge{From: from, To: to, Bytes: bytes}
+}
+
+// PresizeAdjacency carves exact-capacity adjacency lists for tasks
+// 0..len(outDeg)-1 out of two shared slabs (one TaskID slab holding the
+// succ windows followed by the pred windows, one *Edge slab) plus an Edge
+// value slab, given every task's final out- and in-degree. Streaming
+// builders that know the degrees up front (chain contraction counts them
+// in a prepass, generated graphs know them by construction) call it once
+// after adding their tasks; the AddUniqueEdge appends that follow stay
+// inside the carved capacities, so ingesting E edges costs three block
+// allocations instead of O(E) incremental slice growths and E edge-object
+// allocations. Appending
+// beyond a carved capacity stays correct — the slice simply grows off the
+// slab. Existing adjacency entries are preserved.
+func (g *Graph) PresizeAdjacency(outDeg, inDeg []int) {
+	totOut, totIn := 0, 0
+	for _, d := range outDeg {
+		totOut += d
+	}
+	for _, d := range inDeg {
+		totIn += d
+	}
+	// succ and pred share one TaskID slab (succ windows first, pred
+	// windows after), halving the allocation count of the prepass.
+	idSlab := make([]TaskID, 0, totOut+totIn)
+	outSlab := make([]*Edge, 0, totOut)
+	// A fresh edge slab: edges already handed out keep their old backing
+	// array alive through their own pointers.
+	g.edgeSlab = make([]Edge, 0, totOut)
+	oOff, iOff := 0, totOut
+	for u, d := range outDeg {
+		g.succ[u] = append(idSlab[oOff:oOff:oOff+d], g.succ[u]...)
+		g.out[u] = append(outSlab[oOff:oOff:oOff+d], g.out[u]...)
+		oOff += d
+	}
+	for u, d := range inDeg {
+		g.pred[u] = append(idSlab[iOff:iOff:iOff+d], g.pred[u]...)
+		iOff += d
+	}
+}
+
+// appendEdge links an edge into the adjacency slices.
+func (g *Graph) appendEdge(e *Edge) {
+	g.succ[e.From] = append(g.succ[e.From], e.To)
+	g.pred[e.To] = append(g.pred[e.To], e.From)
+	g.out[e.From] = append(g.out[e.From], e)
+	g.nedges++
+}
+
+// edgeIndex returns the (from, to) -> *Edge map, building it from the
+// adjacency slices on first use. The build is guarded so concurrent point
+// lookups on a shared immutable graph are safe; mutation (AddEdge) is
+// construction-time and single-threaded as before.
+func (g *Graph) edgeIndex() map[[2]TaskID]*Edge {
+	g.idxMu.Lock()
+	defer g.idxMu.Unlock()
+	if g.edges == nil {
+		idx := make(map[[2]TaskID]*Edge, g.nedges)
+		for _, es := range g.out {
+			for _, e := range es {
+				idx[[2]TaskID{e.From, e.To}] = e
+			}
+		}
+		g.edges = idx
+	}
+	return g.edges
 }
 
 // MustEdge is AddEdge that panics on error, for graph construction code
@@ -193,7 +313,10 @@ func (g *Graph) Succ(id TaskID) []TaskID { return g.succ[id] }
 func (g *Graph) Pred(id TaskID) []TaskID { return g.pred[id] }
 
 // Edge returns the edge from->to, or nil.
-func (g *Graph) Edge(from, to TaskID) *Edge { return g.edges[[2]TaskID{from, to}] }
+func (g *Graph) Edge(from, to TaskID) *Edge { return g.edgeIndex()[[2]TaskID{from, to}] }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.nedges }
 
 // Edges returns all edges in deterministic (from, to) order. The
 // per-source edge lists are concatenated in source order and each small
@@ -201,7 +324,7 @@ func (g *Graph) Edge(from, to TaskID) *Edge { return g.edges[[2]TaskID{from, to}
 // which matters on the planning hot path (ContractChains enumerates the
 // edges of every solver graph it contracts).
 func (g *Graph) Edges() []*Edge {
-	es := make([]*Edge, 0, len(g.edges))
+	es := make([]*Edge, 0, g.nedges)
 	for u := range g.out {
 		es = append(es, g.out[u]...)
 		tail := es[len(es)-len(g.out[u]):]
@@ -285,8 +408,39 @@ func (g *Graph) TopoOrder() ([]TaskID, error) {
 
 // Validate checks that the graph is a DAG and that start/stop markers, if
 // present, are unique and are a source / sink respectively.
+// cycleFree is the order-agnostic cycle check behind Validate: a plain
+// Kahn pass with a FIFO work list. It allocates one integer array (the
+// in-degree counts and the work list share a buffer; TaskID's underlying
+// type is int, so counts fit) and nothing else — unlike TopoOrder it
+// maintains no heap and emits no order, which matters because Validate
+// runs on every cold plan.
+func (g *Graph) cycleFree() error {
+	n := len(g.tasks)
+	buf := make([]TaskID, n, 2*n)
+	indeg := buf
+	queue := buf[n : n : 2*n]
+	for id := range g.tasks {
+		indeg[id] = TaskID(len(g.pred[id]))
+		if indeg[id] == 0 {
+			queue = append(queue, TaskID(id))
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, s := range g.succ[queue[qi]] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(queue) != len(g.tasks) {
+		return fmt.Errorf("graph %s: %w (%d of %d tasks ordered)", g.Name, ErrCyclicGraph, len(queue), len(g.tasks))
+	}
+	return nil
+}
+
 func (g *Graph) Validate() error {
-	if _, err := g.TopoOrder(); err != nil {
+	if err := g.cycleFree(); err != nil {
 		return err
 	}
 	starts, stops := 0, 0

@@ -136,6 +136,16 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	*g = *ng
+	// Field-wise copy (not *g = *ng): Graph carries the edge-index mutex,
+	// which must not be copied. The decode target is not shared while
+	// unmarshalling, so keeping g's own (unlocked) mutex is fine.
+	g.Name = ng.Name
+	g.tasks = ng.tasks
+	g.succ = ng.succ
+	g.pred = ng.pred
+	g.out = ng.out
+	g.nedges = ng.nedges
+	g.edges = ng.edges
+	g.edgeSlab = ng.edgeSlab
 	return nil
 }

@@ -43,9 +43,18 @@ func TestQuickContractionInvariants(t *testing.T) {
 		if res.Graph.TotalWork() != g.TotalWork() {
 			return false
 		}
-		// Every original task appears in exactly one node's members.
+		// Every original task appears in exactly one node's members. A
+		// node without members stands for itself (chain-free graphs
+		// contract to the shared input, whose tasks have no Members).
 		count := make([]int, g.Len())
 		for _, node := range res.Graph.Tasks() {
+			if len(node.Members) == 0 {
+				if res.NodeOf[node.ID] != node.ID {
+					return false
+				}
+				count[node.ID]++
+				continue
+			}
 			for _, m := range node.Members {
 				count[m]++
 			}

@@ -72,6 +72,33 @@ func graphFP(h uint64, g *graph.Graph) uint64 {
 	return h
 }
 
+// LayerFingerprint returns a 64-bit fingerprint of one layer of a
+// (contracted) graph covering exactly the inputs the layer's group-count
+// search depends on: the layer width and, per task in layer order, every
+// task field the symbolic cost functions read (plus composed bodies).
+// OutBytes is deliberately excluded — it prices edges, which the layer
+// search never sees — so a chain exit whose payload changed still
+// fingerprints equal and its layer schedule can be reused. Together with
+// an equal family key (machine, strategy, P, model, scheduler knobs) an
+// equal layer fingerprint implies Algorithm 1 produces positionally
+// identical layer schedules.
+func LayerFingerprint(g *graph.Graph, layer graph.Layer) uint64 {
+	h := uint64(fnvOffset)
+	h = mix(h, uint64(len(layer)))
+	for _, id := range layer {
+		t := g.Task(id)
+		h = mix(h, uint64(t.Kind))
+		h = mixFloat(h, t.Work)
+		h = mix(h, uint64(t.CommBytes)<<16|uint64(t.CommCount))
+		h = mix(h, uint64(t.BcastBytes)<<16|uint64(t.BcastCount))
+		h = mix(h, uint64(t.MaxWidth))
+		if t.Sub != nil {
+			h = graphFP(h, t.Sub)
+		}
+	}
+	return h
+}
+
 // MachineFingerprint returns a 64-bit fingerprint of a machine
 // description covering its name, shape, core rate, per-level link
 // performance and hybrid execution parameters.

@@ -59,6 +59,12 @@ type Options struct {
 	// DisableMemo turns off cost-model memoization.
 	DisableMemo bool
 
+	// DisableIncremental turns off layer-granular schedule reuse for
+	// this request: the cold plan searches every layer from scratch and
+	// records nothing in the planner's family index. Cold-path
+	// benchmarks use it to keep iterations independent.
+	DisableIncremental bool
+
 	// Trace, when non-nil, records the planning request on the
 	// recorder's control track: a span for the whole request, cache
 	// hit/miss counters, the g-search timings of the scheduler, and
@@ -82,7 +88,10 @@ type Options struct {
 
 // Info reports how one Plan request was served — the per-request signal
 // the serving layer turns into its admission and cache metrics. Exactly
-// one of the three fields is set on success; all are false on error.
+// one of CacheHit, Coalesced and Cold is set on success; all are false on
+// error. Incremental refines Cold: the request ran the planning pipeline
+// itself but patched a remembered layering instead of searching every
+// layer.
 type Info struct {
 	// CacheHit reports that the mapping came from the schedule cache.
 	CacheHit bool
@@ -91,6 +100,15 @@ type Info struct {
 	Coalesced bool
 	// Cold reports that this request ran scheduling and mapping itself.
 	Cold bool
+	// Incremental reports that the cold plan reused at least one layer
+	// schedule from the planner's family index (layer-granular
+	// fingerprint match) and searched only the remaining layers.
+	Incremental bool
+	// ReusedLayers and PatchedLayers split the layer count of an
+	// incremental plan: ReusedLayers were adopted from the family index,
+	// PatchedLayers were searched from scratch. Both are zero unless
+	// Incremental is set.
+	ReusedLayers, PatchedLayers int
 	// Degraded reports that the serving layer answered with a stale
 	// mapping of the same fingerprint family because the cold plan
 	// exceeded its budget; the planner itself never sets it.
@@ -139,6 +157,10 @@ func WithoutCache() Option { return func(o *Options) { o.DisableCache = true } }
 // WithoutMemo disables cost-model memoization for this request.
 func WithoutMemo() Option { return func(o *Options) { o.DisableMemo = true } }
 
+// WithoutIncremental disables layer-granular schedule reuse for this
+// request; see Options.DisableIncremental.
+func WithoutIncremental() Option { return func(o *Options) { o.DisableIncremental = true } }
+
 // WithTrace attaches a trace recorder to the planning request; see
 // Options.Trace.
 func WithTrace(rec *obs.Recorder) Option { return func(o *Options) { o.Trace = rec } }
@@ -162,9 +184,10 @@ func Defaults() Options {
 // safe for concurrent use; all requests share its schedule cache and its
 // singleflight table.
 type Planner struct {
-	base    Options
-	cache   Cache
-	flights flightGroup
+	base     Options
+	cache    Cache
+	flights  flightGroup
+	families familyIndex
 }
 
 // New returns a Planner whose per-request defaults are Defaults()
@@ -190,6 +213,11 @@ func NewWithCache(c Cache, opts ...Option) *Planner {
 
 // Cache returns the planner's schedule cache (for stats and purging).
 func (p *Planner) Cache() Cache { return p.cache }
+
+// PurgeIncremental drops the layer-granular family index backing
+// incremental replanning (the whole-mapping schedule cache is purged
+// separately via Cache().Purge()).
+func (p *Planner) PurgeIncremental() { p.families.purge() }
 
 // Plan schedules the graph on the machine and maps it with the configured
 // strategy. It validates both inputs (errors wrap arch.ErrInvalidMachine /
@@ -331,16 +359,46 @@ func (p *Planner) planCold(ctx context.Context, g *graph.Graph, m *arch.Machine,
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var inc *incrementalState
+	var reuse func(*graph.Graph, int, graph.Layer) *core.LayerSchedule
+	if !o.DisableIncremental {
+		fk := Key{
+			Machine:        MachineFingerprint(m),
+			Strategy:       o.Strategy.Name(),
+			P:              P,
+			ModelMachine:   MachineFingerprint(model.Machine),
+			Hybrid:         model.Hybrid,
+			ThreadsPerRank: model.ThreadsPerRank,
+			ForceGroups:    o.ForceGroups,
+			MinGroups:      o.MinGroups,
+			MaxGroups:      o.MaxGroups,
+		}.familyKey()
+		inc = &incrementalState{family: p.families.get(fk)}
+		reuse = inc.reuse
+	}
 	sched, err := (&core.Scheduler{
 		Model:       model,
 		ForceGroups: o.ForceGroups,
 		MinGroups:   o.MinGroups,
 		MaxGroups:   o.MaxGroups,
 		Parallel:    workers,
+		Reuse:       reuse,
 		Trace:       o.Trace,
 	}).ScheduleCtx(ctx, g, P)
 	if err != nil {
 		return nil, err
+	}
+	if inc != nil {
+		inc.record(sched.Layers)
+		if inc.reused > 0 {
+			o.Trace.Counter("plan.incremental_hits").Add(1)
+			o.Trace.Counter("plan.incremental_patched_layers").Add(int64(inc.patched))
+			if o.Info != nil {
+				o.Info.Incremental = true
+				o.Info.ReusedLayers = inc.reused
+				o.Info.PatchedLayers = inc.patched
+			}
+		}
 	}
 	mp, err = core.MapCtx(ctx, sched, m, o.Strategy)
 	if err != nil {

@@ -437,6 +437,13 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, simulate bool)
 		s.rec.Counter("serve.cache_hits").Add(1)
 	case info.Coalesced:
 		s.rec.Counter("serve.coalesced").Add(1)
+	case info.Incremental:
+		// Incremental refines Cold: the request ran the planning
+		// pipeline but adopted remembered layer schedules instead of
+		// searching them. Counted separately from serve.plans_cold so
+		// the two cold variants are distinguishable on /metricz.
+		s.rec.Counter("serve.plans_incremental").Add(1)
+		s.rec.Counter("serve.incremental_layers_reused").Add(int64(info.ReusedLayers))
 	case info.Cold:
 		s.rec.Counter("serve.plans_cold").Add(1)
 	}
@@ -458,15 +465,16 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, simulate bool)
 		return
 	}
 	writeJSON(w, http.StatusOK, &SimulateResponse{
-		Graph:      mp.Schedule.Source.Name,
-		Machine:    mp.Machine.Name,
-		Makespan:   res.Makespan,
-		CompTime:   res.CompTime,
-		CommTime:   res.CommTime,
-		RedistTime: res.RedistTime,
-		Cached:     info.CacheHit,
-		Coalesced:  info.Coalesced,
-		Degraded:   info.Degraded,
+		Graph:       mp.Schedule.Source.Name,
+		Machine:     mp.Machine.Name,
+		Makespan:    res.Makespan,
+		CompTime:    res.CompTime,
+		CommTime:    res.CommTime,
+		RedistTime:  res.RedistTime,
+		Cached:      info.CacheHit,
+		Coalesced:   info.Coalesced,
+		Degraded:    info.Degraded,
+		Incremental: info.Incremental,
 	})
 }
 
@@ -477,6 +485,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, simulate bool)
 // cache. The request context bounds everything; the background
 // completion alone survives it, bounded by its own warm budget.
 func (s *Server) planMapping(ctx context.Context, req *PlanRequest, opts []plan.Option) (*core.Mapping, plan.Info, error) {
+	// The server's recorder doubles as the planner's trace sink, so the
+	// plan.* counters (cache, coalescing, incremental reuse, memo) are
+	// exposed on /metricz next to the serve.* ones.
+	opts = append(opts, plan.WithTrace(s.rec))
 	if s.chaos.Active() {
 		opts = append(opts, plan.WithColdPlanHook(s.chaosColdPlanHook))
 	}

@@ -96,6 +96,48 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 }
 
+// TestPlanEndpointIncremental extends a previously planned solver graph by
+// one time step: the new fingerprint misses the whole-mapping cache, but
+// the planner adopts the remembered layer schedules of the family, and the
+// serving layer surfaces that as its own outcome — in the response body,
+// in the serve.* counters and (via the shared recorder) in the plan.*
+// counters on /metricz.
+func TestPlanEndpointIncremental(t *testing.T) {
+	s := New()
+	h := s.Handler()
+
+	if w := post(h, "/v1/plan", testRequestBody(t, 2, PlanOptions{}), ""); w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	w := post(h, "/v1/plan", testRequestBody(t, 3, PlanOptions{}), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || !resp.Incremental || resp.ReusedLayers == 0 {
+		t.Fatalf("extended graph not served incrementally: %+v", resp)
+	}
+	if resp.ReusedLayers+resp.PatchedLayers != resp.Layers {
+		t.Fatalf("layer split %d+%d != %d layers",
+			resp.ReusedLayers, resp.PatchedLayers, resp.Layers)
+	}
+
+	m := s.Metrics()
+	if m["serve.plans_cold"] != 1 || m["serve.plans_incremental"] != 1 {
+		t.Fatalf("serve outcome counters: %v", m)
+	}
+	if m["serve.incremental_layers_reused"] != int64(resp.ReusedLayers) {
+		t.Fatalf("reused-layer counter %d, response says %d",
+			m["serve.incremental_layers_reused"], resp.ReusedLayers)
+	}
+	if m["plan.incremental_hits"] != 1 {
+		t.Fatalf("plan.* counters not exposed through the serve recorder: %v", m)
+	}
+}
+
 func TestSimulateEndpoint(t *testing.T) {
 	s := New()
 	w := post(s.Handler(), "/v1/simulate", testRequestBody(t, 2, PlanOptions{}), "")

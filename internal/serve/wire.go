@@ -118,9 +118,15 @@ type PlanResponse struct {
 	// How the request was served. Degraded marks a stale fallback
 	// mapping of the request's fingerprint family, served because the
 	// cold plan exceeded its budget (see the serve package doc).
-	Cached    bool `json:"cached"`
-	Coalesced bool `json:"coalesced"`
-	Degraded  bool `json:"degraded,omitempty"`
+	// Incremental marks a cold plan that adopted ReusedLayers layer
+	// schedules from the planner's family index and searched only
+	// PatchedLayers.
+	Cached        bool `json:"cached"`
+	Coalesced     bool `json:"coalesced"`
+	Degraded      bool `json:"degraded,omitempty"`
+	Incremental   bool `json:"incremental,omitempty"`
+	ReusedLayers  int  `json:"reused_layers,omitempty"`
+	PatchedLayers int  `json:"patched_layers,omitempty"`
 }
 
 // SimulateResponse is the body of a successful POST /v1/simulate: the
@@ -136,9 +142,10 @@ type SimulateResponse struct {
 	CommTime   float64 `json:"comm_time"`
 	RedistTime float64 `json:"redist_time"`
 
-	Cached    bool `json:"cached"`
-	Coalesced bool `json:"coalesced"`
-	Degraded  bool `json:"degraded,omitempty"`
+	Cached      bool `json:"cached"`
+	Coalesced   bool `json:"coalesced"`
+	Degraded    bool `json:"degraded,omitempty"`
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -167,6 +174,9 @@ func buildPlanResponse(mp *core.Mapping, info plan.Info) *PlanResponse {
 		Cached:             info.CacheHit,
 		Coalesced:          info.Coalesced,
 		Degraded:           info.Degraded,
+		Incremental:        info.Incremental,
+		ReusedLayers:       info.ReusedLayers,
+		PatchedLayers:      info.PatchedLayers,
 	}
 	for li, layer := range s.Layers {
 		resp.LayerGroups[li] = layer.NumGroups()

@@ -202,11 +202,24 @@ func WithoutCache() PlanOption { return plan.WithoutCache() }
 // WithoutMemo disables cost-model memoization for this request.
 func WithoutMemo() PlanOption { return plan.WithoutMemo() }
 
+// WithoutIncremental disables layer-granular schedule reuse (incremental
+// replanning) for this request: the cold plan searches every layer from
+// scratch and records nothing in the planner's family index.
+func WithoutIncremental() PlanOption { return plan.WithoutIncremental() }
+
 // WithPlanTrace attaches a trace recorder to a Plan request: the request
 // span, the per-layer g-search timings, cache hit/miss counters and
 // cost-model memoization statistics are recorded on the recorder's
 // control track. Tracing never alters planning decisions.
 func WithPlanTrace(rec *TraceRecorder) PlanOption { return plan.WithTrace(rec) }
+
+// PlanInfo reports how one Plan request was served: from the schedule
+// cache, coalesced onto a concurrent identical request, cold, or cold with
+// incremental layer reuse (see plan.Info).
+type PlanInfo = plan.Info
+
+// WithPlanInfo fills *i with how the request was served.
+func WithPlanInfo(i *PlanInfo) PlanOption { return plan.WithInfo(i) }
 
 // NewPlanner returns a dedicated Planner whose defaults are the given
 // options and whose schedule cache is private. Use it when request streams
