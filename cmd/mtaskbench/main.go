@@ -11,6 +11,7 @@
 //	mtaskbench -scale 1000000 -repeat 2
 //	mtaskbench -faults -fault-solver pab -kill 'stage[1](0)@1' -seed 7
 //	mtaskbench -exec -exec-iters 5000
+//	mtaskbench -exec -scale 100000 -exec-cores 16
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	stdruntime "runtime"
@@ -37,7 +39,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
 	planSolver := flag.String("plan", "", "plan a solver graph (epol|irk|diirk|pab|pabm) through the Planner engine")
-	scale := flag.Int("scale", 0, "plan: generate a deterministic time-step-unrolled solver graph of ~N tasks instead of the named solver (implies -plan)")
+	scale := flag.Int("scale", 0, "generate a deterministic time-step-unrolled solver graph of ~N tasks (alone: plan it; with -exec: plan and execute it end to end)")
 	cores := flag.Int("cores", 256, "plan: cores of the CHiC partition")
 	n := flag.Int("n", 40000, "plan: ODE system size")
 	steps := flag.Int("steps", 8, "plan: time steps in the task graph")
@@ -58,6 +60,7 @@ func main() {
 	kill := flag.String("kill", "", "faults: scripted core loss 'task@attempt' (e.g. 'stage[1](0)@1')")
 	execMode := flag.Bool("exec", false, "time the collective engine (barrier, bcast, allgather, reduce) and a PABM time step")
 	execIters := flag.Int("exec-iters", 2000, "exec: iterations per collective measurement")
+	execCores := flag.Int("exec-cores", 16, "exec -scale: symbolic cores of the executed schedule")
 	wavefront := flag.Bool("wavefront", false, "exec: compare layered vs wavefront execution on the imbalanced workload")
 	wfLayers := flag.Int("wf-layers", 8, "exec -wavefront: layers of the imbalanced schedule")
 	wfSlow := flag.Duration("wf-slow", 4*time.Millisecond, "exec -wavefront: sleep of the slow task per layer")
@@ -90,6 +93,13 @@ func main() {
 	}
 
 	if *execMode {
+		if *scale > 0 {
+			if err := runExecScale(*scale, *execCores); err != nil {
+				fmt.Fprintf(os.Stderr, "mtaskbench: exec -scale: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if *wavefront {
 			if err := runExecWavefront(*wfLayers, *wfSlow, *wfFast, *traceOut); err != nil {
 				fmt.Fprintf(os.Stderr, "mtaskbench: exec -wavefront: %v\n", err)
@@ -305,6 +315,120 @@ func runExecWavefront(layers int, slow, fast time.Duration, traceOut string) err
 		}
 		fmt.Printf("trace: wrote %s (%d events, %d dropped)\n", traceOut, events, drops)
 	}
+	return nil
+}
+
+// runExecScale makes execution scale like planning: it plans a
+// deterministic scaled solver graph of ~tasks tasks on a CHiC subset and
+// then actually executes the schedule end to end — once on the
+// persistent-worker wavefront dispatcher and once on the reference
+// channel dispatcher — with runnable synthetic bodies whose trajectory is
+// verified bitwise against the sequential reference. For each run it
+// reports wall time, per-task dispatch overhead, peak extra goroutines
+// (sampled concurrently; the worker dispatcher must stay at O(P)) and
+// core utilization. The greppable "persistent-worker dispatch ok" line is
+// the CI acceptance signal.
+func runExecScale(tasks, cores int) error {
+	if cores < 1 || cores > mtask.CHiC().TotalCores() {
+		return fmt.Errorf("-exec-cores %d out of range 1..%d", cores, mtask.CHiC().TotalCores())
+	}
+	build := time.Now()
+	g := ode.ScaledSolverGraph(tasks)
+	fmt.Printf("generated %s: %d tasks, %d edges in %v\n", g.Name, g.Len(), g.NumEdges(), time.Since(build))
+
+	ctx := context.Background()
+	machine := mtask.CHiC().SubsetCores(cores)
+	planner := mtask.NewPlanner(mtask.WithCores(cores))
+	start := time.Now()
+	mp, err := planner.Plan(ctx, g, machine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planned in %v: %s\n\n", time.Since(start).Round(time.Millisecond), mtask.Describe(mp))
+
+	ref := time.Now()
+	want := ode.ScaledReference(g)
+	fmt.Printf("sequential reference: %d slots in %v\n\n", len(want), time.Since(ref).Round(time.Millisecond))
+
+	type result struct {
+		wall time.Duration
+		peak int
+	}
+	results := map[string]result{}
+	for _, mode := range []struct {
+		name string
+		opts []mrt.ExecOption
+	}{
+		{"workers", []mrt.ExecOption{mrt.WithWavefront(), mrt.WithoutTimeline()}},
+		{"channel", []mrt.ExecOption{mrt.WithWavefront(), mrt.WithChannelDispatcher(), mrt.WithoutTimeline()}},
+	} {
+		w, err := mrt.NewWorld(cores)
+		if err != nil {
+			return err
+		}
+		st := ode.NewScaledExecState(g)
+
+		// Sample the goroutine count while the run is in flight: the
+		// persistent-worker dispatcher must hold O(P) extra goroutines
+		// regardless of graph size, where goroutine-per-task dispatch
+		// peaks with the widest ready frontier.
+		base := stdruntime.NumGoroutine()
+		var peak atomic.Int64
+		stop := make(chan struct{})
+		monitorDone := make(chan struct{})
+		go func() {
+			defer close(monitorDone)
+			tick := time.NewTicker(100 * time.Microsecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					n := int64(stdruntime.NumGoroutine())
+					for {
+						cur := peak.Load()
+						if n <= cur || peak.CompareAndSwap(cur, n) {
+							break
+						}
+					}
+				}
+			}
+		}()
+
+		start := time.Now()
+		rep, err := mrt.ExecuteCtx(ctx, w, mp.Schedule, st.Body, mode.opts...)
+		wall := time.Since(start)
+		close(stop)
+		<-monitorDone
+		if err != nil {
+			return fmt.Errorf("%s execution failed: %w\n%s", mode.name, err, rep)
+		}
+		if rep.Layers != len(mp.Schedule.Layers) {
+			return fmt.Errorf("%s execution completed %d of %d layers", mode.name, rep.Layers, len(mp.Schedule.Layers))
+		}
+		if err := ode.CompareScaledOutputs(want, st.Outputs()); err != nil {
+			return fmt.Errorf("%s results diverged from the sequential reference: %w", mode.name, err)
+		}
+		extra := int(peak.Load()) - base
+		if extra < 0 {
+			extra = 0
+		}
+		_, _, frac := rep.Utilization()
+		fmt.Printf("%-8s wall %10v  %6d ns/task  peak +%d goroutines  %.1f%% utilized  checksum %.9g (verified)\n",
+			mode.name, wall.Round(time.Microsecond), wall.Nanoseconds()/int64(g.Len()), extra, 100*frac, st.Checksum())
+		results[mode.name] = result{wall: wall, peak: extra}
+	}
+
+	wk, ch := results["workers"], results["channel"]
+	fmt.Printf("\ndispatch overhead: workers %d ns/task vs channel %d ns/task (%.2fx)\n",
+		wk.wall.Nanoseconds()/int64(g.Len()), ch.wall.Nanoseconds()/int64(g.Len()),
+		float64(ch.wall)/float64(wk.wall))
+	if wk.peak > 4*cores+16 {
+		return fmt.Errorf("persistent-worker dispatch leaked goroutines: peak +%d for P=%d", wk.peak, cores)
+	}
+	fmt.Printf("persistent-worker dispatch ok: %d tasks executed and verified bitwise on P=%d (peak +%d goroutines)\n",
+		g.Len(), cores, wk.peak)
 	return nil
 }
 

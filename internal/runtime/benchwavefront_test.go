@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mtask/internal/graph"
 	"mtask/internal/obs"
 )
 
@@ -49,6 +50,43 @@ func benchDispatchOverhead(b *testing.B, opts ...ExecOption) {
 
 func BenchmarkExecLayeredDispatch(b *testing.B)   { benchDispatchOverhead(b) }
 func BenchmarkExecWavefrontDispatch(b *testing.B) { benchDispatchOverhead(b, WithWavefront()) }
+
+// BenchmarkExecWavefrontDispatchChannel pins the retired goroutine-per-task
+// channel dispatcher on the same workload — the before/after pair for the
+// persistent-worker rewrite.
+func BenchmarkExecWavefrontDispatchChannel(b *testing.B) {
+	benchDispatchOverhead(b, WithWavefront(), WithChannelDispatcher())
+}
+
+// The scaled-dispatch trio measures pure per-task dispatch overhead at
+// planning-benchmark shapes: 2000 trivial group tasks on 8 ranks in lean
+// (WithoutTimeline) reports, so the numbers are counters, wakeups and
+// scratch reuse — not bodies, spans or sleeps. ns/task is reported as its
+// own metric; allocs/op divided by 2000 is the per-task allocation rate
+// gated by TestWavefrontDispatchAllocFree.
+func benchScaledDispatch(b *testing.B, opts ...ExecOption) {
+	const tasks = 500 * 4 // layers x groups-of-2 on 8 ranks
+	sched := gridSchedule(8, 500, 2)
+	shared := func(tc *TaskCtx) error { return nil }
+	body := func(*graph.Task) TaskFunc { return shared }
+	w, _ := NewWorld(8)
+	opts = append(opts, WithoutTimeline())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ExecuteCtx(context.Background(), w, sched, body, opts...)
+		if err != nil {
+			b.Fatalf("%v\n%s", err, rep)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tasks), "ns/task")
+}
+
+func BenchmarkExecScaledDispatchLayered(b *testing.B) { benchScaledDispatch(b) }
+func BenchmarkExecScaledDispatchWorkers(b *testing.B) { benchScaledDispatch(b, WithWavefront()) }
+func BenchmarkExecScaledDispatchChannel(b *testing.B) {
+	benchScaledDispatch(b, WithWavefront(), WithChannelDispatcher())
+}
 
 // The recorder-overhead pair: NilRecorder pins the no-op fast path of an
 // unused WithRecorder(nil) against the plain dispatch baseline (the two

@@ -130,13 +130,18 @@ func getScratch(n int) []float64 {
 	return make([]float64, n, c)
 }
 
-// putScratch returns a buffer to the pool.
+// putScratch returns a buffer to the pool. The boxing allocation is
+// scoped behind the emptiness check: Put(&b) would make the parameter
+// itself escape, charging one heap slice header per call even on the
+// early return — which communicator release pays once per slot per task
+// on the dispatch hot path, where most slots never staged anything.
 func putScratch(b []float64) {
 	if cap(b) == 0 {
 		return
 	}
-	b = b[:0]
-	scratchPool.Put(&b)
+	boxed := new([]float64)
+	*boxed = b[:0]
+	scratchPool.Put(boxed)
 }
 
 // fslot is one member's staging slot for float64 collectives, padded to a

@@ -31,13 +31,15 @@ type HierarchicalReplanner func(ctx context.Context, survivors int) (*core.Hiera
 
 // execConfig collects the resolved fault-tolerance knobs of one execution.
 type execConfig struct {
-	policy    fault.Policy
-	injector  *fault.Injector
-	replan    Replanner
-	hreplan   HierarchicalReplanner
-	grace     time.Duration
-	wavefront bool
-	rec       *obs.Recorder
+	policy     fault.Policy
+	injector   *fault.Injector
+	replan     Replanner
+	hreplan    HierarchicalReplanner
+	grace      time.Duration
+	wavefront  bool
+	wfChannel  bool // wavefront via the channel reference dispatcher
+	noTimeline bool
+	rec        *obs.Recorder
 }
 
 // ExecOption configures ExecuteCtx / ExecuteHierarchicalCtx.
@@ -83,6 +85,17 @@ func WithRecorder(rec *obs.Recorder) ExecOption {
 	return func(c *execConfig) { c.rec = rec }
 }
 
+// WithoutTimeline drops O(tasks) state from the Report so million-task
+// runs stay lean: successful attempts are folded into a busy core-time
+// accumulator instead of retained as TaskSpans (Timeline returns nothing;
+// Utilization and the report totals still work), and per-task attempt
+// histories are kept only for tasks that needed fault handling. Scripted
+// fault injection keyed on attempt numbers still behaves identically for
+// any task that fails at least once.
+func WithoutTimeline() ExecOption {
+	return func(c *execConfig) { c.noTimeline = true }
+}
+
 const defaultAbandonGrace = time.Second
 
 // errLayerDone is the abort cause used to release stragglers of abandoned
@@ -122,8 +135,12 @@ func ExecuteCtx(ctx context.Context, w *World, sched *core.Schedule, body func(t
 
 	cfg := newExecConfig(opts)
 	rep := NewReport()
+	if cfg.noTimeline {
+		rep.lean = true
+	}
 	if sched != nil {
 		rep.begin(sched.P)
+		rep.presizeSpans(sched.Source.Len())
 	}
 	start := time.Now()
 	err := runLayered(ctx, w, sched, body, cfg, rep, func(rctx context.Context, survivors int) (*core.Schedule, error) {
@@ -150,7 +167,11 @@ func ExecuteHierarchicalCtx(ctx context.Context, w *World, hs *core.Hierarchical
 
 	cfg := newExecConfig(opts)
 	rep := NewReport()
+	if cfg.noTimeline {
+		rep.lean = true
+	}
 	rep.begin(hs.Top.P)
+	rep.presizeSpans(hs.Top.Source.Len())
 
 	type hierState struct {
 		hs  *core.HierarchicalSchedule
@@ -224,7 +245,13 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 			// One wavefront pass runs every remaining layer without global
 			// joins; on failure it drains the in-flight frontier and
 			// reports the completed-layer prefix as the resume checkpoint.
-			li, layerErr, failedCores = runWavefrontPass(ctx, w, cur, li, body, cfg, rep)
+			// The persistent-worker dispatcher is the default; the channel
+			// dispatcher is the kept reference implementation.
+			if cfg.wfChannel {
+				li, layerErr, failedCores = runWavefrontPass(ctx, w, cur, li, body, cfg, rep)
+			} else {
+				li, layerErr, failedCores = runWavefrontWorkersPass(ctx, w, cur, li, body, cfg, rep)
+			}
 		} else {
 			layerErr, failedCores = runLayer(ctx, w, cur, li, body, cfg, rep)
 			if layerErr == nil {
@@ -329,7 +356,7 @@ func runGroup(ctx context.Context, w *World, sched *core.Schedule, li int, gi co
 	ls := sched.Layers[li]
 	lo, hi := ls.RankRange(gi)
 	for _, id := range ls.Groups[gi] {
-		if err, exhausted := runScheduledTask(ctx, w, sched, li, gi, lo, hi, id, global, body, cfg, rep); err != nil {
+		if err, exhausted := runScheduledTask(ctx, w, sched, li, gi, lo, hi, id, global, body, cfg, rep, nil); err != nil {
 			return err, exhausted
 		}
 	}
@@ -340,15 +367,25 @@ func runGroup(ctx context.Context, w *World, sched *core.Schedule, li int, gi co
 // back to its source tasks) on the rank interval [lo, hi), with the
 // policy's full retry loop around each source task. It is the shared
 // execution unit of the layered executor (which walks a group's task queue
-// sequentially) and the wavefront dispatcher (which launches it the moment
-// the task's dependences are satisfied). The second result reports whether
-// a failure exhausted the retry budget — the degrade-and-replan trigger
-// that costs the group its cores.
+// sequentially) and both wavefront dispatchers (which launch it the moment
+// the task's dependences are satisfied). With a non-nil coop the attempts
+// run cooperatively on that persistent rank worker and its followers;
+// otherwise each attempt spawns its goroutines via runAttempt. The second
+// result reports whether a failure exhausted the retry budget — the
+// degrade-and-replan trigger that costs the group its cores.
 func runScheduledTask(ctx context.Context, w *World, sched *core.Schedule, li int, gi core.GroupID,
 	lo, hi int, id graph.TaskID, global *lazyGlobal, body func(t *graph.Task) TaskFunc,
-	cfg *execConfig, rep *Report) (error, bool) {
+	cfg *execConfig, rep *Report, coop *wfWorker) (error, bool) {
 
-	for _, src := range sched.SourceTasks(id) {
+	// Inline SourceTasks: the single-task case must not allocate a slice
+	// per dispatch (the persistent-worker hot path is allocation-free).
+	var single [1]graph.TaskID
+	srcs := sched.Graph.Task(id).Members
+	if len(srcs) == 0 {
+		single[0] = id
+		srcs = single[:]
+	}
+	for _, src := range srcs {
 		t := sched.Source.Task(src)
 		fn := body(t)
 		if fn == nil {
@@ -361,7 +398,12 @@ func runScheduledTask(ctx context.Context, w *World, sched *core.Schedule, li in
 			}
 			attempt := rep.startAttempt(t.Name)
 			tstart := rep.since()
-			aerr := runAttempt(ctx, w, t, fn, attempt, li, gi, lo, hi, global, cfg, rep)
+			var aerr error
+			if coop != nil {
+				aerr = coop.coopAttempt(t, fn, attempt, li, gi, lo, hi)
+			} else {
+				aerr = runAttempt(ctx, w, t, fn, attempt, li, gi, lo, hi, global, cfg, rep)
+			}
 			if aerr == nil {
 				rep.addSpan(t.Name, li, int(gi), hi-lo, tstart, rep.since())
 				break
@@ -436,53 +478,14 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				var tstart int64
-				if cfg.rec != nil {
-					tstart = cfg.rec.Now()
-					// Record the attempt span in the defer so panicking and
-					// aborted attempts leave their partial span too.
-					defer func() {
-						cfg.rec.Span(t.Name, "task", lo+r, li, int(gi), tstart, cfg.rec.Now())
-					}()
-				}
-				defer func() {
-					if p := recover(); p != nil {
-						if ae, ok := p.(*AbortError); ok {
-							errs[r] = ae
-						} else {
-							errs[r] = &PanicError{Value: p, Stack: debug.Stack()}
-						}
-					}
-					if errs[r] != nil {
-						gsh.abort(errs[r]) // release peers blocked in group collectives
-					}
-				}()
-				if f := cfg.injector.Decide(t.Name, attempt, r); f != nil {
-					switch f.Kind {
-					case fault.Delay:
-						timer := time.NewTimer(f.Delay)
-						select {
-						case <-timer.C:
-						case <-actx.Done():
-							timer.Stop()
-							errs[r] = fmt.Errorf("injected delay interrupted: %w", actx.Err())
-							return
-						}
-					case fault.Error, fault.CoreLoss:
-						errs[r] = f.Err
-						return
-					case fault.Panic:
-						panic(fmt.Sprintf("fault: injected panic in task %q (attempt %d, rank %d)", t.Name, attempt, r))
-					}
-				}
-				errs[r] = fn(&TaskCtx{
+				errs[r] = runRankAttempt(&TaskCtx{
 					Group:      &Comm{shared: gsh, rank: r},
 					Global:     &Comm{lazy: global, rank: lo + r},
 					Task:       t,
 					Layer:      li,
 					GroupIndex: int(gi),
 					Ctx:        actx,
-				})
+				}, fn, attempt, gsh, cfg)
 			}(r)
 		}
 		wg.Wait()
@@ -511,6 +514,55 @@ func runAttempt(parent context.Context, w *World, t *graph.Task, fn TaskFunc, at
 			return fmt.Errorf("task %q attempt %d abandoned after %v grace: %w", t.Name, attempt, cfg.grace, cause)
 		}
 	}
+}
+
+// runRankAttempt executes one rank's share of one group attempt: the
+// injector consult, the body call, panic recovery (*PanicError) with
+// *AbortError classification, the communicator abort on failure and the
+// per-rank attempt span. It is shared by runAttempt, which runs it on a
+// fresh goroutine per rank, and by the persistent-worker dispatcher,
+// whose rank workers call it in place with reused TaskCtx scratch. tc
+// must be fully populated and its Group handle must resolve to gsh.
+func runRankAttempt(tc *TaskCtx, fn TaskFunc, attempt int, gsh *commShared, cfg *execConfig) (err error) {
+	t := tc.Task
+	r := tc.Group.rank
+	if cfg.rec != nil {
+		tstart := cfg.rec.Now()
+		// Record the attempt span in the defer so panicking and aborted
+		// attempts leave their partial span too.
+		defer func() {
+			cfg.rec.Span(t.Name, "task", gsh.ranks[r], tc.Layer, tc.GroupIndex, tstart, cfg.rec.Now())
+		}()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if ae, ok := p.(*AbortError); ok {
+				err = ae
+			} else {
+				err = &PanicError{Value: p, Stack: debug.Stack()}
+			}
+		}
+		if err != nil {
+			gsh.abort(err) // release peers blocked in group collectives
+		}
+	}()
+	if f := cfg.injector.Decide(t.Name, attempt, r); f != nil {
+		switch f.Kind {
+		case fault.Delay:
+			timer := time.NewTimer(f.Delay)
+			select {
+			case <-timer.C:
+			case <-tc.Ctx.Done():
+				timer.Stop()
+				return fmt.Errorf("injected delay interrupted: %w", tc.Ctx.Err())
+			}
+		case fault.Error, fault.CoreLoss:
+			return f.Err
+		case fault.Panic:
+			panic(fmt.Sprintf("fault: injected panic in task %q (attempt %d, rank %d)", t.Name, attempt, r))
+		}
+	}
+	return fn(tc)
 }
 
 // settleAttempt classifies the per-rank results of a finished attempt:

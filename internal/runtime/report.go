@@ -55,6 +55,16 @@ type Report struct {
 
 	// epoch is the wall-clock instant offsets are measured from.
 	epoch time.Time
+
+	// lean drops O(tasks) state for million-task runs (WithoutTimeline):
+	// successful attempts fold their core-time into busy instead of
+	// appending a TaskSpan, and Tasks entries are created only for tasks
+	// touched by fault handling.
+	lean bool
+
+	// busy accumulates successful-attempt core-time in lean mode (the
+	// Utilization numerator normally recomputed from Spans).
+	busy time.Duration
 }
 
 // TaskSpan is the timeline entry of one successful task attempt: which
@@ -89,10 +99,21 @@ func (r *Report) task(name string) *TaskReport {
 
 // startAttempt records the start of an attempt and returns its 1-based
 // number, which is stable across retries and replans (the failure
-// injector's script mode keys on it).
+// injector's script mode keys on it). In lean mode the first attempt of
+// a never-failed task does not create a map entry — the entry appears
+// (with this attempt back-counted) only if the task fails, so attempt
+// numbering stays correct for every task the injector can script.
 func (r *Report) startAttempt(name string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.lean {
+		tr := r.Tasks[name]
+		if tr == nil {
+			return 1
+		}
+		tr.Attempts++
+		return tr.Attempts
+	}
 	tr := r.task(name)
 	tr.Attempts++
 	return tr.Attempts
@@ -101,7 +122,11 @@ func (r *Report) startAttempt(name string) int {
 // failed records a failed attempt of the named task.
 func (r *Report) failed(name string) {
 	r.mu.Lock()
-	r.task(name).Failures++
+	tr := r.task(name)
+	if r.lean && tr.Attempts == 0 {
+		tr.Attempts = 1 // the fast-pathed first attempt, counted on failure
+	}
+	tr.Failures++
 	r.mu.Unlock()
 }
 
@@ -160,10 +185,26 @@ func (r *Report) since() time.Duration {
 	return time.Since(e)
 }
 
-// addSpan records the timeline entry of a successful attempt.
+// addSpan records the timeline entry of a successful attempt (or, in
+// lean mode, just its core-time contribution).
 func (r *Report) addSpan(name string, layer, group, cores int, start, end time.Duration) {
 	r.mu.Lock()
-	r.Spans = append(r.Spans, TaskSpan{Name: name, Layer: layer, Group: group, Cores: cores, Start: start, End: end})
+	if r.lean {
+		r.busy += time.Duration(cores) * (end - start)
+	} else {
+		r.Spans = append(r.Spans, TaskSpan{Name: name, Layer: layer, Group: group, Cores: cores, Start: start, End: end})
+	}
+	r.mu.Unlock()
+}
+
+// presizeSpans reserves timeline capacity for n successful attempts, so
+// a large schedule's span retention does not pay repeated growth copies.
+// No-op in lean mode (no spans are retained).
+func (r *Report) presizeSpans(n int) {
+	r.mu.Lock()
+	if !r.lean && cap(r.Spans) < n {
+		r.Spans = make([]TaskSpan, len(r.Spans), n)
+	}
 	r.mu.Unlock()
 }
 
@@ -192,6 +233,7 @@ func (r *Report) Timeline() []TaskSpan {
 func (r *Report) Utilization() (busy, idle time.Duration, frac float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	busy = r.busy // lean-mode accumulator; zero when spans are retained
 	for _, s := range r.Spans {
 		busy += time.Duration(s.Cores) * (s.End - s.Start)
 	}
@@ -224,8 +266,8 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "execution report: %d tasks, %d layers done, %d retries, %d recovered panics, %d replans (%d cores lost), wall %v\n",
 		len(r.Tasks), r.Layers, r.Retries, r.Panics, r.Replans, r.LostCores, r.Wall.Round(time.Microsecond))
-	if r.P > 0 && len(r.Spans) > 0 {
-		var busy time.Duration
+	if r.P > 0 && (len(r.Spans) > 0 || r.busy > 0) {
+		busy := r.busy
 		for _, s := range r.Spans {
 			busy += time.Duration(s.Cores) * (s.End - s.Start)
 		}

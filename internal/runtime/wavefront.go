@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"mtask/internal/core"
 	"mtask/internal/graph"
@@ -114,10 +115,8 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 
 	launch := func(id graph.TaskID) {
 		td := prec.Tasks[id]
-		ls := sched.Layers[td.Layer]
-		lo, hi := ls.RankRange(td.Group)
 		go func() {
-			e, ex := runScheduledTask(ctx, w, sched, td.Layer, td.Group, lo, hi, id, global, body, cfg, rep)
+			e, ex := runScheduledTask(ctx, w, sched, td.Layer, td.Group, td.Lo, td.Hi, id, global, body, cfg, rep, nil)
 			results <- result{id: id, err: e, exhausted: ex}
 		}()
 	}
@@ -130,7 +129,7 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 	}
 
 	var errs []error
-	lostRanks := make(map[int]bool)
+	lostRanks := make([]uint64, (sched.P+63)/64) // bitset: no per-failure map
 	failing := false
 	inflight := 0
 	for {
@@ -154,10 +153,8 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 				// The union of exhausted groups' rank intervals: concurrent
 				// failures in different layers may claim overlapping ranks,
 				// and a symbolic core is only lost once.
-				ls := sched.Layers[td.Layer]
-				lo, hi := ls.RankRange(td.Group)
-				for rank := lo; rank < hi; rank++ {
-					lostRanks[rank] = true
+				for rank := td.Lo; rank < td.Hi; rank++ {
+					lostRanks[rank>>6] |= 1 << (uint(rank) & 63)
 				}
 			}
 			continue
@@ -179,8 +176,20 @@ func runWavefrontPass(ctx context.Context, w *World, sched *core.Schedule, from 
 	if len(errs) == 0 && done != len(sched.Layers) {
 		// Cannot happen for a valid schedule (PrecedenceOf proves the
 		// dependences acyclic), but a stall must be an error, not a silent
-		// partial result.
+		// partial result. Naming the first blocked task makes it
+		// diagnosable.
+		for _, id := range prec.Scheduled {
+			td := prec.Tasks[id]
+			if td.Layer >= from && remaining[id] > 0 {
+				return done, fmt.Errorf("runtime: wavefront stalled after layer %d of %d at task %d (layer %d group %d, %d dependences outstanding) (internal error)",
+					done, len(sched.Layers), id, td.Layer, td.Group, remaining[id]), 0
+			}
+		}
 		return done, fmt.Errorf("runtime: wavefront stalled after layer %d of %d (internal error)", done, len(sched.Layers)), 0
 	}
-	return done, errors.Join(errs...), len(lostRanks)
+	failedCores = 0
+	for _, word := range lostRanks {
+		failedCores += bits.OnesCount64(word)
+	}
+	return done, errors.Join(errs...), failedCores
 }

@@ -1,0 +1,526 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"mtask/internal/core"
+	"mtask/internal/graph"
+	"mtask/internal/obs"
+)
+
+// WithChannelDispatcher selects the original channel-based wavefront
+// dispatcher (one goroutine per launched task, completions funneled
+// through a coordinator loop) instead of the persistent-worker
+// dispatcher. The channel dispatcher is kept as the reference
+// implementation: it is simpler to reason about, and the differential
+// property tests run every workload through both and require
+// bitwise-identical results. Production runs should not need this
+// option.
+func WithChannelDispatcher() ExecOption {
+	return func(c *execConfig) { c.wfChannel = true }
+}
+
+// Task lifecycle states of the persistent-worker dispatcher.
+const (
+	wfPending uint32 = iota // not yet complete
+	wfDone                  // completed successfully
+	wfSkipped               // failed, or never launched because of the failure drain
+)
+
+// wfDispatcher is the shared state of one persistent-worker wavefront
+// pass: P rank workers walk their precomputed occupancy chains and
+// coordinate through atomic dependence counters — there is no central
+// coordinator and no channel on the completion hot path.
+//
+// Ownership of the counters is what makes the lock-free scheme sound:
+//
+//   - remaining[t] is decremented only by completing predecessors of t
+//     (each exactly once), and t's leader runs only after observing zero —
+//     the decrement-to-zero is the launch event, and the soundness check
+//     of core.PrecedenceOf (dependences point strictly backwards in the
+//     schedule) makes the countdown deadlock-free.
+//   - state[t] is written only by t's leader (the worker of rank
+//     prec.Tasks[t].Lo); followers and draining workers only read it,
+//     except for the pending→skipped CAS of the failure drain, which can
+//     race only with the leader's own drain of the same entry.
+//   - layerLeft[li] is decremented once per completed task of layer li;
+//     whoever decrements it to zero advances the completed-layer prefix
+//     under doneMu (the only lock, taken once per layer completion, not
+//     per task).
+//
+// Parking uses one token channel of capacity 1 per worker with
+// recheck-before-park loops: every producer changes the awaited atomic
+// first and then deposits a token (non-blocking), every consumer
+// re-checks the condition before each receive, so a coalesced or stale
+// token is harmless and a wake is never lost.
+type wfDispatcher struct {
+	w      *World
+	sched  *core.Schedule
+	prec   *core.Precedence
+	cfg    *execConfig
+	rep    *Report
+	body   func(t *graph.Task) TaskFunc
+	ctx    context.Context
+	global *lazyGlobal
+
+	// identity is the 0..P-1 rank slab; group communicators of interval
+	// [lo, hi) use identity[lo:hi] directly, so attempts never allocate a
+	// rank slice.
+	identity []int
+	from     int
+
+	// spawn selects the spawned-attempt fallback: when the policy sets a
+	// per-attempt TaskTimeout, attempts must be abandonable, which a
+	// persistent worker is not — leaders run the reference runAttempt
+	// (fresh goroutines + watchdog) and followers stay out of the way.
+	spawn bool
+
+	remaining []atomic.Int32  // per task: outstanding dependences
+	state     []atomic.Uint32 // per task: wfPending / wfDone / wfSkipped
+	layerLeft []atomic.Int32  // per layer: tasks not yet complete
+
+	doneMu sync.Mutex
+	done   int // completed-layer prefix (the replan checkpoint)
+
+	failing atomic.Bool
+	errMu   sync.Mutex
+	errs    []error
+	lost    []uint64 // bitset of symbolic ranks owned by exhausted groups
+
+	workers []wfWorker
+
+	// ready/peakReady gauge the launch backlog: tasks whose dependences
+	// have drained but whose leader has not started them yet.
+	ready     atomic.Int64
+	peakReady atomic.Int64
+}
+
+// wfWorker is the persistent worker of one symbolic rank. Exactly one
+// goroutine runs wfWorker.run; the publication fields are read by
+// follower workers with the seq atomic as the synchronization edge.
+type wfWorker struct {
+	d    *wfDispatcher
+	rank int
+	wake chan struct{} // capacity 1; token = "re-check your condition"
+
+	// lastSeq[r] is the last attempt sequence number of leader rank r
+	// this worker participated in (followers run each published attempt
+	// exactly once).
+	lastSeq []uint64
+
+	// Leader-side attempt publication. curTask is the scheduled task the
+	// leader is currently executing (-1 outside a task); bumping seq
+	// publishes one attempt of it: gsh, fn, src and attempt are written
+	// before the bump and read by followers after observing it.
+	curTask atomic.Int64
+	seq     atomic.Uint64
+	pending atomic.Int32 // followers that have not finished the published attempt
+	gsh     *commShared
+	fn      TaskFunc
+	src     *graph.Task
+	attempt int
+	errs    []error // per-group-rank results of the published attempt
+
+	// Reusable per-rank scratch: handles and TaskCtx are rebuilt in place
+	// for every body run, so steady-state dispatch allocates nothing.
+	// Bodies must not retain the *TaskCtx past their return.
+	tc     TaskCtx
+	group  Comm
+	global Comm
+
+	wakeups       int64 // tokens consumed while parked
+	chainLaunches int64 // leader tasks started without parking
+}
+
+// runWavefrontWorkersPass executes every layer from `from` on with the
+// persistent-worker dispatcher. Results, retries, panic isolation, abort
+// poisoning, the failure drain and the completed-layer-prefix checkpoint
+// are semantically identical to runWavefrontPass (the channel reference
+// dispatcher); only the dispatch mechanics differ — P persistent workers
+// instead of a goroutine per task, atomic counter decrements instead of
+// a serialized coordinator.
+//
+// One documented divergence: without a TaskTimeout, attempts run on the
+// persistent workers themselves and cannot be abandoned, so caller
+// cancellation is observed between attempts — an in-flight body that
+// ignores its TaskCtx.Ctx runs to completion first (a body that honors
+// the ctx fails the attempt, which aborts the group communicator and
+// releases any peers blocked in collectives). With a TaskTimeout the
+// spawned-attempt fallback keeps the reference watchdog-and-abandon
+// semantics exactly.
+func runWavefrontWorkersPass(ctx context.Context, w *World, sched *core.Schedule, from int,
+	body func(t *graph.Task) TaskFunc, cfg *execConfig, rep *Report) (done int, err error, failedCores int) {
+
+	prec, perr := core.PrecedenceOf(sched)
+	if perr != nil {
+		return from, fmt.Errorf("runtime: wavefront: %w", perr), 0
+	}
+
+	identity := identityRanks(sched.P)
+	// Born poisoned, as in the channel dispatcher: the first global
+	// collective fails fast with ErrGlobalInWavefront.
+	global := newLazyGlobal(Global, identity, nil, nil)
+	global.abort(ErrGlobalInWavefront)
+
+	d := &wfDispatcher{
+		w: w, sched: sched, prec: prec, cfg: cfg, rep: rep, body: body, ctx: ctx,
+		global:    global,
+		identity:  identity,
+		from:      from,
+		spawn:     cfg.policy.TaskTimeout > 0,
+		remaining: make([]atomic.Int32, len(prec.Tasks)),
+		state:     make([]atomic.Uint32, len(prec.Tasks)),
+		layerLeft: make([]atomic.Int32, len(sched.Layers)),
+		lost:      make([]uint64, (sched.P+63)/64),
+		workers:   make([]wfWorker, sched.P),
+		done:      from,
+	}
+
+	// Seed the dependence counters. Layers before `from` are the completed
+	// checkpoint of a previous pass (or replan): their tasks do not run
+	// again and their outgoing dependences count as satisfied.
+	for _, id := range prec.Scheduled {
+		td := prec.Tasks[id]
+		if td.Layer < from {
+			continue
+		}
+		d.layerLeft[td.Layer].Add(1)
+		n := 0
+		for _, dep := range td.Deps {
+			if prec.Tasks[dep].Layer >= from {
+				n++
+			}
+		}
+		d.remaining[id].Store(int32(n))
+		if n == 0 {
+			d.noteReady()
+		}
+	}
+	d.advance() // layers with no tasks complete immediately
+
+	errSlab := make([]error, sched.P*prec.MaxGroup)
+	seqSlab := make([]uint64, sched.P*sched.P)
+	for r := range d.workers {
+		wk := &d.workers[r]
+		wk.d = d
+		wk.rank = r
+		wk.wake = make(chan struct{}, 1)
+		wk.curTask.Store(-1)
+		if prec.MaxGroup > 0 {
+			wk.errs = errSlab[r*prec.MaxGroup : (r+1)*prec.MaxGroup]
+		}
+		wk.lastSeq = seqSlab[r*sched.P : (r+1)*sched.P]
+	}
+
+	var wg sync.WaitGroup
+	for r := range d.workers {
+		wg.Add(1)
+		go func(wk *wfWorker) {
+			defer wg.Done()
+			wk.run()
+		}(&d.workers[r])
+	}
+	wg.Wait()
+
+	if cfg.rec != nil {
+		var wakeups, chainLaunches int64
+		for r := range d.workers {
+			wakeups += d.workers[r].wakeups
+			chainLaunches += d.workers[r].chainLaunches
+		}
+		cfg.rec.Counter("exec.wf.wakeups").Add(wakeups)
+		cfg.rec.Counter("exec.wf.chain_launches").Add(chainLaunches)
+		cfg.rec.Counter("exec.wf.peak_ready").Add(d.peakReady.Load())
+	}
+
+	for _, word := range d.lost {
+		failedCores += bits.OnesCount64(word)
+	}
+	done = d.done // workers joined: no lock needed
+	if len(d.errs) == 0 && done != len(sched.Layers) {
+		// Cannot happen for a valid schedule (PrecedenceOf proves the
+		// dependences acyclic), but a stall must be an error, not a silent
+		// partial result.
+		return done, d.stallError(done), 0
+	}
+	return done, errors.Join(d.errs...), failedCores
+}
+
+// run walks the worker's occupancy chain: lead the tasks whose interval
+// starts at this rank, follow the rest. On a failure drain the worker
+// marks its remaining leader entries skipped (waking their followers) and
+// exits; the frontier of in-flight attempts drains through their own
+// leaders exactly as in the channel dispatcher.
+func (wk *wfWorker) run() {
+	d := wk.d
+	chain := d.prec.Chains[wk.rank]
+	for i, id := range chain {
+		td := d.prec.Tasks[id]
+		if td.Layer < d.from {
+			continue
+		}
+		if td.Lo == wk.rank {
+			if !wk.lead(td) {
+				wk.drainChain(chain[i:])
+				return
+			}
+		} else if !d.spawn {
+			wk.follow(td)
+		}
+		// Spawned-attempt mode: non-leader entries run on goroutines
+		// spawned by the leader's runAttempt; this worker just moves on
+		// (ordering is still enforced by the dependence counters).
+	}
+}
+
+// lead waits for the task's dependence counter to drain, then runs it
+// with the full retry loop. It returns false when the dispatcher entered
+// the failure drain (whether by this task's failure or another's) and
+// the worker must stop launching.
+func (wk *wfWorker) lead(td *core.TaskDeps) bool {
+	d := wk.d
+	parked := false
+	for d.remaining[td.ID].Load() != 0 {
+		if d.failing.Load() {
+			return false
+		}
+		<-wk.wake
+		wk.wakeups++
+		parked = true
+	}
+	if d.failing.Load() {
+		return false // became ready during the drain: do not launch
+	}
+	if !parked {
+		wk.chainLaunches++
+	}
+	d.ready.Add(-1)
+
+	var coop *wfWorker
+	if !d.spawn {
+		coop = wk
+	}
+	wk.curTask.Store(int64(td.ID))
+	err, exhausted := runScheduledTask(d.ctx, d.w, d.sched, td.Layer, td.Group, td.Lo, td.Hi,
+		td.ID, d.global, d.body, d.cfg, d.rep, coop)
+	wk.curTask.Store(-1)
+	if err != nil {
+		d.fail(td, err, exhausted)
+		return false
+	}
+	d.complete(td)
+	return true
+}
+
+// follow participates in the attempts of a task led by another rank:
+// park until the task settles (done or skipped) or the leader publishes
+// an attempt this worker has not run yet, then run this rank's share of
+// the body and report back through the leader's pending counter.
+func (wk *wfWorker) follow(td *core.TaskDeps) {
+	d := wk.d
+	ld := &d.workers[td.Lo]
+	r := wk.rank - td.Lo // this worker's rank within the group
+	for {
+		if d.state[td.ID].Load() != wfPending {
+			return
+		}
+		if ld.curTask.Load() == int64(td.ID) {
+			// Observing the seq bump is the synchronization edge: the
+			// leader wrote gsh/fn/src/attempt and reset this rank's errs
+			// slot before bumping.
+			if sq := ld.seq.Load(); sq != wk.lastSeq[td.Lo] {
+				wk.lastSeq[td.Lo] = sq
+				wk.runFollower(ld, td, r)
+				continue
+			}
+		}
+		<-wk.wake
+		wk.wakeups++
+	}
+}
+
+// runFollower executes this rank's body of the leader's published
+// attempt. The last follower to finish wakes the leader.
+func (wk *wfWorker) runFollower(ld *wfWorker, td *core.TaskDeps, r int) {
+	d := wk.d
+	gsh, fn, src, attempt := ld.gsh, ld.fn, ld.src, ld.attempt
+	wk.group = Comm{shared: gsh, rank: r}
+	wk.global = Comm{lazy: d.global, rank: wk.rank}
+	wk.tc = TaskCtx{
+		Group:      &wk.group,
+		Global:     &wk.global,
+		Task:       src,
+		Layer:      td.Layer,
+		GroupIndex: int(td.Group),
+		Ctx:        d.ctx,
+	}
+	ld.errs[r] = runRankAttempt(&wk.tc, fn, attempt, gsh, d.cfg)
+	if ld.pending.Add(-1) == 0 {
+		d.wakeWorker(ld.rank)
+	}
+}
+
+// coopAttempt runs one attempt of one source task cooperatively on the
+// persistent workers of the group's interval: the leader builds a fresh
+// pooled group communicator over identity[lo:hi], publishes the attempt
+// to its followers, runs its own rank-0 share, waits for the followers
+// and settles — the exact runAttempt semantics minus the per-attempt
+// goroutines and watchdog (see runWavefrontWorkersPass for the
+// cancellation caveat that buys).
+func (wk *wfWorker) coopAttempt(t *graph.Task, fn TaskFunc, attempt, li int, gi core.GroupID, lo, hi int) error {
+	d := wk.d
+	size := hi - lo
+	gsh := newCommShared(Group, d.identity[lo:hi], &d.w.Stats, d.cfg.rec)
+
+	if size > 1 {
+		wk.gsh, wk.fn, wk.src, wk.attempt = gsh, fn, t, attempt
+		for i := 1; i < size; i++ {
+			wk.errs[i] = nil
+		}
+		wk.pending.Store(int32(size - 1))
+		wk.seq.Add(1)
+		for r := lo + 1; r < hi; r++ {
+			d.wakeWorker(r)
+		}
+	}
+
+	wk.group = Comm{shared: gsh, rank: 0}
+	wk.global = Comm{lazy: d.global, rank: lo}
+	wk.tc = TaskCtx{
+		Group:      &wk.group,
+		Global:     &wk.global,
+		Task:       t,
+		Layer:      li,
+		GroupIndex: int(gi),
+		Ctx:        d.ctx,
+	}
+	wk.errs[0] = runRankAttempt(&wk.tc, fn, attempt, gsh, d.cfg)
+
+	for size > 1 && wk.pending.Load() != 0 {
+		<-wk.wake
+		wk.wakeups++
+	}
+	err := settleAttempt(t, d.rep, wk.errs[:size], d.ctx)
+	gsh.release() // attempt settled: no rank holds the comm anymore
+	return err
+}
+
+// complete marks a task done, advances the completed-layer prefix when
+// its layer drains, decrements the successors' dependence counters
+// (whoever reaches zero wakes the successor's leader) and wakes the
+// task's followers so they move past it.
+func (d *wfDispatcher) complete(td *core.TaskDeps) {
+	d.state[td.ID].Store(wfDone)
+	if d.layerLeft[td.Layer].Add(-1) == 0 {
+		d.advance()
+	}
+	for _, su := range td.Succs {
+		if d.remaining[su].Add(-1) == 0 {
+			d.noteReady()
+			if lo := d.prec.Tasks[su].Lo; lo != td.Lo {
+				d.wakeWorker(lo)
+			}
+			// A successor led by this same rank is a chain-local launch:
+			// the worker finds the drained counter on its own next chain
+			// step, no token needed.
+		}
+	}
+	for r := td.Lo + 1; r < td.Hi; r++ {
+		d.wakeWorker(r)
+	}
+}
+
+// advance moves the completed-layer prefix over every drained layer,
+// recording the checkpoint exactly like the channel dispatcher.
+func (d *wfDispatcher) advance() {
+	d.doneMu.Lock()
+	for d.done < len(d.layerLeft) && d.layerLeft[d.done].Load() == 0 {
+		d.rep.layerDone()
+		d.cfg.rec.Instant("layer-done", "exec", obs.ControlRank, d.cfg.rec.Now())
+		d.done++
+	}
+	d.doneMu.Unlock()
+}
+
+// fail records a terminal task failure, marks the lost ranks of an
+// exhausted group in the bitset, enters the failure drain and wakes every
+// worker so parked leaders stop launching and parked followers drain.
+func (d *wfDispatcher) fail(td *core.TaskDeps, err error, exhausted bool) {
+	d.errMu.Lock()
+	d.errs = append(d.errs, fmt.Errorf("layer %d group %d: %w", td.Layer, td.Group, err))
+	if exhausted {
+		// The union of exhausted groups' rank intervals: concurrent
+		// failures in different layers may claim overlapping ranks, and a
+		// symbolic core is only lost once.
+		for r := td.Lo; r < td.Hi; r++ {
+			d.lost[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+	d.errMu.Unlock()
+	d.state[td.ID].Store(wfSkipped)
+	d.failing.Store(true)
+	d.wakeAll()
+}
+
+// drainChain marks the worker's remaining leader entries skipped and
+// wakes their followers; together with every other draining leader this
+// guarantees all parked followers terminate.
+func (wk *wfWorker) drainChain(rest []graph.TaskID) {
+	d := wk.d
+	for _, id := range rest {
+		td := d.prec.Tasks[id]
+		if td.Layer < d.from || td.Lo != wk.rank {
+			continue
+		}
+		if d.state[id].CompareAndSwap(wfPending, wfSkipped) {
+			for r := td.Lo + 1; r < td.Hi; r++ {
+				d.wakeWorker(r)
+			}
+		}
+	}
+}
+
+// wakeWorker deposits a recheck token for the rank's worker; a token
+// already in flight is enough, so the send never blocks.
+func (d *wfDispatcher) wakeWorker(rank int) {
+	select {
+	case d.workers[rank].wake <- struct{}{}:
+	default:
+	}
+}
+
+func (d *wfDispatcher) wakeAll() {
+	for r := range d.workers {
+		d.wakeWorker(r)
+	}
+}
+
+// noteReady tracks the launch-backlog gauge: one more task is ready but
+// not yet started by its leader.
+func (d *wfDispatcher) noteReady() {
+	n := d.ready.Add(1)
+	for {
+		pk := d.peakReady.Load()
+		if n <= pk || d.peakReady.CompareAndSwap(pk, n) {
+			break
+		}
+	}
+}
+
+// stallError names the first task that never completed, making an
+// internal-error stall diagnosable.
+func (d *wfDispatcher) stallError(done int) error {
+	for _, id := range d.prec.Scheduled {
+		td := d.prec.Tasks[id]
+		if td.Layer >= d.from && d.state[id].Load() != wfDone {
+			return fmt.Errorf("runtime: wavefront stalled after layer %d of %d at task %d (layer %d group %d) (internal error)",
+				done, len(d.sched.Layers), id, td.Layer, td.Group)
+		}
+	}
+	return fmt.Errorf("runtime: wavefront stalled after layer %d of %d (internal error)", done, len(d.sched.Layers))
+}

@@ -1,0 +1,348 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtask/internal/core"
+	"mtask/internal/fault"
+	"mtask/internal/graph"
+)
+
+// gridSchedule hand-builds a schedule of `layers` layers, each with
+// p/gsize independent groups of gsize ranks running one task — a dense
+// regular DAG (each chain's task depends on its predecessor) big enough
+// to measure per-task dispatch cost without paying a scheduler pass. It
+// satisfies every invariant of core.Schedule.Validate and
+// core.PrecedenceOf.
+func gridSchedule(p, layers, gsize int) *core.Schedule {
+	if p%gsize != 0 {
+		panic("gridSchedule: p must be a multiple of gsize")
+	}
+	ng := p / gsize
+	g := graph.New("grid")
+	sched := &core.Schedule{P: p}
+	prev := make([]graph.TaskID, ng)
+	for li := 0; li < layers; li++ {
+		ls := &core.LayerSchedule{Groups: make([][]graph.TaskID, ng), Sizes: make([]int, ng)}
+		for c := 0; c < ng; c++ {
+			id := g.AddBasic("g"+strconv.Itoa(c)+"."+strconv.Itoa(li), 1)
+			if li > 0 {
+				g.MustEdge(prev[c], id, 8)
+			}
+			prev[c] = id
+			ls.Layer = append(ls.Layer, id)
+			ls.Groups[c] = []graph.TaskID{id}
+			ls.Sizes[c] = gsize
+		}
+		sched.Layers = append(sched.Layers, ls)
+	}
+	sched.Source = g
+	sched.Graph = g
+	return sched
+}
+
+func TestPropertyWorkersMatchChannelDispatcher(t *testing.T) {
+	// The differential property of the persistent-worker dispatcher: on
+	// the same schedule it must produce bitwise identical results, the
+	// same completed-layer count and the same number of successful spans
+	// as the channel reference dispatcher, for random DAGs and varying
+	// core counts.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		g := randomExecDAG(rng)
+		P := []int{4, 6, 8}[rng.Intn(3)]
+		sched := randomExecSchedule(t, g, P)
+		ref, rrep := runRecorded(t, sched, P, WithWavefront(), WithChannelDispatcher())
+		got, wrep := runRecorded(t, sched, P, WithWavefront())
+		compareBitwise(t, ref, got)
+		if wrep.Layers != rrep.Layers || wrep.Layers != len(sched.Layers) {
+			t.Fatalf("trial %d: layers done = %d (workers) / %d (channel), want %d",
+				trial, wrep.Layers, rrep.Layers, len(sched.Layers))
+		}
+		if len(wrep.Spans) != len(rrep.Spans) {
+			t.Fatalf("trial %d: %d worker spans, %d channel spans", trial, len(wrep.Spans), len(rrep.Spans))
+		}
+	}
+}
+
+func TestPropertyWorkersFaultsMatchChannel(t *testing.T) {
+	// Equivalence under injected errors, panics and delays with retries:
+	// the injector is deterministic per (task, attempt, rank), so both
+	// dispatchers see the same fault sequence per task and must converge
+	// to the same bits with the same retry and panic totals.
+	rng := rand.New(rand.NewSource(17))
+	pol := fault.DefaultPolicy()
+	pol.MaxRetries = 20
+	pol.BaseBackoff = 50 * time.Microsecond
+	for trial := 0; trial < 6; trial++ {
+		g := randomExecDAG(rng)
+		sched := randomExecSchedule(t, g, 8)
+		inj := &fault.Injector{Seed: int64(trial + 1), PError: 0.08, PPanic: 0.04, PDelay: 0.05, Delay: 100 * time.Microsecond}
+		ref, rrep := runRecorded(t, sched, 8, WithPolicy(pol), WithInjector(inj), WithWavefront(), WithChannelDispatcher())
+		got, wrep := runRecorded(t, sched, 8, WithPolicy(pol), WithInjector(inj), WithWavefront())
+		compareBitwise(t, ref, got)
+		if wrep.Layers != rrep.Layers {
+			t.Fatalf("trial %d: layers done = %d (workers) / %d (channel)", trial, wrep.Layers, rrep.Layers)
+		}
+		if wrep.Retries != rrep.Retries || wrep.Panics != rrep.Panics {
+			t.Fatalf("trial %d: retries/panics = %d/%d (workers), %d/%d (channel)",
+				trial, wrep.Retries, wrep.Panics, rrep.Retries, rrep.Panics)
+		}
+	}
+}
+
+func TestPropertyWorkersCoreLossCheckpointMatchesChannel(t *testing.T) {
+	// A scripted mid-run core loss is fully deterministic, so the two
+	// dispatchers must agree on the degrade-and-replan bookkeeping too:
+	// same replan count, same lost cores, same completed-layer
+	// checkpoints, and bitwise identical outputs after the resume.
+	g, sched := diamondSchedule(t, 8)
+	pol := fault.DefaultPolicy()
+	pol.BaseBackoff = 50 * time.Microsecond
+	pol.DegradeAndReplan = true
+
+	run := func(opts ...ExecOption) (map[string]float64, *Report) {
+		inj := &fault.Injector{Script: []fault.Script{
+			{Task: "b", Attempt: 1, Rank: 0, Kind: fault.CoreLoss},
+		}}
+		w, _ := NewWorld(8)
+		var out sync.Map
+		rep, err := ExecuteCtx(context.Background(), w, sched, recordingBody(&out),
+			append([]ExecOption{WithPolicy(pol), WithInjector(inj), WithReplanner(diamondReplanner(t, g)), WithWavefront()}, opts...)...)
+		if err != nil {
+			t.Fatalf("degrade-and-replan failed: %v\n%s", err, rep)
+		}
+		m := make(map[string]float64)
+		out.Range(func(k, v any) bool {
+			m[k.(string)] = v.(float64)
+			return true
+		})
+		return m, rep
+	}
+
+	ref, rrep := run(WithChannelDispatcher())
+	got, wrep := run()
+	compareBitwise(t, ref, got)
+	if wrep.Replans != rrep.Replans || wrep.Replans != 1 {
+		t.Fatalf("replans = %d (workers) / %d (channel), want 1\nworkers: %schannel: %s", wrep.Replans, rrep.Replans, wrep, rrep)
+	}
+	if wrep.LostCores != rrep.LostCores {
+		t.Fatalf("lost cores = %d (workers) / %d (channel)\nworkers: %schannel: %s", wrep.LostCores, rrep.LostCores, wrep, rrep)
+	}
+	if wrep.Layers != rrep.Layers {
+		t.Fatalf("layers done = %d (workers) / %d (channel)\nworkers: %schannel: %s", wrep.Layers, rrep.Layers, wrep, rrep)
+	}
+}
+
+func TestPropertyWorkersSpawnModeMatchesChannel(t *testing.T) {
+	// A policy with a per-attempt TaskTimeout routes leaders through the
+	// spawned-attempt fallback (attempts must be abandonable). The
+	// fallback must preserve the differential property under faults just
+	// like the cooperative path.
+	rng := rand.New(rand.NewSource(23))
+	pol := fault.DefaultPolicy()
+	pol.MaxRetries = 20
+	pol.BaseBackoff = 50 * time.Microsecond
+	pol.TaskTimeout = 30 * time.Second // generous: selects the spawn path, never fires
+	for trial := 0; trial < 4; trial++ {
+		g := randomExecDAG(rng)
+		sched := randomExecSchedule(t, g, 8)
+		inj := &fault.Injector{Seed: int64(trial + 41), PError: 0.08, PPanic: 0.04}
+		ref, _ := runRecorded(t, sched, 8, WithPolicy(pol), WithInjector(inj), WithWavefront(), WithChannelDispatcher())
+		got, wrep := runRecorded(t, sched, 8, WithPolicy(pol), WithInjector(inj), WithWavefront())
+		compareBitwise(t, ref, got)
+		if wrep.Layers != len(sched.Layers) {
+			t.Fatalf("trial %d: workers completed %d of %d layers", trial, wrep.Layers, len(sched.Layers))
+		}
+	}
+}
+
+func TestWorkersTaskTimeoutUnblocksBarrier(t *testing.T) {
+	// The watchdog semantics of the spawn fallback, end to end: one rank
+	// hangs past the per-attempt deadline while its peers wait at a group
+	// barrier. The persistent-worker dispatcher must abort the attempt's
+	// communicator (releasing the peers) and fail with DeadlineExceeded —
+	// and the persistent workers themselves must not deadlock.
+	sched := gridSchedule(4, 2, 4)
+	w, _ := NewWorld(4)
+	pol := fault.Policy{TaskTimeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := ExecuteCtx(context.Background(), w, sched, func(task *graph.Task) TaskFunc {
+		hang := task.Name == "g0.1"
+		return func(tc *TaskCtx) error {
+			if hang && tc.Group.Rank() == 0 {
+				select { // hang, but respect the attempt context
+				case <-tc.Ctx.Done():
+					return tc.Ctx.Err()
+				case <-time.After(10 * time.Second):
+				}
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithPolicy(pol), WithWavefront())
+	if err == nil {
+		t.Fatal("timeout not reported")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap DeadlineExceeded: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("barrier deadlocked for %v", elapsed)
+	}
+}
+
+func TestWorkersCancellationObservedBetweenAttempts(t *testing.T) {
+	// The documented divergence of the cooperative path: caller
+	// cancellation is observed between attempts. A body that honors its
+	// TaskCtx.Ctx unblocks immediately; the dispatcher must then stop
+	// launching and return the cancellation, with all workers joined.
+	sched := gridSchedule(2, 50, 1)
+	w, _ := NewWorld(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	body := func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if ran.Add(1) == 4 {
+				cancel()
+			}
+			select {
+			case <-tc.Ctx.Done():
+				return tc.Ctx.Err()
+			default:
+				return nil
+			}
+		}
+	}
+	rep, err := ExecuteCtx(ctx, w, sched, body, WithWavefront())
+	if err == nil {
+		t.Fatalf("cancellation not reported\n%s", rep)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Fatalf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+func TestWavefrontDispatchAllocFree(t *testing.T) {
+	// The headline perf gate: steady-state dispatch must not allocate per
+	// task. The fixed setup cost of a pass (precedence metadata slabs,
+	// worker slabs, P wake channels) is constant in the task count, so
+	// amortized over a few thousand tasks the per-task share must be a
+	// rounding error — a goroutine-per-task dispatcher costs several
+	// allocations per task and fails this hard.
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race (instrumentation + sync.Pool drops)")
+	}
+	const tasks = 4 * 500 // p/gsize groups × layers
+	sched := gridSchedule(8, 500, 2)
+	w, _ := NewWorld(8)
+	shared := func(tc *TaskCtx) error { return nil }
+	body := func(task *graph.Task) TaskFunc { return shared }
+
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := ExecuteCtx(context.Background(), w, sched, body, WithWavefront(), WithoutTimeline()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perTask := allocs / tasks
+	t.Logf("dispatch: %.0f allocs per pass, %.4f per task (%d tasks)", allocs, perTask, tasks)
+	if perTask >= 0.5 {
+		t.Fatalf("dispatch allocates %.4f per task (%.0f per %d-task pass), want amortized-free", perTask, allocs, tasks)
+	}
+}
+
+func TestWavefrontPeakGoroutinesConstant(t *testing.T) {
+	// The scaling gate: the persistent-worker dispatcher runs P workers
+	// for the whole pass, so the peak goroutine count must be O(P) — not
+	// O(in-flight tasks) like a goroutine-per-task dispatcher.
+	const P = 8
+	sched := gridSchedule(P, 200, 1)
+	w, _ := NewWorld(P)
+	var peak atomic.Int64
+	body := func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			n := int64(runtime.NumGoroutine())
+			for {
+				pk := peak.Load()
+				if n <= pk || peak.CompareAndSwap(pk, n) {
+					return nil
+				}
+			}
+		}
+	}
+	baseline := runtime.NumGoroutine()
+	if _, err := ExecuteCtx(context.Background(), w, sched, body, WithWavefront(), WithoutTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	extra := int(peak.Load()) - baseline
+	t.Logf("peak goroutines: baseline %d, peak %d (+%d) for P=%d", baseline, peak.Load(), extra, P)
+	if extra > P+4 {
+		t.Fatalf("peak goroutines %d above baseline %d for P=%d: dispatch is not O(P)", extra, baseline, P)
+	}
+}
+
+func TestWithoutTimelineLeanReport(t *testing.T) {
+	// WithoutTimeline must drop the O(tasks) report state — no spans, no
+	// per-task entries for clean tasks — while keeping the totals, the
+	// busy core-time accumulator and the full history of every task that
+	// needed fault handling (scripted injection keys on attempt numbers,
+	// which must stay correct).
+	sched := ImbalancedWorkload(2, 3)
+	body := ImbalancedBody(2*time.Millisecond, time.Millisecond)
+	pol := fault.DefaultPolicy()
+	pol.MaxRetries = 3
+	pol.BaseBackoff = 50 * time.Microsecond
+	inj := &fault.Injector{Script: []fault.Script{
+		{Task: "slow[1]", Attempt: 1, Rank: 0, Kind: fault.Error},
+	}}
+	modes := map[string][]ExecOption{
+		"layered":  {WithoutTimeline()},
+		"workers":  {WithoutTimeline(), WithWavefront()},
+		"channel":  {WithoutTimeline(), WithWavefront(), WithChannelDispatcher()},
+		"timeline": {WithWavefront()}, // control: spans retained by default
+	}
+	for mode, opts := range modes {
+		w, _ := NewWorld(2)
+		rep, err := ExecuteCtx(context.Background(), w, sched, body,
+			append([]ExecOption{WithPolicy(pol), WithInjector(inj)}, opts...)...)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", mode, err, rep)
+		}
+		if mode == "timeline" {
+			if len(rep.Spans) != 6 {
+				t.Fatalf("timeline control retained %d spans, want 6", len(rep.Spans))
+			}
+			continue
+		}
+		if len(rep.Spans) != 0 || len(rep.Timeline()) != 0 {
+			t.Fatalf("%s: lean report retained %d spans", mode, len(rep.Spans))
+		}
+		busy, _, frac := rep.Utilization()
+		if busy <= 0 || frac <= 0 {
+			t.Fatalf("%s: lean report lost core-time: busy %v, frac %.3f\n%s", mode, busy, frac, rep)
+		}
+		if rep.Layers != 3 {
+			t.Fatalf("%s: layers done = %d, want 3\n%s", mode, rep.Layers, rep)
+		}
+		// Only the fault-touched task has a history entry, with the
+		// fast-pathed first attempt back-counted.
+		if len(rep.Tasks) != 1 {
+			t.Fatalf("%s: lean report holds %d task entries, want 1\n%s", mode, len(rep.Tasks), rep)
+		}
+		tr := rep.Task("slow[1]")
+		if tr.Attempts != 2 || tr.Retries != 1 || tr.Failures != 1 {
+			t.Fatalf("%s: slow[1] history = %+v, want attempts 2, retries 1, failures 1", mode, tr)
+		}
+	}
+}

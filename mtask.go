@@ -477,6 +477,18 @@ func WithWavefront() ExecOption { return runtime.WithWavefront() }
 // under WithWavefront.
 var ErrGlobalInWavefront = runtime.ErrGlobalInWavefront
 
+// WithoutTimeline drops O(tasks) state from the Report so million-task
+// executions stay lean: successful attempts fold into a busy core-time
+// accumulator instead of retained TaskSpans, and per-task histories are
+// kept only for tasks that needed fault handling.
+func WithoutTimeline() ExecOption { return runtime.WithoutTimeline() }
+
+// WithChannelDispatcher selects the reference channel-based wavefront
+// dispatcher (one goroutine per launched task) instead of the default
+// persistent-worker dispatcher. Kept for differential testing and
+// dispatch-overhead comparisons; production runs should not need it.
+func WithChannelDispatcher() ExecOption { return runtime.WithChannelDispatcher() }
+
 // TaskSpan is one Report timeline entry: which task ran on which layer,
 // group and core count, and when (offsets from the start of execution).
 type TaskSpan = runtime.TaskSpan
