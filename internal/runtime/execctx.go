@@ -92,6 +92,17 @@ func WithRecorder(rec *obs.Recorder) ExecOption {
 // histories are kept only for tasks that needed fault handling. Scripted
 // fault injection keyed on attempt numbers still behaves identically for
 // any task that fails at least once.
+//
+// Replan caveat: a task that never fails but is re-executed after a
+// degrade-and-replan (it completed past the completed-layer checkpoint,
+// then runs again from the resume point) has no retained history, so its
+// re-execution reports attempt number 1 again instead of 2 — remembering
+// otherwise would reintroduce the O(tasks) per-name state this option
+// exists to drop. A fault-injection script keyed on such a task's attempt
+// numbers (e.g. "task@1") therefore fires on both executions under
+// WithoutTimeline where the full report would fire once; scripts that
+// must count attempts across a replan for never-failed tasks need the
+// full report.
 func WithoutTimeline() ExecOption {
 	return func(c *execConfig) { c.noTimeline = true }
 }
@@ -400,7 +411,7 @@ func runScheduledTask(ctx context.Context, w *World, sched *core.Schedule, li in
 			tstart := rep.since()
 			var aerr error
 			if coop != nil {
-				aerr = coop.coopAttempt(t, fn, attempt, li, gi, lo, hi)
+				aerr = coop.coopAttempt(t, fn, attempt, li, gi, id, lo, hi)
 			} else {
 				aerr = runAttempt(ctx, w, t, fn, attempt, li, gi, lo, hi, global, cfg, rep)
 			}

@@ -102,7 +102,11 @@ func (r *Report) task(name string) *TaskReport {
 // injector's script mode keys on it). In lean mode the first attempt of
 // a never-failed task does not create a map entry — the entry appears
 // (with this attempt back-counted) only if the task fails, so attempt
-// numbering stays correct for every task the injector can script.
+// numbering stays correct for every task that fails at least once. The
+// exception is a never-failed task re-executed after a degrade-and-replan
+// (it completed past the checkpoint, then runs again): with no retained
+// entry its re-execution reports 1 again where non-lean mode reports 2
+// — the documented WithoutTimeline replan caveat.
 func (r *Report) startAttempt(name string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

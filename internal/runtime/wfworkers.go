@@ -113,10 +113,15 @@ type wfWorker struct {
 	// exactly once).
 	lastSeq []uint64
 
-	// Leader-side attempt publication. curTask is the scheduled task the
-	// leader is currently executing (-1 outside a task); bumping seq
-	// publishes one attempt of it: gsh, fn, src and attempt are written
-	// before the bump and read by followers after observing it.
+	// Leader-side attempt publication. gsh, fn, src and attempt are
+	// written first, then seq is bumped, then curTask is set to the
+	// scheduled task id (-1 outside a published attempt) — in that order,
+	// so a follower that observes curTask == id is guaranteed to read this
+	// publication's seq and fields, never a previous task's: sync/atomic
+	// operations are sequentially consistent, so the follower's subsequent
+	// seq load returns at least this publication's value, and it cannot
+	// return more because the leader does not advance past an attempt
+	// until every follower has run it (pending drains to zero).
 	curTask atomic.Int64
 	seq     atomic.Uint64
 	pending atomic.Int32 // followers that have not finished the published attempt
@@ -305,10 +310,11 @@ func (wk *wfWorker) lead(td *core.TaskDeps) bool {
 	if !d.spawn {
 		coop = wk
 	}
-	wk.curTask.Store(int64(td.ID))
+	// curTask is NOT set here: it is published per attempt inside
+	// coopAttempt, strictly after the attempt's fields and seq, so
+	// followers can never observe the task id before its publication.
 	err, exhausted := runScheduledTask(d.ctx, d.w, d.sched, td.Layer, td.Group, td.Lo, td.Hi,
 		td.ID, d.global, d.body, d.cfg, d.rep, coop)
-	wk.curTask.Store(-1)
 	if err != nil {
 		d.fail(td, err, exhausted)
 		return false
@@ -330,9 +336,14 @@ func (wk *wfWorker) follow(td *core.TaskDeps) {
 			return
 		}
 		if ld.curTask.Load() == int64(td.ID) {
-			// Observing the seq bump is the synchronization edge: the
-			// leader wrote gsh/fn/src/attempt and reset this rank's errs
-			// slot before bumping.
+			// curTask is stored after the seq bump, which is stored after
+			// gsh/fn/src/attempt and this rank's errs-slot reset, so having
+			// observed curTask == id this seq load returns at least the
+			// current publication's value — and not more, because the
+			// leader cannot publish the next attempt until this worker
+			// decrements pending. Observing seq is therefore the
+			// synchronization edge for the publication fields, and the
+			// fields stay stable until this worker reports back.
 			if sq := ld.seq.Load(); sq != wk.lastSeq[td.Lo] {
 				wk.lastSeq[td.Lo] = sq
 				wk.runFollower(ld, td, r)
@@ -372,7 +383,7 @@ func (wk *wfWorker) runFollower(ld *wfWorker, td *core.TaskDeps, r int) {
 // and settles — the exact runAttempt semantics minus the per-attempt
 // goroutines and watchdog (see runWavefrontWorkersPass for the
 // cancellation caveat that buys).
-func (wk *wfWorker) coopAttempt(t *graph.Task, fn TaskFunc, attempt, li int, gi core.GroupID, lo, hi int) error {
+func (wk *wfWorker) coopAttempt(t *graph.Task, fn TaskFunc, attempt, li int, gi core.GroupID, id graph.TaskID, lo, hi int) error {
 	d := wk.d
 	size := hi - lo
 	gsh := newCommShared(Group, d.identity[lo:hi], &d.w.Stats, d.cfg.rec)
@@ -384,6 +395,15 @@ func (wk *wfWorker) coopAttempt(t *graph.Task, fn TaskFunc, attempt, li int, gi 
 		}
 		wk.pending.Store(int32(size - 1))
 		wk.seq.Add(1)
+		// Publish the task id LAST. The leader's seq counter is cumulative
+		// across every task it leads, so a follower joining this leader for
+		// the first time has lastSeq == 0 while seq may already be large;
+		// if curTask were visible before the bump, that follower could pass
+		// the seq != lastSeq check against a stale seq and run the previous
+		// task's fields — a released communicator, the wrong body, and a
+		// spurious pending decrement. Storing curTask after seq closes
+		// that window: curTask == id implies the publication is complete.
+		wk.curTask.Store(int64(id))
 		for r := lo + 1; r < hi; r++ {
 			d.wakeWorker(r)
 		}
@@ -404,6 +424,13 @@ func (wk *wfWorker) coopAttempt(t *graph.Task, fn TaskFunc, attempt, li int, gi 
 	for size > 1 && wk.pending.Load() != 0 {
 		<-wk.wake
 		wk.wakeups++
+	}
+	if size > 1 {
+		// Every follower has run this publication and reported back;
+		// retract the id before releasing the communicator so curTask != -1
+		// always means "publication live" (a late re-check between the
+		// drain and this store matches lastSeq and parks harmlessly).
+		wk.curTask.Store(-1)
 	}
 	err := settleAttempt(t, d.rep, wk.errs[:size], d.ctx)
 	gsh.release() // attempt settled: no rank holds the comm anymore

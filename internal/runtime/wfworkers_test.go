@@ -234,6 +234,75 @@ func TestWorkersCancellationObservedBetweenAttempts(t *testing.T) {
 	}
 }
 
+func TestWorkersStalePublicationRace(t *testing.T) {
+	// Regression test for the stale attempt-publication race: a leader's
+	// seq counter is cumulative across every task it leads, so after rank
+	// 0 leads a group excluding rank 2 (rank 0's seq advances while rank
+	// 2's lastSeq[0] stays behind), rank 2 joins rank 0's next group with
+	// seq != lastSeq already true. If the task id were published before
+	// the attempt's fields and seq bump, rank 2 could observe the id,
+	// pass the seq check against the stale value and run the previous
+	// task's publication — a released pooled communicator, the wrong
+	// body, and a spurious pending decrement. Alternating {[0,2),[2,3)}
+	// and {[0,3)} layers re-arm that window every round; the barrier in
+	// each body makes a stale run collide instead of passing silently,
+	// and the run counter catches any double-executed rank.
+	const rounds = 200
+	g := graph.New("stale")
+	sched := &core.Schedule{P: 3}
+	var prev []graph.TaskID
+	for li := 0; li < 2*rounds; li++ {
+		var ls *core.LayerSchedule
+		var ids []graph.TaskID
+		if li%2 == 0 {
+			a := g.AddBasic("a"+strconv.Itoa(li), 1)
+			c := g.AddBasic("c"+strconv.Itoa(li), 1)
+			ls = &core.LayerSchedule{
+				Layer:  []graph.TaskID{a, c},
+				Groups: [][]graph.TaskID{{a}, {c}},
+				Sizes:  []int{2, 1},
+			}
+			ids = []graph.TaskID{a, c}
+		} else {
+			wt := g.AddBasic("w"+strconv.Itoa(li), 1)
+			ls = &core.LayerSchedule{
+				Layer:  []graph.TaskID{wt},
+				Groups: [][]graph.TaskID{{wt}},
+				Sizes:  []int{3},
+			}
+			ids = []graph.TaskID{wt}
+		}
+		for _, p := range prev {
+			for _, id := range ids {
+				g.MustEdge(p, id, 1)
+			}
+		}
+		prev = ids
+		sched.Layers = append(sched.Layers, ls)
+	}
+	sched.Source = g
+	sched.Graph = g
+
+	var runs atomic.Int64
+	body := func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			runs.Add(1)
+			tc.Group.Barrier()
+			return nil
+		}
+	}
+	w, _ := NewWorld(3)
+	rep, err := ExecuteCtx(context.Background(), w, sched, body, WithWavefront(), WithoutTimeline())
+	if err != nil {
+		t.Fatalf("execution failed: %v\n%s", err, rep)
+	}
+	// Per round: the size-2 group runs 2 rank bodies, the singleton 1,
+	// the size-3 group 3 — every rank of every group exactly once.
+	if want := int64(rounds * 6); runs.Load() != want {
+		t.Fatalf("body ran %d times, want %d (a stale publication double-runs a rank)", runs.Load(), want)
+	}
+}
+
 func TestWavefrontDispatchAllocFree(t *testing.T) {
 	// The headline perf gate: steady-state dispatch must not allocate per
 	// task. The fixed setup cost of a pass (precedence metadata slabs,
