@@ -1,0 +1,467 @@
+package main
+
+// The -jobs mode replays a fixed-seed imbalanced arrival trace of M-task
+// jobs through the two-level machine scheduler (moldable admission sizing,
+// EASY-style backfill, grow/shrink at layer barriers) and through a static
+// equal-partition FCFS baseline, and compares makespan, per-job slowdown
+// and machine utilization. Task bodies sleep for Work/groupCores (plus a
+// serial floor), so larger partitions genuinely finish sooner and the
+// wall-clock comparison is meaningful even on a single-CPU host — the
+// sleeps model compute, the scheduler decisions are real. The greppable
+// "two-level scheduling ok" line is the CI acceptance signal: it is
+// printed only when the two-level run strictly beats the baseline on
+// makespan, utilization and worst-case bounded slowdown, keeps the mean
+// bounded slowdown within 10% of the baseline, saw at least one grow and
+// one shrink, and stayed under the absolute slowdown bound.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	stdruntime "runtime"
+
+	"mtask"
+	"mtask/internal/graph"
+	"mtask/internal/obs"
+)
+
+// jobSpec is one job of the arrival trace.
+type jobSpec struct {
+	name       string
+	graph      *mtask.Graph
+	arrival    time.Duration
+	minN, maxN int
+	heavy      bool
+}
+
+// jobsLadder builds a stages-deep ladder graph: two parallel tasks per
+// stage with full bipartite edges between stages, so the schedule has
+// exactly `stages` layers — one resize opportunity per stage boundary.
+// work is in sleep-nanoseconds per task (divided by the group's cores at
+// execution time).
+func jobsLadder(name string, stages int, work float64) *mtask.Graph {
+	g := mtask.NewGraph(name)
+	var prev [2]mtask.TaskID
+	for s := 0; s < stages; s++ {
+		var cur [2]mtask.TaskID
+		for i := 0; i < 2; i++ {
+			cur[i] = g.AddTask(&mtask.Task{
+				Name: fmt.Sprintf("%s.%d.%d", name, s, i), Kind: graph.KindBasic, Work: work,
+			})
+		}
+		if s > 0 {
+			for _, p := range prev {
+				for _, c := range cur {
+					g.MustEdge(p, c, 8)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// jobsBody is the SPMD body of every trace job: each rank sleeps the
+// task's serial floor plus its Work share, so a task on twice the cores
+// finishes in roughly half the wall time (Amdahl with a small serial
+// fraction).
+func jobsBody() func(t *mtask.Task) mtask.TaskFunc {
+	const serial = 200 * time.Microsecond
+	return func(t *mtask.Task) mtask.TaskFunc {
+		return func(tc *mtask.TaskCtx) error {
+			if t.Kind != graph.KindBasic {
+				return nil
+			}
+			time.Sleep(serial + time.Duration(t.Work)/time.Duration(tc.Group.Size()))
+			return nil
+		}
+	}
+}
+
+// jobsTrace builds the imbalanced trace: two heavy scalable jobs that
+// want the whole machine, plus `lights` small single-node jobs arriving
+// in two bursts around them. The seed only jitters the light jobs'
+// arrivals and sizes; the shape of the trace is fixed.
+func jobsTrace(seed int64, lights int) []jobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	// Heavy jobs: 20 short stages, so layer barriers — the only points
+	// where a shrink can free nodes for arriving jobs — come every few
+	// milliseconds.
+	specs := []jobSpec{
+		{name: "H1", graph: jobsLadder("H1", 20, 80e6), arrival: 0, minN: 2, maxN: 8, heavy: true},
+		{name: "H2", graph: jobsLadder("H2", 20, 80e6), arrival: 60 * time.Millisecond, minN: 2, maxN: 8, heavy: true},
+	}
+	for i := 0; i < lights; i++ {
+		burst := 10 * time.Millisecond // first burst: while H1 runs alone
+		if i >= lights/2 {
+			burst = 80 * time.Millisecond // second burst: while H1 and H2 share
+		}
+		arrival := burst + time.Duration(rng.Intn(6))*time.Millisecond
+		work := (6 + 4*rng.Float64()) * 1e6
+		name := fmt.Sprintf("L%d", i+1)
+		specs = append(specs, jobSpec{
+			name: name, graph: jobsLadder(name, 2, work), arrival: arrival, minN: 1, maxN: 2,
+		})
+	}
+	return specs
+}
+
+// jobsSoloTimes measures each job alone on the whole machine — the
+// denominator of the slowdown metric.
+func jobsSoloTimes(ctx context.Context, m *mtask.Machine, pl *mtask.Planner,
+	specs []jobSpec, body func(t *mtask.Task) mtask.TaskFunc) (map[string]time.Duration, error) {
+
+	solo := make(map[string]time.Duration, len(specs))
+	for _, s := range specs {
+		mp, err := pl.PlanPartition(ctx, s.graph, m, m.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("solo plan %s: %w", s.name, err)
+		}
+		w, err := mtask.NewWorld(mp.Schedule.P)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := mtask.ExecuteCtx(ctx, w, mp.Schedule, body); err != nil {
+			return nil, fmt.Errorf("solo run %s: %w", s.name, err)
+		}
+		solo[s.name] = time.Since(start)
+	}
+	return solo, nil
+}
+
+// jobOutcome is the scheme-independent record of one job's run.
+type jobOutcome struct {
+	name       string
+	turnaround time.Duration
+	done       time.Duration
+	busy       time.Duration // core-time inside task bodies
+}
+
+// runStaticPartitions is the baseline: the machine is split into `parts`
+// equal node partitions, jobs are served FCFS in arrival order, each job
+// runs on one whole partition at the fixed size — no molding, no
+// backfill, no resizing.
+func runStaticPartitions(ctx context.Context, m *mtask.Machine, pl *mtask.Planner,
+	specs []jobSpec, parts int, body func(t *mtask.Task) mtask.TaskFunc) ([]jobOutcome, error) {
+
+	partNodes := m.Nodes / parts
+	if partNodes < 1 {
+		return nil, fmt.Errorf("-jobs-parts %d leaves no nodes per partition", parts)
+	}
+	for _, s := range specs {
+		if s.minN > partNodes {
+			return nil, fmt.Errorf("job %s needs %d nodes, static partitions have %d", s.name, s.minN, partNodes)
+		}
+	}
+	ordered := append([]jobSpec(nil), specs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].arrival < ordered[j].arrival })
+
+	epoch := time.Now()
+	queue := make(chan jobSpec)
+	go func() {
+		defer close(queue)
+		for _, s := range ordered {
+			if d := s.arrival - time.Since(epoch); d > 0 {
+				time.Sleep(d)
+			}
+			queue <- s
+		}
+	}()
+
+	var (
+		mu       sync.Mutex
+		outcomes []jobOutcome
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range queue {
+				mp, err := pl.PlanPartition(ctx, s.graph, m, partNodes)
+				if err == nil {
+					var w *mtask.World
+					if w, err = mtask.NewWorld(mp.Schedule.P); err == nil {
+						var rep *mtask.Report
+						rep, err = mtask.ExecuteCtx(ctx, w, mp.Schedule, body)
+						if err == nil {
+							busy, _, _ := rep.Utilization()
+							mu.Lock()
+							outcomes = append(outcomes, jobOutcome{
+								name:       s.name,
+								turnaround: time.Since(epoch) - s.arrival,
+								done:       time.Since(epoch),
+								busy:       busy,
+							})
+							mu.Unlock()
+						}
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("static run %s: %w", s.name, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes, firstErr
+}
+
+// slowdownThreshold is the bounded-slowdown threshold (Feitelson's
+// metric): slowdown = max(turnaround, τ) / max(solo, τ), so jobs whose
+// solo time is far below τ cannot dominate the mean with huge ratios of
+// tiny absolute waits.
+const slowdownThreshold = 10 * time.Millisecond
+
+// schemeStats aggregates one scheme's outcomes against the solo times.
+type schemeStats struct {
+	makespan     time.Duration
+	meanSlowdown float64
+	maxSlowdown  float64
+	utilization  float64
+}
+
+func boundedSlowdown(turnaround, solo time.Duration) float64 {
+	if turnaround < slowdownThreshold {
+		turnaround = slowdownThreshold
+	}
+	if solo < slowdownThreshold {
+		solo = slowdownThreshold
+	}
+	return float64(turnaround) / float64(solo)
+}
+
+func summarize(outcomes []jobOutcome, solo map[string]time.Duration, totalCores int) schemeStats {
+	var st schemeStats
+	var busy time.Duration
+	for _, o := range outcomes {
+		if o.done > st.makespan {
+			st.makespan = o.done
+		}
+		busy += o.busy
+		if base := solo[o.name]; base > 0 {
+			sd := boundedSlowdown(o.turnaround, base)
+			st.meanSlowdown += sd
+			if sd > st.maxSlowdown {
+				st.maxSlowdown = sd
+			}
+		}
+	}
+	if len(outcomes) > 0 {
+		st.meanSlowdown /= float64(len(outcomes))
+	}
+	if st.makespan > 0 {
+		st.utilization = float64(busy) / float64(time.Duration(totalCores)*st.makespan)
+	}
+	return st
+}
+
+// jobsRecord is the BENCH_jobs.json schema.
+type jobsRecord struct {
+	Bench      string  `json:"bench"`
+	Date       string  `json:"date"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Machine    string  `json:"machine"`
+	TotalCores int     `json:"total_cores"`
+	Seed       int64   `json:"seed"`
+	Jobs       int     `json:"jobs"`
+	HeavyJobs  int     `json:"heavy_jobs"`
+	LightJobs  int     `json:"light_jobs"`
+	SlowdownMS float64 `json:"bounded_slowdown_threshold_ms"`
+	Note       string  `json:"note"`
+
+	SoloMS   map[string]float64 `json:"solo_ms"`
+	TwoLevel jschema            `json:"two_level"`
+	Static   jschema            `json:"static_equal_partition"`
+	Speedup  float64            `json:"makespan_speedup"`
+}
+
+type jschema struct {
+	MakespanMS   float64 `json:"makespan_ms"`
+	MeanSlowdown float64 `json:"mean_bounded_slowdown"`
+	MaxSlowdown  float64 `json:"max_bounded_slowdown"`
+	Utilization  float64 `json:"utilization"`
+	Grows        int     `json:"grows,omitempty"`
+	Shrinks      int     `json:"shrinks,omitempty"`
+	Backfills    int     `json:"backfills,omitempty"`
+	Partitions   int     `json:"partitions,omitempty"`
+}
+
+// runJobs drives the multi-job comparison; see the file comment.
+func runJobs(seed int64, lights, parts int, slowdownBound float64, out, traceOut string) error {
+	if lights < 2 {
+		return fmt.Errorf("-jobs-light %d out of range (need >= 2)", lights)
+	}
+	m := mtask.CHiC().Subset(8) // 8 nodes x 4 cores
+	pl := mtask.NewPlanner()
+	ctx := context.Background()
+	body := jobsBody()
+	specs := jobsTrace(seed, lights)
+
+	fmt.Printf("multi-job trace: %d jobs (2 heavy + %d light) on %s (%d nodes, %d cores), seed %d, GOMAXPROCS=%d\n\n",
+		len(specs), lights, m.Name, m.Nodes, m.TotalCores(), seed, stdruntime.GOMAXPROCS(0))
+
+	// Solo runs: the slowdown denominators.
+	solo, err := jobsSoloTimes(ctx, m, pl, specs, body)
+	if err != nil {
+		return err
+	}
+
+	// Two-level scheduler.
+	alloc, err := mtask.NewJobAllocator(m, pl)
+	if err != nil {
+		return err
+	}
+	var (
+		traceMu sync.Mutex
+		recs    []*mtask.TraceRecorder
+	)
+	if traceOut != "" {
+		machineRec := mtask.NewTraceRecorder(0, mtask.WithTraceName("allocator"))
+		recs = append(recs, machineRec)
+		alloc.Trace = machineRec
+		alloc.JobTrace = func(name string, cores int) *mtask.TraceRecorder {
+			rec := mtask.NewTraceRecorder(cores, mtask.WithTraceName("job "+name))
+			traceMu.Lock()
+			recs = append(recs, rec)
+			traceMu.Unlock()
+			return rec
+		}
+	}
+	jobs := make([]mtask.MachineJob, len(specs))
+	for i, s := range specs {
+		jobs[i] = mtask.MachineJob{
+			Name: s.name, Graph: s.graph, Body: body,
+			Arrival: s.arrival, MinNodes: s.minN, MaxNodes: s.maxN,
+		}
+	}
+	results, err := alloc.RunTrace(ctx, jobs)
+	if err != nil {
+		return err
+	}
+	var (
+		twoOutcomes               []jobOutcome
+		grows, shrinks, backfills int
+	)
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("two-level job %s failed: %w", r.Name, r.Err)
+		}
+		busy, _, _ := r.Report.Utilization()
+		twoOutcomes = append(twoOutcomes, jobOutcome{
+			name: r.Name, turnaround: r.Turnaround(), done: r.Done, busy: busy,
+		})
+		grows += r.Grows
+		shrinks += r.Shrinks
+		if r.Backfilled {
+			backfills++
+		}
+	}
+	two := summarize(twoOutcomes, solo, m.TotalCores())
+
+	fmt.Println(alloc.Gantt(92))
+	fmt.Println()
+
+	// Static equal-partition FCFS baseline.
+	staticOutcomes, err := runStaticPartitions(ctx, m, pl, specs, parts, body)
+	if err != nil {
+		return err
+	}
+	static := summarize(staticOutcomes, solo, m.TotalCores())
+
+	fmt.Printf("%-22s %12s %15s %14s %12s   (bounded slowdown, threshold %v)\n",
+		"scheme", "makespan", "mean slowdown", "max slowdown", "utilization", slowdownThreshold)
+	fmt.Printf("%-22s %12v %15.2f %14.2f %11.1f%%   (%d grows, %d shrinks, %d backfills)\n",
+		"two-level", two.makespan.Round(time.Millisecond), two.meanSlowdown, two.maxSlowdown,
+		100*two.utilization, grows, shrinks, backfills)
+	fmt.Printf("%-22s %12v %15.2f %14.2f %11.1f%%   (%d fixed partitions of %d nodes)\n\n",
+		"static equal-partition", static.makespan.Round(time.Millisecond), static.meanSlowdown,
+		static.maxSlowdown, 100*static.utilization, parts, m.Nodes/parts)
+
+	if out != "" {
+		soloMS := make(map[string]float64, len(solo))
+		for name, d := range solo {
+			soloMS[name] = float64(d) / float64(time.Millisecond)
+		}
+		record := jobsRecord{
+			Bench:      "jobs",
+			Date:       time.Now().UTC().Format("2006-01-02"),
+			GoMaxProcs: stdruntime.GOMAXPROCS(0),
+			Machine:    m.Name,
+			TotalCores: m.TotalCores(),
+			Seed:       seed,
+			Jobs:       len(specs),
+			HeavyJobs:  2,
+			LightJobs:  lights,
+			SlowdownMS: float64(slowdownThreshold) / float64(time.Millisecond),
+			Note: "task bodies sleep Work/groupCores, so wall times measure scheduling decisions, " +
+				"not compute throughput; meaningful at any GOMAXPROCS",
+			SoloMS: soloMS,
+			TwoLevel: jschema{
+				MakespanMS:   float64(two.makespan) / float64(time.Millisecond),
+				MeanSlowdown: two.meanSlowdown, MaxSlowdown: two.maxSlowdown,
+				Utilization: two.utilization, Grows: grows, Shrinks: shrinks, Backfills: backfills,
+			},
+			Static: jschema{
+				MakespanMS:   float64(static.makespan) / float64(time.Millisecond),
+				MeanSlowdown: static.meanSlowdown, MaxSlowdown: static.maxSlowdown,
+				Utilization: static.utilization, Partitions: parts,
+			},
+			Speedup: float64(static.makespan) / float64(two.makespan),
+		}
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("record: wrote %s\n", out)
+	}
+	if traceOut != "" {
+		if err := obs.WriteChromeFile(traceOut, recs...); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace: wrote %s (%d process rows)\n", traceOut, len(recs))
+	}
+
+	// Acceptance: the two-level scheduler must strictly beat the static
+	// baseline on makespan, utilization and worst-case (max) bounded
+	// slowdown, stay under the absolute slowdown bound, and must not
+	// degrade the mean bounded slowdown by more than 10%. (The mean is
+	// dominated by the many light jobs, which run near parity in both
+	// schemes — a strict-win requirement on it would test timer noise, not
+	// scheduling; the heavies' worst case is the deterministic separation.)
+	switch {
+	case grows < 1 || shrinks < 1:
+		return fmt.Errorf("two-level run saw %d grows / %d shrinks, want at least one of each", grows, shrinks)
+	case two.makespan >= static.makespan:
+		return fmt.Errorf("two-level makespan %v did not beat the static baseline %v", two.makespan, static.makespan)
+	case two.utilization <= static.utilization:
+		return fmt.Errorf("two-level utilization %.1f%% did not beat the static baseline %.1f%%", 100*two.utilization, 100*static.utilization)
+	case two.maxSlowdown >= static.maxSlowdown:
+		return fmt.Errorf("two-level max slowdown %.2f did not beat the static baseline %.2f", two.maxSlowdown, static.maxSlowdown)
+	case two.meanSlowdown > 1.10*static.meanSlowdown:
+		return fmt.Errorf("two-level mean slowdown %.2f degraded more than 10%% over the static baseline %.2f", two.meanSlowdown, static.meanSlowdown)
+	case two.maxSlowdown > slowdownBound:
+		return fmt.Errorf("two-level max slowdown %.2f exceeds the bound %.2f", two.maxSlowdown, slowdownBound)
+	}
+	fmt.Printf("two-level scheduling ok: makespan %v vs %v static (%.2fx), max slowdown %.2f vs %.2f, mean %.2f vs %.2f, utilization %.0f%% vs %.0f%%, %d grows / %d shrinks / %d backfills\n",
+		two.makespan.Round(time.Millisecond), static.makespan.Round(time.Millisecond),
+		float64(static.makespan)/float64(two.makespan),
+		two.maxSlowdown, static.maxSlowdown, two.meanSlowdown, static.meanSlowdown,
+		100*two.utilization, 100*static.utilization, grows, shrinks, backfills)
+	return nil
+}

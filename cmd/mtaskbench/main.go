@@ -12,6 +12,7 @@
 //	mtaskbench -faults -fault-solver pab -kill 'stage[1](0)@1' -seed 7
 //	mtaskbench -exec -exec-iters 5000
 //	mtaskbench -exec -scale 100000 -exec-cores 16
+//	mtaskbench -jobs -seed 1
 package main
 
 import (
@@ -76,7 +77,20 @@ func main() {
 	serveAddr := flag.String("serve-addr", "", "serve -chaos: drive a live mtaskd at this host:port instead of an in-process server")
 	serveDeadline := flag.Duration("serve-deadline", 2*time.Second, "serve: propagated per-request deadline (X-Request-Deadline) in chaos and overload runs")
 	serveOverload := flag.Bool("serve-overload", false, "serve: also record the 1x/4x/16x overload profile (before vs. after admission control) in the benchmark record")
+	jobsMode := flag.Bool("jobs", false, "replay a multi-job arrival trace through the two-level machine scheduler vs a static equal-partition baseline")
+	jobsLight := flag.Int("jobs-light", 10, "jobs: light (single-node) jobs in the trace, around the two heavy ones")
+	jobsParts := flag.Int("jobs-parts", 4, "jobs: equal partitions of the static baseline")
+	jobsBound := flag.Float64("jobs-slowdown-bound", 8, "jobs: fail if the two-level max slowdown exceeds this")
+	jobsOut := flag.String("jobs-out", "BENCH_jobs.json", "jobs: write the JSON benchmark record here (empty = skip)")
 	flag.Parse()
+
+	if *jobsMode {
+		if err := runJobs(*seed, *jobsLight, *jobsParts, *jobsBound, *jobsOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mtaskbench: jobs: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveMode {
 		var err error

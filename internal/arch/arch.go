@@ -287,6 +287,21 @@ func (m *Machine) SubsetCores(p int) *Machine {
 	return m.Subset(nodes)
 }
 
+// Partition returns a Machine restricted to the given number of whole
+// nodes — the allocation unit of the machine-level job scheduler. It is
+// Subset with an error return instead of a panic: partition sizes come
+// from admission decisions, not fixed experiment configurations, so an
+// out-of-range size must be a recoverable error. Equal-sized partitions
+// carry equal names, so schedule-cache fingerprints are shared across
+// jobs and across resizes back to a previous size.
+func (m *Machine) Partition(nodes int) (*Machine, error) {
+	if nodes < 1 || nodes > m.Nodes {
+		return nil, fmt.Errorf("%w: partition of %d nodes out of range for %q (%d nodes)",
+			ErrInvalidMachine, nodes, m.Name, m.Nodes)
+	}
+	return m.Subset(nodes), nil
+}
+
 // WithoutCores returns a Machine shrunk by n cores, rounded up to whole
 // nodes (the machine model is homogeneous per node, so degradation removes
 // the smallest number of nodes covering the lost cores). It is the

@@ -185,6 +185,30 @@ func TestSubset(t *testing.T) {
 	m.Subset(0)
 }
 
+func TestPartition(t *testing.T) {
+	m := CHiC()
+	p, err := m.Partition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 8 || p.TotalCores() != 32 {
+		t.Fatalf("partition shape %d nodes / %d cores, want 8/32", p.Nodes, p.TotalCores())
+	}
+	// Equal-sized partitions must be indistinguishable (the schedule
+	// cache keys on the machine description, name included).
+	if q, _ := m.Partition(8); *q != *p {
+		t.Fatalf("equal-sized partitions differ: %+v vs %+v", q, p)
+	}
+	if s := m.Subset(8); *s != *p {
+		t.Fatal("Partition and Subset disagree for the same node count")
+	}
+	for _, bad := range []int{0, -1, m.Nodes + 1} {
+		if _, err := m.Partition(bad); !errors.Is(err, ErrInvalidMachine) {
+			t.Fatalf("Partition(%d) err = %v, want ErrInvalidMachine", bad, err)
+		}
+	}
+}
+
 func TestPresetsValid(t *testing.T) {
 	for name, m := range Presets() {
 		if err := m.Validate(); err != nil {

@@ -1,0 +1,94 @@
+package dynsched
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/graph"
+	"mtask/internal/plan"
+)
+
+// moldFor runs the moldable sizing for a graph under the allocator lock.
+func moldFor(t *testing.T, a *Allocator, g *graph.Graph, minN, maxN, free int) int {
+	t.Helper()
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	js := &jobState{job: Job{Name: g.Name, Graph: g}, ctx: context.Background(), minN: minN, maxN: maxN}
+	a.mu.Lock()
+	saved := a.freeNodes
+	a.freeNodes = free
+	_, n, err := a.moldLocked(js)
+	a.freeNodes = saved
+	a.mu.Unlock()
+	if err != nil {
+		t.Fatalf("molding %s: %v", g.Name, err)
+	}
+	return n
+}
+
+// wideGraph has w independent heavy tasks: near-ideal speedup, so the
+// moldable model should grab many nodes.
+func wideGraph(w int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("wide%d", w))
+	for i := 0; i < w; i++ {
+		g.AddTask(&graph.Task{Name: fmt.Sprintf("w%d", i), Kind: graph.KindBasic, Work: 5e9})
+	}
+	return g
+}
+
+// commBoundGraph is one communication-dominated task: growing the group
+// buys little, so the moldable model should stay small.
+func commBoundGraph() *graph.Graph {
+	g := graph.New("commbound")
+	g.AddTask(&graph.Task{
+		Name: "c", Kind: graph.KindBasic, Work: 1e6,
+		CommBytes: 1 << 24, CommCount: 256, BcastBytes: 1 << 22, BcastCount: 64,
+	})
+	return g
+}
+
+func TestMoldableSizingPrefersScalableJobs(t *testing.T) {
+	m := arch.CHiC().Subset(8)
+	a := &Allocator{Machine: m, Planner: plan.New()}
+	wide := moldFor(t, a, wideGraph(32), 1, 8, 8)
+	narrow := moldFor(t, a, commBoundGraph(), 1, 8, 8)
+	if wide <= narrow {
+		t.Fatalf("wide job got %d nodes, comm-bound job %d — the speedup model is not differentiating", wide, narrow)
+	}
+	if wide < 4 {
+		t.Fatalf("wide job with near-ideal speedup got only %d of 8 nodes", wide)
+	}
+}
+
+func TestMoldableSizingRespectsBounds(t *testing.T) {
+	m := arch.CHiC().Subset(8)
+	a := &Allocator{Machine: m, Planner: plan.New()}
+	if n := moldFor(t, a, wideGraph(32), 2, 3, 8); n < 2 || n > 3 {
+		t.Fatalf("bounded job got %d nodes, want within [2,3]", n)
+	}
+	if n := moldFor(t, a, wideGraph(32), 1, 8, 2); n > 2 {
+		t.Fatalf("job got %d nodes with only 2 free", n)
+	}
+	if n := moldFor(t, a, commBoundGraph(), 3, 8, 8); n != 3 {
+		t.Fatalf("comm-bound job got %d nodes, want its 3-node minimum", n)
+	}
+}
+
+func TestMoldableSizingEfficiencyFloor(t *testing.T) {
+	// A floor near zero keeps doubling while the makespan improves at
+	// all; a floor of 1 (perfect efficiency required) stops at the first
+	// sub-ideal doubling — so the near-zero floor can never pick fewer
+	// nodes than the strict one.
+	m := arch.CHiC().Subset(8)
+	loose := &Allocator{Machine: m, Planner: plan.New(), EfficiencyFloor: -1}
+	strict := &Allocator{Machine: m, Planner: plan.New(), EfficiencyFloor: 1.0}
+	g := wideGraph(16)
+	nl := moldFor(t, loose, g, 1, 8, 8)
+	ns := moldFor(t, strict, g, 1, 8, 8)
+	if nl < ns {
+		t.Fatalf("loose floor picked %d nodes, strict floor %d", nl, ns)
+	}
+}

@@ -1,0 +1,34 @@
+package plan
+
+import (
+	"context"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/graph"
+)
+
+// PlanPartition plans the graph on a whole-node partition of the machine:
+// the planning half of a job resize. The machine-level job allocator calls
+// it at admission (to price candidate partition sizes during moldable
+// sizing) and at every grow or shrink (to produce the schedule the
+// executor swaps in at the next layer barrier). The layer-based algorithm
+// partitions layers from the graph structure alone, so the schedule at any
+// partition size keeps the same layer partition (core.SameLayering) —
+// which is what makes resuming a resized job at a layer barrier sound.
+//
+// Equal-sized partitions of the same machine fingerprint identically
+// (arch.Machine.Partition names them by node count), so repeated sizing
+// probes, resizes back to a previous size, and equal-sized partitions of
+// different jobs running the same graph are all served from the planner's
+// schedule cache.
+func (p *Planner) PlanPartition(ctx context.Context, g *graph.Graph, m *arch.Machine, nodes int,
+	opts ...Option) (*core.Mapping, error) {
+
+	pm, err := m.Partition(nodes)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(append([]Option(nil), opts...), WithCores(pm.TotalCores()))
+	return p.Plan(ctx, g, pm, opts...)
+}

@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/ode"
+)
+
+// TestPlanPartition covers the resize planning glue: the mapping is sized
+// to the partition, schedules at different partition sizes keep the same
+// layer partition (what makes barrier-resume after a resize sound), and
+// equal-sized partitions are served from the schedule cache.
+func TestPlanPartition(t *testing.T) {
+	m := arch.CHiC().Subset(8)
+	g := ode.BuildPABGraph(40000, 600, 8, 2, 2)
+	p := New()
+	ctx := context.Background()
+
+	mp4, err := p.PlanPartition(ctx, g, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * m.CoresPerNode(); mp4.Schedule.P != want {
+		t.Fatalf("partition schedule P = %d, want %d", mp4.Schedule.P, want)
+	}
+	if mp4.Machine.Nodes != 4 {
+		t.Fatalf("partition machine has %d nodes, want 4", mp4.Machine.Nodes)
+	}
+
+	mp2, err := p.PlanPartition(ctx, g, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SameLayering(mp4.Schedule, mp2.Schedule); err != nil {
+		t.Fatalf("schedules at different partition sizes changed layering: %v", err)
+	}
+
+	// Resizing back to a previous size must be a cache hit (same mapping
+	// object): partitions are named by node count, so the fingerprint
+	// matches across probes, jobs, and resize round trips.
+	again, err := p.PlanPartition(ctx, g, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != mp4 {
+		t.Fatal("repeated equal-sized partition plan missed the cache")
+	}
+
+	for _, bad := range []int{0, m.Nodes + 1} {
+		if _, err := p.PlanPartition(ctx, g, m, bad); !errors.Is(err, arch.ErrInvalidMachine) {
+			t.Fatalf("PlanPartition(%d) err = %v, want ErrInvalidMachine", bad, err)
+		}
+	}
+}

@@ -29,12 +29,31 @@ type Replanner func(ctx context.Context, survivors int) (*core.Schedule, error)
 // new group sizes).
 type HierarchicalReplanner func(ctx context.Context, survivors int) (*core.HierarchicalSchedule, error)
 
+// Resizer makes a running execution malleable: the layered executor
+// consults it at every completed layer barrier (the same checkpoints that
+// make degrade-and-replan sound) with the number of completed layers. A
+// nil schedule means "keep the current one"; a non-nil schedule replaces
+// it and the remaining layers run on the new core count — growing or
+// shrinking the execution. The returned schedule must preserve the layer
+// partition (verified with core.SameLayering) and use at most the world's
+// cores. The machine-level job allocator uses this to grow and shrink
+// running jobs as other jobs arrive and finish; see plan.Planner's
+// PlanPartition for the standard way to produce the resized schedule.
+type Resizer func(ctx context.Context, completedLayers int) (*core.Schedule, error)
+
+// ErrResizeInWavefront reports WithResizer combined with WithWavefront:
+// a wavefront pass runs every remaining layer without barriers, so there
+// is no boundary at which a resize could apply — wavefront executions are
+// moldable (core count fixed at start), not malleable.
+var ErrResizeInWavefront = errors.New("runtime: WithResizer requires layered execution (wavefront runs are moldable, not malleable)")
+
 // execConfig collects the resolved fault-tolerance knobs of one execution.
 type execConfig struct {
 	policy     fault.Policy
 	injector   *fault.Injector
 	replan     Replanner
 	hreplan    HierarchicalReplanner
+	resize     Resizer
 	grace      time.Duration
 	wavefront  bool
 	wfChannel  bool // wavefront via the channel reference dispatcher
@@ -60,6 +79,12 @@ func WithReplanner(r Replanner) ExecOption { return func(c *execConfig) { c.repl
 func WithHierarchicalReplanner(r HierarchicalReplanner) ExecOption {
 	return func(c *execConfig) { c.hreplan = r }
 }
+
+// WithResizer installs a voluntary resize callback consulted at every
+// completed layer barrier; see Resizer. Only valid with the layered
+// executor — combining it with WithWavefront fails the execution with
+// ErrResizeInWavefront.
+func WithResizer(r Resizer) ExecOption { return func(c *execConfig) { c.resize = r } }
 
 // WithAbandonGrace sets how long the executor waits, after aborting a
 // timed-out attempt's communicator, for the attempt's goroutines to settle
@@ -243,7 +268,11 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 	if sched.P > w.P {
 		return fmt.Errorf("runtime: schedule needs %d cores, world has %d", sched.P, w.P)
 	}
+	if cfg.wavefront && cfg.resize != nil {
+		return ErrResizeInWavefront
+	}
 	cur := sched
+	base := sched.P // survivor accounting resets on voluntary resizes
 	lost := 0
 	li := 0
 	for li < len(cur.Layers) {
@@ -269,6 +298,27 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 				rep.layerDone()
 				cfg.rec.Instant("layer-done", "exec", obs.ControlRank, cfg.rec.Now())
 				li++
+				if cfg.resize != nil && li < len(cur.Layers) {
+					ns, rerr := cfg.resize(ctx, li)
+					if rerr != nil {
+						return fmt.Errorf("runtime: resize at layer barrier %d: %w", li, rerr)
+					}
+					if ns != nil && ns != cur {
+						if ns.P > w.P {
+							return fmt.Errorf("runtime: resized schedule needs %d cores, world has %d", ns.P, w.P)
+						}
+						if serr := core.SameLayering(cur, ns); serr != nil {
+							return fmt.Errorf("runtime: resize at layer barrier %d: %w", li, serr)
+						}
+						delta := ns.P - cur.P
+						rep.resized(delta)
+						cfg.rec.Instant(fmt.Sprintf("resize:%+d", delta), "exec", obs.ControlRank, cfg.rec.Now())
+						cfg.rec.Counter("exec.resizes").Add(1)
+						cur = ns // remaining layers run on the new core count
+						base = ns.P
+						lost = 0
+					}
+				}
 			}
 		}
 		if layerErr == nil {
@@ -281,10 +331,10 @@ func runLayered(ctx context.Context, w *World, sched *core.Schedule, body func(t
 			return fmt.Errorf("runtime: replan budget (%d) exhausted: %w", cfg.policy.MaxReplans, layerErr)
 		}
 		lost += failedCores
-		survivors := sched.P - lost
+		survivors := base - lost
 		if survivors < 1 {
 			return errors.Join(layerErr,
-				fmt.Errorf("runtime: all %d cores lost: %w", sched.P, core.ErrNoCores))
+				fmt.Errorf("runtime: all %d cores lost: %w", base, core.ErrNoCores))
 		}
 		ns, rerr := resched(ctx, survivors)
 		if rerr != nil {

@@ -37,6 +37,15 @@ type Report struct {
 	Replans   int
 	LostCores int
 
+	// Resizes counts voluntary resizes applied at layer barriers
+	// (WithResizer); GrownCores and ShrunkCores total the symbolic cores
+	// gained and given up across them. Unlike Replans, resizes are not
+	// failures: the machine-level job allocator uses them to grow and
+	// shrink running jobs.
+	Resizes     int
+	GrownCores  int
+	ShrunkCores int
+
 	// Layers counts completed layer barriers (the recovery
 	// checkpoints reached).
 	Layers int
@@ -162,6 +171,19 @@ func (r *Report) replanned(lostTotal int) {
 	r.mu.Unlock()
 }
 
+// resized records a voluntary resize applied at a layer barrier; delta is
+// the signed change of the symbolic core count.
+func (r *Report) resized(delta int) {
+	r.mu.Lock()
+	r.Resizes++
+	if delta >= 0 {
+		r.GrownCores += delta
+	} else {
+		r.ShrunkCores -= delta
+	}
+	r.mu.Unlock()
+}
+
 // layerDone records a completed layer barrier.
 func (r *Report) layerDone() {
 	r.mu.Lock()
@@ -270,6 +292,16 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "execution report: %d tasks, %d layers done, %d retries, %d recovered panics, %d replans (%d cores lost), wall %v\n",
 		len(r.Tasks), r.Layers, r.Retries, r.Panics, r.Replans, r.LostCores, r.Wall.Round(time.Microsecond))
+	if r.Resizes > 0 {
+		fmt.Fprintf(&b, "  resizes: %d applied at layer barriers (+%d/-%d cores)\n",
+			r.Resizes, r.GrownCores, r.ShrunkCores)
+	}
+	if r.lean && r.Replans > 0 {
+		// The WithoutTimeline replan caveat, surfaced where operators read
+		// it: lean reports keep no history for never-failed tasks, so their
+		// re-execution after a replan restarts attempt numbering at 1.
+		b.WriteString("  note: lean report (WithoutTimeline) — never-failed tasks re-executed after a replan restart attempt numbering at 1; scripts keyed on attempt numbers across a replan need the full report\n")
+	}
 	if r.P > 0 && (len(r.Spans) > 0 || r.busy > 0) {
 		busy := r.busy
 		for _, s := range r.Spans {

@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mtask/internal/arch"
+	"mtask/internal/core"
+	"mtask/internal/cost"
+	"mtask/internal/graph"
+)
+
+// ladderGraph builds a stages-deep ladder: two parallel tasks per stage
+// with full bipartite edges between stages, so nothing contracts into a
+// chain and the schedule has exactly `stages` layers.
+func ladderGraph(name string, stages int) *graph.Graph {
+	g := graph.New(name)
+	var prev [2]graph.TaskID
+	for s := 0; s < stages; s++ {
+		var cur [2]graph.TaskID
+		for i := 0; i < 2; i++ {
+			cur[i] = g.AddTask(&graph.Task{
+				Name: fmt.Sprintf("t%d.%d", s, i), Kind: graph.KindBasic, Work: 1e6,
+			})
+		}
+		if s > 0 {
+			for _, p := range prev {
+				for _, c := range cur {
+					g.MustEdge(p, c, 8)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// scheduleOn schedules g on P symbolic cores of a CHiC subset.
+func scheduleOn(t *testing.T, g *graph.Graph, P int) *core.Schedule {
+	t.Helper()
+	model := &cost.Model{Machine: arch.CHiC().Subset(2)}
+	sched, err := (&core.Scheduler{Model: model}).Schedule(g, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func TestResizerGrowAndShrink(t *testing.T) {
+	// A resizer that shrinks at barrier 2 and grows back at barrier 4:
+	// every task still runs exactly once, and the report records both
+	// resizes with their core deltas.
+	g := ladderGraph("resize", 6)
+	s8 := scheduleOn(t, g, 8)
+	s4 := scheduleOn(t, g, 4)
+	w, _ := NewWorld(8)
+
+	var runs [12]atomic.Int64
+	rz := func(ctx context.Context, completed int) (*core.Schedule, error) {
+		switch completed {
+		case 2:
+			return s4, nil
+		case 4:
+			return s8, nil
+		}
+		return nil, nil
+	}
+	rep, err := ExecuteCtx(context.Background(), w, s8, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error {
+			if tc.Group.Rank() == 0 {
+				runs[task.ID].Add(1)
+			}
+			tc.Group.Barrier()
+			return nil
+		}
+	}, WithResizer(rz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range runs {
+		if got := runs[id].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want 1", id, got)
+		}
+	}
+	if rep.Resizes != 2 || rep.ShrunkCores != 4 || rep.GrownCores != 4 {
+		t.Fatalf("resizes = %d (+%d/-%d), want 2 (+4/-4)", rep.Resizes, rep.GrownCores, rep.ShrunkCores)
+	}
+	if !strings.Contains(rep.String(), "resizes: 2 applied at layer barriers (+4/-4 cores)") {
+		t.Fatalf("report does not render the resizes:\n%s", rep)
+	}
+	if rep.Replans != 0 || rep.LostCores != 0 {
+		t.Fatalf("voluntary resizes must not count as replans: %s", rep)
+	}
+}
+
+func TestResizerRejectsWavefront(t *testing.T) {
+	g := ladderGraph("resize-wf", 3)
+	s8 := scheduleOn(t, g, 8)
+	w, _ := NewWorld(8)
+	rz := func(ctx context.Context, completed int) (*core.Schedule, error) { return nil, nil }
+	_, err := ExecuteCtx(context.Background(), w, s8, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { return nil }
+	}, WithWavefront(), WithResizer(rz))
+	if !errors.Is(err, ErrResizeInWavefront) {
+		t.Fatalf("err = %v, want ErrResizeInWavefront", err)
+	}
+}
+
+func TestResizerRejectsForeignLayering(t *testing.T) {
+	// A resized schedule must keep the layer partition; handing back a
+	// schedule of a different graph fails the execution at the barrier.
+	g := ladderGraph("resize-bad", 4)
+	s8 := scheduleOn(t, g, 8)
+	other := scheduleOn(t, ladderGraph("resize-other", 3), 8)
+	w, _ := NewWorld(8)
+	rz := func(ctx context.Context, completed int) (*core.Schedule, error) { return other, nil }
+	_, err := ExecuteCtx(context.Background(), w, s8, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { return nil }
+	}, WithResizer(rz))
+	if err == nil || !strings.Contains(err.Error(), "resize at layer barrier") {
+		t.Fatalf("err = %v, want a layering rejection", err)
+	}
+}
+
+func TestResizerRejectsOversizedSchedule(t *testing.T) {
+	g := ladderGraph("resize-big", 4)
+	s4 := scheduleOn(t, g, 4)
+	s8 := scheduleOn(t, g, 8)
+	w, _ := NewWorld(4)
+	rz := func(ctx context.Context, completed int) (*core.Schedule, error) { return s8, nil }
+	_, err := ExecuteCtx(context.Background(), w, s4, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { return nil }
+	}, WithResizer(rz))
+	if err == nil || !strings.Contains(err.Error(), "world has") {
+		t.Fatalf("err = %v, want a world-size rejection", err)
+	}
+}
+
+func TestResizerErrorFailsExecution(t *testing.T) {
+	g := ladderGraph("resize-err", 4)
+	s8 := scheduleOn(t, g, 8)
+	w, _ := NewWorld(8)
+	boom := errors.New("boom")
+	rz := func(ctx context.Context, completed int) (*core.Schedule, error) { return nil, boom }
+	_, err := ExecuteCtx(context.Background(), w, s8, func(task *graph.Task) TaskFunc {
+		return func(tc *TaskCtx) error { return nil }
+	}, WithResizer(rz))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the resizer error", err)
+	}
+}
+
+func TestReportLeanReplanCaveatSurfaced(t *testing.T) {
+	// The WithoutTimeline attempt-numbering caveat must be readable in the
+	// rendered report, not only in godoc.
+	r := NewReport()
+	r.lean = true
+	r.Replans = 1
+	if s := r.String(); !strings.Contains(s, "lean report (WithoutTimeline)") {
+		t.Fatalf("lean replan report misses the caveat note:\n%s", s)
+	}
+	r2 := NewReport()
+	r2.Replans = 1
+	if s := r2.String(); strings.Contains(s, "lean report") {
+		t.Fatalf("full report must not carry the lean caveat:\n%s", s)
+	}
+}

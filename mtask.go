@@ -48,7 +48,12 @@
 //   - planning as a service: JSON codecs for graphs and machines
 //     (MarshalGraphJSON, UnmarshalMachineJSON, ...) and the multi-tenant
 //     mtaskd HTTP handler with quota admission, a sharded schedule cache
-//     and request coalescing (ServeHandler; see docs/SERVING.md).
+//     and request coalescing (ServeHandler; see docs/SERVING.md);
+//   - a two-level machine scheduler admitting a stream of moldable,
+//     malleable M-task jobs: partition sizing from the planner's speedup
+//     model, EASY-style backfill with a starvation guard, and grow/shrink
+//     of running jobs at layer barriers (JobAllocator; see
+//     docs/SCHEDULING.md).
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
 // record.
@@ -487,6 +492,22 @@ var ErrGlobalInWavefront = runtime.ErrGlobalInWavefront
 // need the full report.
 func WithoutTimeline() ExecOption { return runtime.WithoutTimeline() }
 
+// Resizer lets the caller swap in a schedule of a different core count at
+// every layer barrier (voluntary malleability, as opposed to the
+// failure-driven Replanner). Return (nil, nil) to keep the current
+// schedule. The new schedule must keep the layer partition and fit the
+// world; see docs/SCHEDULING.md.
+type Resizer = runtime.Resizer
+
+// WithResizer installs the layer-barrier resize hook used by the
+// machine-level job allocator to grow and shrink running jobs.
+func WithResizer(r Resizer) ExecOption { return runtime.WithResizer(r) }
+
+// ErrResizeInWavefront marks WithResizer combined with WithWavefront:
+// wavefront runs have no layer barriers, so they are moldable (sized at
+// admission) but not malleable.
+var ErrResizeInWavefront = runtime.ErrResizeInWavefront
+
 // WithChannelDispatcher selects the reference channel-based wavefront
 // dispatcher (one goroutine per launched task) instead of the default
 // persistent-worker dispatcher. Kept for differential testing and
@@ -622,6 +643,36 @@ func RunDynamic(w *World, root DynTask) error { return dynsched.Run(w, root) }
 
 // NewDynPool returns a dynamic pool over p cores.
 func NewDynPool(p int) (*DynPool, error) { return dynsched.NewPool(p) }
+
+// --- multi-job machine scheduling ---
+
+// JobAllocator is the two-level machine scheduler: it admits a stream of
+// M-task jobs, carves an initial whole-node partition per job from the
+// planner's moldable speedup model, runs each job's layer schedule inside
+// its partition, and grows or shrinks running jobs at layer barriers as
+// the mix changes (EASY-style backfill with a bounded-bypass starvation
+// guard). See docs/SCHEDULING.md for policies and invariants.
+type JobAllocator = dynsched.Allocator
+
+// MachineJob is one M-task job submitted to a JobAllocator: a graph, its
+// SPMD task bodies, and node bounds (Rigid jobs are never resized).
+type MachineJob = dynsched.Job
+
+// JobResult is the outcome of one job: partition history (initial/final
+// nodes, every resize), queueing record (backfilled, bypass count), the
+// execution Report, and the error if the job failed.
+type JobResult = dynsched.JobResult
+
+// JobResizeEvent records one applied grow or shrink of a running job.
+type JobResizeEvent = dynsched.ResizeEvent
+
+// NewJobAllocator returns a two-level scheduler over the machine backed
+// by the planner (backfill enabled). Configure the exported fields
+// (Backfill, MaxBypass, EfficiencyFloor, Trace, ...) before the first
+// Submit or RunTrace.
+func NewJobAllocator(m *Machine, p *Planner) (*JobAllocator, error) {
+	return dynsched.NewAllocator(m, p)
+}
 
 // --- re-distribution planning ---
 
